@@ -1,0 +1,227 @@
+// Package uhm holds the top-level benchmark harness: one benchmark per table
+// and figure of the paper's evaluation, plus ablation benchmarks for the
+// design choices DESIGN.md calls out.  Each benchmark regenerates its
+// experiment through the public core façade, so `go test -bench=.` prints the
+// same rows the cmd/uhmbench tool does (captured in EXPERIMENTS.md).
+package uhm
+
+import (
+	"testing"
+
+	"uhm/internal/compile"
+	"uhm/internal/core"
+	"uhm/internal/dir"
+	"uhm/internal/dtb"
+	"uhm/internal/perfmodel"
+	"uhm/internal/sim"
+	"uhm/internal/workload"
+)
+
+func benchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxInstructions = 5_000_000
+	return cfg
+}
+
+// BenchmarkTable1Formats regenerates Table 1: the PSDER / PDP-11 / 360-RX
+// format equivalence.
+func BenchmarkTable1Formats(b *testing.B) {
+	var report string
+	for i := 0; i < b.N; i++ {
+		report = core.Table1Report()
+	}
+	if report == "" {
+		b.Fatal("empty Table 1 report")
+	}
+}
+
+// BenchmarkTable2 regenerates the analytic Table 2 grid.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.Table2().Cells) != 3 {
+			b.Fatal("table 2 shape")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the analytic Table 3 grid.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.Table3().Cells) != 3 {
+			b.Fatal("table 3 shape")
+		}
+	}
+}
+
+// BenchmarkFigure1Sweep regenerates the representation-space sweep (Figure 1)
+// for one workload.
+func BenchmarkFigure1Sweep(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Figure1([]string{"loopsum"}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2DTBHitRatio regenerates the DTB capacity sweep (Figure 2).
+func BenchmarkFigure2DTBHitRatio(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Figure2("sieve", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Activity regenerates the per-unit activity report
+// (Figure 3).
+func BenchmarkFigure3Activity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Figure3("fib", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkINTERPHitMiss regenerates the INTERP hit/miss path statistics
+// (Figure 4).
+func BenchmarkINTERPHitMiss(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		stats, err := core.Figure4("sieve", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Interps == 0 {
+			b.Fatal("no INTERP executions")
+		}
+	}
+}
+
+// BenchmarkUHMStrategies measures the simulated organisations individually on
+// a loop-dominated workload (the empirical counterpart of the T1/T2/T3
+// comparison).
+func BenchmarkUHMStrategies(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := benchConfig()
+	for _, strategy := range sim.Strategies() {
+		b.Run(strategy.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := sim.Run(dp, strategy, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.PerInstruction, "cycles/DIR-instr")
+			}
+		})
+	}
+}
+
+// BenchmarkEmpiricalStrategies regenerates the Section 7 empirical
+// cross-check over the default workload set.
+func BenchmarkEmpiricalStrategies(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Empirical([]string{"loopsum", "fib"}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodingCompaction regenerates the §3.2 compaction study.
+func BenchmarkEncodingCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Compaction([]string{"sieve"}, core.LevelStack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Reduction[core.DegreePair]*100, "%saved")
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---------
+
+// BenchmarkAblationEncodingDegree measures the conventional organisation at
+// every encoding degree: the decode-cost / program-size trade-off.
+func BenchmarkAblationEncodingDegree(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	for _, degree := range dir.Degrees() {
+		b.Run(degree.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Degree = degree
+			for i := 0; i < b.N; i++ {
+				rep, err := sim.Run(dp, sim.Conventional, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Measured.D, "decode-steps/instr")
+				b.ReportMetric(float64(rep.StaticBits), "static-bits")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSemanticLevel measures the DTB organisation at every
+// semantic level of the compiled DIR.
+func BenchmarkAblationSemanticLevel(b *testing.B) {
+	for _, level := range compile.Levels() {
+		dp := workload.MustCompileAt("loopsum", level)
+		b.Run(level.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			for i := 0; i < b.N; i++ {
+				rep, err := sim.Run(dp, sim.WithDTB, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Instructions), "DIR-instrs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDTBAllocation compares the fixed and variable-with-
+// overflow allocation policies of §5.1.
+func BenchmarkAblationDTBAllocation(b *testing.B) {
+	dp := workload.MustCompileAt("sieve", compile.LevelStack)
+	policies := map[string]dtb.Config{
+		"fixed":    {Entries: 84, Assoc: 4, UnitWords: 8, Policy: dtb.Fixed},
+		"overflow": {Entries: 84, Assoc: 4, UnitWords: 4, Policy: dtb.VariableOverflow, OverflowUnits: 32},
+	}
+	for name, dcfg := range policies {
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.DTB = dcfg
+			for i := 0; i < b.N; i++ {
+				rep, err := sim.Run(dp, sim.WithDTB, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.Measured.HD*100, "hit%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationModelHitRatio sweeps the analytic model's DTB hit ratio,
+// showing how the paper's conclusions depend on locality.
+func BenchmarkAblationModelHitRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, hd := range []float64{0.5, 0.7, 0.8, 0.9, 0.99} {
+			_, results, err := perfmodel.Sweep([]float64{10}, []float64{10}, func(p *perfmodel.Params) { p.HD = hd })
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != 1 {
+				b.Fatal("sweep shape")
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command uhmasm compiles a MiniLang program to its DIR, prints the
+// disassembly, and reports the static size of every encoding degree together
+// with the size of the fully expanded PSDER form — a per-program view of the
+// representation space of Figure 1.
+//
+// Usage:
+//
+//	uhmasm -workload sieve -level mem3
+//	uhmasm -file prog.ml -disasm=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uhm/internal/core"
+	"uhm/internal/metrics"
+	"uhm/internal/translate"
+)
+
+func main() {
+	workloadName := flag.String("workload", "", "built-in workload to compile")
+	file := flag.String("file", "", "MiniLang source file to compile")
+	levelName := flag.String("level", "stack", "semantic level: stack, mem2, mem3")
+	disasm := flag.Bool("disasm", true, "print the DIR disassembly")
+	flag.Parse()
+
+	if err := run(*workloadName, *file, *levelName, *disasm); err != nil {
+		fmt.Fprintln(os.Stderr, "uhmasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadName, file, levelName string, disasm bool) error {
+	var level core.Level
+	found := false
+	for _, l := range core.Levels() {
+		if l.String() == levelName {
+			level, found = l, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown level %q", levelName)
+	}
+
+	var art *core.Artifact
+	var err error
+	switch {
+	case workloadName != "":
+		art, err = core.BuildWorkload(workloadName, level)
+	case file != "":
+		var src []byte
+		src, err = os.ReadFile(file)
+		if err == nil {
+			art, err = core.BuildSource(file, string(src), level)
+		}
+	default:
+		err = fmt.Errorf("specify -workload or -file")
+	}
+	if err != nil {
+		return err
+	}
+
+	if disasm {
+		fmt.Print(art.Disassemble())
+		fmt.Println()
+	}
+
+	tbl := metrics.NewTable("static representation sizes", "representation", "size", "avg bits/instr", "decoder tables")
+	for _, degree := range core.Degrees() {
+		bin, err := art.Encode(degree)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow("DIR/"+degree.String(), metrics.Bits(bin.SizeBits()),
+			metrics.Float(bin.AvgInstrBits()), metrics.Bits(bin.CodebookBits()))
+	}
+	seqs, err := translate.TranslateProgram(art.DIR)
+	if err != nil {
+		return err
+	}
+	cost := translate.Cost(seqs)
+	tbl.AddRow("PSDER (expanded)", metrics.Bits(cost.TotalWords*32), metrics.Float(cost.AvgWords*32), "0 bits (0.0 bytes)")
+	fmt.Print(tbl.Render())
+	return nil
+}

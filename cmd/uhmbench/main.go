@@ -1,0 +1,108 @@
+// Command uhmbench regenerates every table and figure of the paper's
+// evaluation from the reproduction: the analytic Tables 2 and 3, the Table 1
+// format comparison, and the measured counterparts of Figures 1–4 plus the
+// empirical Section 7 cross-check and the §3.2 compaction study.
+//
+// Usage:
+//
+//	uhmbench -exp all
+//	uhmbench -exp table2
+//	uhmbench -exp figure2 -workload sieve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uhm/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, figure1, figure2, figure3, figure4, empirical, compaction, all")
+	workloadName := flag.String("workload", "", "workload for the figure experiments (default chosen per experiment)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if err := run(*exp, *workloadName, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "uhmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, workloadName string, cfg core.Config) error {
+	experiments := strings.Split(exp, ",")
+	if exp == "all" {
+		experiments = []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "empirical", "compaction"}
+	}
+	for _, e := range experiments {
+		if err := runOne(strings.TrimSpace(e), workloadName, cfg); err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runOne(exp, workloadName string, cfg core.Config) error {
+	switch exp {
+	case "table1":
+		fmt.Print(core.Table1Report())
+	case "table2":
+		fmt.Print(core.Table2().Render())
+	case "table3":
+		fmt.Print(core.Table3().Render())
+	case "figure1":
+		var workloads []string
+		if workloadName != "" {
+			workloads = []string{workloadName}
+		}
+		rows, err := core.Figure1(workloads, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure1(rows))
+	case "figure2":
+		org, rows, err := core.Figure2(workloadName, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure2(org, rows))
+	case "figure3":
+		act, err := core.Figure3(workloadName, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure3(act))
+	case "figure4":
+		stats, err := core.Figure4(workloadName, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFigure4(stats))
+	case "empirical":
+		var workloads []string
+		if workloadName != "" {
+			workloads = []string{workloadName}
+		}
+		rows, err := core.Empirical(workloads, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderEmpirical(rows))
+	case "compaction":
+		var workloads []string
+		if workloadName != "" {
+			workloads = []string{workloadName}
+		}
+		rows, err := core.Compaction(workloads, core.LevelStack)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderCompaction(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

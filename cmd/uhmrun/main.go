@@ -1,0 +1,150 @@
+// Command uhmrun compiles a MiniLang program (a built-in workload or a source
+// file), simulates it on the universal host machine under a chosen
+// organisation, and prints the program output together with the cost report.
+//
+// Usage:
+//
+//	uhmrun -workload fib -strategy dtb
+//	uhmrun -file prog.ml -strategy conventional -level mem3 -degree pair
+//	uhmrun -workload sieve -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uhm/internal/core"
+	"uhm/internal/metrics"
+)
+
+func main() {
+	workloadName := flag.String("workload", "", "built-in workload to run (see -list)")
+	file := flag.String("file", "", "MiniLang source file to run")
+	list := flag.Bool("list", false, "list the built-in workloads and exit")
+	levelName := flag.String("level", "stack", "semantic level of the DIR: stack, mem2, mem3")
+	degreeName := flag.String("degree", "huffman", "encoding degree: packed, contour, huffman, pair")
+	strategyName := flag.String("strategy", "dtb", "organisation: conventional, dtb, cache, expanded")
+	compare := flag.Bool("compare", false, "run every organisation and compare them")
+	flag.Parse()
+
+	if *list {
+		for _, name := range core.Workloads() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if err := run(*workloadName, *file, *levelName, *degreeName, *strategyName, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "uhmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadName, file, levelName, degreeName, strategyName string, compare bool) error {
+	level, err := parseLevel(levelName)
+	if err != nil {
+		return err
+	}
+	degree, err := parseDegree(degreeName)
+	if err != nil {
+		return err
+	}
+	art, err := buildArtifact(workloadName, file, level)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Degree = degree
+
+	if compare {
+		reports, err := core.Compare(art, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("output: %v\n\n", reports[0].Output)
+		tbl := metrics.NewTable("strategy comparison", "strategy", "instructions", "cycles", "cycles/instr", "hit ratio")
+		for _, rep := range reports {
+			hit := ""
+			if rep.Strategy == core.WithDTB {
+				hit = metrics.Percent(rep.Measured.HD)
+			}
+			if rep.Strategy == core.WithCache {
+				hit = metrics.Percent(rep.Measured.HC)
+			}
+			tbl.AddRow(rep.Strategy.String(), fmt.Sprint(rep.Instructions),
+				fmt.Sprint(rep.TotalCycles), metrics.Float(rep.PerInstruction), hit)
+		}
+		fmt.Print(tbl.Render())
+		return nil
+	}
+
+	strategy, err := parseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	rep, err := core.Run(art, strategy, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program:        %s (level %s, %s encoding)\n", art.Name, art.Level, degree)
+	fmt.Printf("output:         %v\n", rep.Output)
+	fmt.Printf("instructions:   %d\n", rep.Instructions)
+	fmt.Printf("total cycles:   %d (%.2f per DIR instruction)\n", rep.TotalCycles, rep.PerInstruction)
+	fmt.Printf("  fetch:        %d\n", rep.FetchCycles)
+	fmt.Printf("  decode:       %d\n", rep.DecodeCycles)
+	fmt.Printf("  translate:    %d\n", rep.TranslateCycles)
+	fmt.Printf("  semantics:    %d\n", rep.SemanticCycles)
+	fmt.Printf("static size:    %s (decoder tables %s)\n", metrics.Bits(rep.StaticBits), metrics.Bits(rep.CodebookBits))
+	if strategy == core.WithDTB {
+		fmt.Printf("DTB hit ratio:  %s (%d lookups, %d misses)\n",
+			metrics.Percent(rep.Measured.HD), rep.DTBStats.Lookups, rep.DTBStats.Misses)
+	}
+	if strategy == core.WithCache {
+		fmt.Printf("cache hit rate: %s\n", metrics.Percent(rep.Measured.HC))
+	}
+	return nil
+}
+
+func buildArtifact(workloadName, file string, level core.Level) (*core.Artifact, error) {
+	switch {
+	case workloadName != "" && file != "":
+		return nil, fmt.Errorf("specify either -workload or -file, not both")
+	case workloadName != "":
+		return core.BuildWorkload(workloadName, level)
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return core.BuildSource(file, string(src), level)
+	default:
+		return nil, fmt.Errorf("specify -workload or -file (use -list to see workloads)")
+	}
+}
+
+func parseLevel(name string) (core.Level, error) {
+	for _, l := range core.Levels() {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q", name)
+}
+
+func parseDegree(name string) (core.Degree, error) {
+	for _, d := range core.Degrees() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown degree %q", name)
+}
+
+func parseStrategy(name string) (core.Strategy, error) {
+	for _, s := range core.Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q", name)
+}

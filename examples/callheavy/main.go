@@ -1,0 +1,48 @@
+// Call-heavy workload: procedure-intensive code spreads the instruction
+// working set over several procedure bodies, so the DTB's effectiveness
+// depends on its capacity relative to that working set.  This example sweeps
+// the DTB size on the "callheavy" and "ackermann" workloads and prints the
+// hit ratio and interpretation time at each point — the behaviour behind the
+// paper's choice of h_D = 0.8 for a DTB one third the size of the equivalent
+// cache.
+//
+//	go run ./examples/callheavy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uhm/internal/core"
+	"uhm/internal/dtb"
+	"uhm/internal/metrics"
+)
+
+func main() {
+	for _, name := range []string{"callheavy", "ackermann"} {
+		art, err := core.BuildWorkload(name, core.LevelStack)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload %q\n", name)
+		tbl := metrics.NewTable("DTB capacity sweep", "entries", "capacity (bytes)", "hit ratio", "cycles/instr")
+		for _, entries := range []int{8, 16, 32, 64, 128, 256} {
+			cfg := core.DefaultConfig()
+			cfg.DTB = dtb.Config{
+				Entries:       entries,
+				Assoc:         4,
+				UnitWords:     4,
+				Policy:        dtb.VariableOverflow,
+				OverflowUnits: entries / 4,
+			}
+			rep, err := core.Run(art, core.WithDTB, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tbl.AddRow(fmt.Sprint(entries), fmt.Sprint(cfg.DTB.CapacityBytes()),
+				metrics.Percent(rep.Measured.HD), metrics.Float(rep.PerInstruction))
+		}
+		fmt.Print(tbl.Render())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,225 @@
+// Package bitio provides bit-granular readers and writers whose fields may
+// span the boundaries of the underlying memory units (bytes or words).
+//
+// The paper's encoded directly interpretable representations (DIRs) pack
+// fields of arbitrary width "together and allowed to span the boundaries of
+// the units of memory access" (§3.2).  Every encoder in internal/encoding is
+// built on top of this package, as is the binary emission of DIR programs in
+// internal/dir.
+//
+// Bits are written and read most-significant-bit first within each byte, so
+// the bit at absolute position 0 is the top bit of the first byte.  This
+// matches the field diagrams of the era (opcode field leftmost) and makes the
+// dumps produced by cmd/uhmasm readable against the paper's Table 1.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxFieldWidth is the widest single field that can be read or written in one
+// call.  64 bits is enough for every representation in this reproduction.
+const MaxFieldWidth = 64
+
+// ErrFieldTooWide is returned when a requested field exceeds MaxFieldWidth.
+var ErrFieldTooWide = errors.New("bitio: field wider than 64 bits")
+
+// ErrShortBuffer is returned by Reader when a read would run past the end of
+// the underlying buffer.
+var ErrShortBuffer = errors.New("bitio: read past end of buffer")
+
+// Writer accumulates a bit string.  The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // total number of bits written
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bits pre-allocated.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, (sizeHint+7)/8)}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the accumulated bit string packed into bytes.  The final byte
+// is zero-padded on the right.  The returned slice aliases the writer's
+// internal buffer; callers that keep it across further writes must copy it.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// BitLen is an alias of Len provided for symmetry with Reader.
+func (w *Writer) BitLen() int { return w.nbit }
+
+// Reset discards all written bits, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// WriteBits appends the width least-significant bits of v, most significant
+// first.  Width may be 0 (a no-op).  It panics if width is negative and
+// returns ErrFieldTooWide if width exceeds MaxFieldWidth.
+func (w *Writer) WriteBits(v uint64, width int) error {
+	if width < 0 {
+		panic(fmt.Sprintf("bitio: negative field width %d", width))
+	}
+	if width > MaxFieldWidth {
+		return ErrFieldTooWide
+	}
+	if width < 64 {
+		v &= (1 << uint(width)) - 1
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := byte((v >> uint(i)) & 1)
+		byteIdx := w.nbit / 8
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit != 0 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+	return nil
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(bit bool) {
+	var v uint64
+	if bit {
+		v = 1
+	}
+	// A single bit can never exceed MaxFieldWidth.
+	_ = w.WriteBits(v, 1)
+}
+
+// WriteUnary appends n in unary: n one-bits followed by a terminating zero.
+// Unary codes are used by the variable-length opcode experiments.
+func (w *Writer) WriteUnary(n int) error {
+	if n < 0 {
+		panic("bitio: negative unary value")
+	}
+	for i := 0; i < n; i++ {
+		w.WriteBit(true)
+	}
+	w.WriteBit(false)
+	return nil
+}
+
+// Align pads the bit string with zero bits until its length is a multiple of
+// the given unit (in bits).  Unit must be positive.
+func (w *Writer) Align(unit int) {
+	if unit <= 0 {
+		panic("bitio: non-positive alignment unit")
+	}
+	for w.nbit%unit != 0 {
+		w.WriteBit(false)
+	}
+}
+
+// Reader consumes a bit string produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  int // current bit position
+	nbit int // total number of valid bits
+}
+
+// NewReader returns a Reader over buf containing nbit valid bits.  If nbit is
+// negative the whole of buf (len(buf)*8 bits) is readable.
+func NewReader(buf []byte, nbit int) *Reader {
+	if nbit < 0 || nbit > len(buf)*8 {
+		nbit = len(buf) * 8
+	}
+	return &Reader{buf: buf, nbit: nbit}
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// Seek positions the reader at the absolute bit offset pos.
+func (r *Reader) Seek(pos int) error {
+	if pos < 0 || pos > r.nbit {
+		return fmt.Errorf("bitio: seek to %d outside [0,%d]", pos, r.nbit)
+	}
+	r.pos = pos
+	return nil
+}
+
+// ReadBits reads a width-bit field, most significant bit first.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 {
+		panic(fmt.Sprintf("bitio: negative field width %d", width))
+	}
+	if width > MaxFieldWidth {
+		return 0, ErrFieldTooWide
+	}
+	if r.pos+width > r.nbit {
+		return 0, ErrShortBuffer
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		byteIdx := r.pos / 8
+		bit := (r.buf[byteIdx] >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// ReadUnary reads a unary-coded value (count of one-bits before a zero).
+func (r *Reader) ReadUnary() (int, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if !b {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// Align advances the read position to the next multiple of unit bits.
+func (r *Reader) Align(unit int) error {
+	if unit <= 0 {
+		panic("bitio: non-positive alignment unit")
+	}
+	for r.pos%unit != 0 {
+		if _, err := r.ReadBit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BitString renders the first n bits of buf as a string of '0' and '1'
+// characters, for diagnostics and golden tests.
+func BitString(buf []byte, n int) string {
+	if n > len(buf)*8 {
+		n = len(buf) * 8
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if buf[i/8]&(1<<uint(7-i%8)) != 0 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{CapacityBytes: 0, LineBytes: 16, Assoc: 4},
+		{CapacityBytes: 4096, LineBytes: 0, Assoc: 4},
+		{CapacityBytes: 4096, LineBytes: 16, Assoc: 0},
+		{CapacityBytes: 4095, LineBytes: 16, Assoc: 4},
+		{CapacityBytes: 4096, LineBytes: 16, Assoc: 3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New should reject invalid config", i)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustNew(t, DefaultConfig())
+	if c.Sets() != 4096/16/4 {
+		t.Errorf("Sets = %d, want %d", c.Sets(), 4096/16/4)
+	}
+	if c.String() == "" {
+		t.Error("String should not be empty")
+	}
+	if c.Config() != DefaultConfig() {
+		t.Error("Config not preserved")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustNew(t, DefaultConfig())
+	if c.Access(0x100) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access should hit")
+	}
+	// Same line, different byte within the line: still a hit.
+	if !c.Access(0x10F) {
+		t.Error("same-line access should hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Errorf("hit ratio = %v", got)
+	}
+}
+
+func TestHitRatioEmpty(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Error("hit ratio of empty stats should be 0")
+	}
+}
+
+func TestLRUReplacementWithinSet(t *testing.T) {
+	// 4 sets, 2-way: capacity 8 lines of 16 bytes = 128 bytes.
+	c := mustNew(t, Config{CapacityBytes: 128, LineBytes: 16, Assoc: 2})
+	// Three addresses mapping to the same set (set = lineAddr % 4).
+	a := uint64(0 * 16 * 4)
+	b := uint64(1 * 16 * 4)
+	d := uint64(2 * 16 * 4)
+	c.Access(a) // miss, resident {a}
+	c.Access(b) // miss, resident {a,b}
+	c.Access(a) // hit, a most recent
+	c.Access(d) // miss, must evict LRU = b
+	if !c.Contains(a) {
+		t.Error("a should still be resident (was most recently used)")
+	}
+	if c.Contains(b) {
+		t.Error("b should have been evicted as LRU")
+	}
+	if !c.Contains(d) {
+		t.Error("d should be resident")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestDistinctSetsDoNotConflict(t *testing.T) {
+	c := mustNew(t, Config{CapacityBytes: 128, LineBytes: 16, Assoc: 2})
+	// Fill lines mapping to different sets; none should evict each other.
+	for i := 0; i < 4; i++ {
+		c.Access(uint64(i * 16))
+	}
+	for i := 0; i < 4; i++ {
+		if !c.Contains(uint64(i * 16)) {
+			t.Errorf("line %d should be resident", i)
+		}
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", c.Stats().Evictions)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustNew(t, DefaultConfig())
+	c.Access(0x40)
+	if c.ResidentLines() != 1 {
+		t.Fatalf("resident = %d", c.ResidentLines())
+	}
+	c.Flush()
+	if c.ResidentLines() != 0 {
+		t.Error("flush should empty the cache")
+	}
+	if c.Access(0x40) {
+		t.Error("access after flush should miss")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := mustNew(t, DefaultConfig())
+	c.Access(0x40)
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Error("ResetStats should clear counters")
+	}
+	if !c.Contains(0x40) {
+		t.Error("ResetStats should not flush contents")
+	}
+}
+
+func TestLoopWorkingSetHitsAfterWarmup(t *testing.T) {
+	// A tight loop over a working set that fits entirely in the cache should
+	// approach a hit ratio of 1 (the paper's tight-loop argument, §6.2).
+	c := mustNew(t, DefaultConfig())
+	loopBytes := 1024
+	for pass := 0; pass < 20; pass++ {
+		for addr := 0; addr < loopBytes; addr += 4 {
+			c.Access(uint64(addr))
+		}
+	}
+	if hr := c.Stats().HitRatio(); hr < 0.95 {
+		t.Errorf("tight-loop hit ratio = %v, want >= 0.95", hr)
+	}
+}
+
+func TestThrashingWorkingSetMisses(t *testing.T) {
+	// A working set much larger than the cache touched with no reuse inside
+	// the cache's reach should have a low hit ratio.
+	c := mustNew(t, Config{CapacityBytes: 256, LineBytes: 16, Assoc: 4})
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64(i * 16)) // every access a new line
+	}
+	if hr := c.Stats().HitRatio(); hr > 0.01 {
+		t.Errorf("streaming hit ratio = %v, want ~0", hr)
+	}
+}
+
+// Property: resident line count never exceeds capacity, and accesses =
+// hits + misses.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, addrs []uint16) bool {
+		cfg := Config{CapacityBytes: 512, LineBytes: 16, Assoc: 4}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		for i := 0; i < 200; i++ {
+			c.Access(uint64(rng.Intn(1 << 14)))
+		}
+		st := c.Stats()
+		maxLines := cfg.CapacityBytes / cfg.LineBytes
+		return c.ResidentLines() <= maxLines && st.Accesses == st.Hits+st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an access immediately repeated is always a hit.
+func TestQuickRepeatHits(t *testing.T) {
+	c := mustNew(t, DefaultConfig())
+	f := func(addr uint32) bool {
+		c.Access(uint64(addr))
+		return c.Access(uint64(addr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c, _ := New(DefaultConfig())
+	c.Access(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(0)
+	}
+}
+
+func BenchmarkAccessMixed(b *testing.B) {
+	c, _ := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(64 << 10))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}

@@ -1,0 +1,486 @@
+// Package compile translates the MiniLang HLR into the DIR of internal/dir.
+//
+// This is the compilation step of §3.3: it "factors out large amounts of
+// computation ... by performing it just once before the interpretation
+// phase".  Concretely it binds every name to a (depth, offset) machine
+// address so no associative lookup remains, flattens the hierarchical
+// expression syntax into a sequential instruction stream, and discards the
+// symbolic names of the HLR.
+//
+// The compiler can target three semantic levels, sweeping the vertical axis
+// of the paper's Figure 1:
+//
+//   - LevelStack: every computation is expressed with the stack-oriented
+//     opcodes (the lowest-level DIR; the most instructions).
+//   - LevelMem2: statements of the form "v := v op simple" and simple
+//     conditional branches use the PDP-11-style two-operand opcodes.
+//   - LevelMem3: additionally, "v := a op b" uses the three-operand opcodes,
+//     mirroring a richer, higher-level DIR.
+//
+// Programs compiled at any level produce identical output; only the number
+// and size of instructions differ, which is exactly the trade-off the
+// representation-space experiments measure.
+package compile
+
+import (
+	"fmt"
+
+	"uhm/internal/dir"
+	"uhm/internal/hlr"
+)
+
+// Level selects the semantic level of the emitted DIR.
+type Level int
+
+const (
+	// LevelStack emits only stack-oriented opcodes.
+	LevelStack Level = iota
+	// LevelMem2 adds two-operand memory opcodes and compound branches.
+	LevelMem2
+	// LevelMem3 adds three-operand memory opcodes on top of LevelMem2.
+	LevelMem3
+
+	levelCount
+)
+
+// Levels lists all semantic levels in increasing order.
+func Levels() []Level { return []Level{LevelStack, LevelMem2, LevelMem3} }
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelStack:
+		return "stack"
+	case LevelMem2:
+		return "mem2"
+	case LevelMem3:
+		return "mem3"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Valid reports whether the level is defined.
+func (l Level) Valid() bool { return l >= 0 && l < levelCount }
+
+// Compile translates an analysed (or analysable) HLR program into a DIR
+// program at the requested semantic level.
+func Compile(prog *hlr.Program, level Level) (*dir.Program, error) {
+	if !level.Valid() {
+		return nil, fmt.Errorf("compile: invalid level %d", int(level))
+	}
+	if prog.Analysis == nil {
+		if _, err := hlr.Analyze(prog); err != nil {
+			return nil, err
+		}
+	}
+	c := &compiler{level: level, analysis: prog.Analysis}
+	out, err := c.compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("compile: produced invalid DIR program: %w", err)
+	}
+	return out, nil
+}
+
+// MustCompile compiles and panics on error; intended for built-in workloads.
+func MustCompile(prog *hlr.Program, level Level) *dir.Program {
+	out, err := Compile(prog, level)
+	if err != nil {
+		panic(fmt.Sprintf("compile.MustCompile: %v", err))
+	}
+	return out
+}
+
+type compiler struct {
+	level    Level
+	analysis *hlr.Analysis
+
+	instrs  []dir.Instruction
+	contour int // contour (procedure) being compiled
+}
+
+func (c *compiler) emit(in dir.Instruction) int {
+	in.Contour = c.contour
+	c.instrs = append(c.instrs, in)
+	return len(c.instrs) - 1
+}
+
+func (c *compiler) patchTarget(at, target int) {
+	c.instrs[at].Target = target
+}
+
+func (c *compiler) here() int { return len(c.instrs) }
+
+func (c *compiler) compile(prog *hlr.Program) (*dir.Program, error) {
+	an := c.analysis
+	out := &dir.Program{Name: prog.Name, Level: c.level.String()}
+
+	// Compile procedure bodies in index order: main (0) first, so execution
+	// starts at instruction 0, then every nested procedure contiguously.
+	entries := make([]int, len(an.Procs))
+	for idx, proc := range an.Procs {
+		entries[idx] = c.here()
+		c.contour = idx
+		if err := c.compileStmt(proc.Block.Body); err != nil {
+			return nil, err
+		}
+		if idx == 0 {
+			c.emit(dir.Instruction{Op: dir.OpHalt})
+		} else {
+			// Fall-through epilogue: return 0.
+			c.emit(dir.Instruction{Op: dir.OpReturn})
+		}
+	}
+
+	for idx, proc := range an.Procs {
+		out.Procs = append(out.Procs, dir.Proc{
+			Name:       proc.Name,
+			Entry:      entries[idx],
+			NumParams:  proc.NumParams,
+			FrameSlots: maxInt(proc.FrameSlots, proc.NumParams),
+			Depth:      proc.Depth,
+		})
+		out.Contours = append(out.Contours, c.contourFor(proc))
+	}
+	out.Instrs = c.instrs
+	return out, nil
+}
+
+// contourFor builds the contour descriptor (visible-variable environment) of
+// a procedure from its scope.
+func (c *compiler) contourFor(proc *hlr.ProcInfo) dir.Contour {
+	parent := 0
+	scope := proc.Block.Scope
+	if scope != nil && scope.Parent != nil && scope.Parent.Proc != nil {
+		parent = scope.Parent.Proc.Index
+	}
+	contour := dir.Contour{Parent: parent}
+	if scope != nil {
+		for _, sym := range scope.Symbols() {
+			if !sym.IsStorage() {
+				continue
+			}
+			contour.Locals = append(contour.Locals, dir.ContourVar{
+				Addr: dir.VarAddr{Depth: sym.Depth, Offset: sym.Offset},
+				Size: sym.Size,
+			})
+		}
+	}
+	return contour
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// frameSlotsOK guards against procedures whose frame is empty; dir.Validate
+// requires FrameSlots >= NumParams which maxInt ensures, but a zero-slot
+// frame is legal.
+
+func varOperand(sym *hlr.Symbol) dir.Operand {
+	return dir.VarOperand(sym.Depth, sym.Offset)
+}
+
+// simpleOperand returns the DIR operand for an expression that is a constant
+// or a scalar variable reference, and whether the expression is that simple.
+func simpleOperand(e hlr.Expr) (dir.Operand, bool) {
+	switch x := e.(type) {
+	case *hlr.NumberLit:
+		return dir.ImmOperand(x.Value), true
+	case *hlr.VarRef:
+		if x.Index == nil && x.Sym != nil && x.Sym.Kind != hlr.SymArray {
+			return varOperand(x.Sym), true
+		}
+	case *hlr.UnaryExpr:
+		if x.Op == hlr.OpNeg {
+			if lit, ok := x.Operand.(*hlr.NumberLit); ok {
+				return dir.ImmOperand(-lit.Value), true
+			}
+		}
+	}
+	return dir.Operand{}, false
+}
+
+// refersToVar reports whether the expression reads the given symbol (used to
+// avoid clobbering in the two-operand lowering).
+func refersToVar(e hlr.Expr, sym *hlr.Symbol) bool {
+	switch x := e.(type) {
+	case *hlr.VarRef:
+		return x.Sym == sym
+	default:
+		return false
+	}
+}
+
+var arithOp2 = map[hlr.BinOp]dir.Opcode{
+	hlr.OpAdd: dir.OpAdd2, hlr.OpSub: dir.OpSub2, hlr.OpMul: dir.OpMul2,
+	hlr.OpDiv: dir.OpDiv2, hlr.OpMod: dir.OpMod2,
+}
+
+var arithOp3 = map[hlr.BinOp]dir.Opcode{
+	hlr.OpAdd: dir.OpAdd3, hlr.OpSub: dir.OpSub3, hlr.OpMul: dir.OpMul3,
+	hlr.OpDiv: dir.OpDiv3, hlr.OpMod: dir.OpMod3,
+}
+
+var stackBinOp = map[hlr.BinOp]dir.Opcode{
+	hlr.OpAdd: dir.OpAdd, hlr.OpSub: dir.OpSub, hlr.OpMul: dir.OpMul,
+	hlr.OpDiv: dir.OpDiv, hlr.OpMod: dir.OpMod,
+	hlr.OpEq: dir.OpEq, hlr.OpNe: dir.OpNe, hlr.OpLt: dir.OpLt,
+	hlr.OpLe: dir.OpLe, hlr.OpGt: dir.OpGt, hlr.OpGe: dir.OpGe,
+	hlr.OpAnd: dir.OpAnd, hlr.OpOr: dir.OpOr,
+}
+
+// negatedBranch maps a comparison to the compare-and-branch opcode that jumps
+// when the comparison is FALSE (used to branch around then/loop bodies).
+var negatedBranch = map[hlr.BinOp]dir.Opcode{
+	hlr.OpEq: dir.OpBrNe, hlr.OpNe: dir.OpBrEq,
+	hlr.OpLt: dir.OpBrGe, hlr.OpLe: dir.OpBrGt,
+	hlr.OpGt: dir.OpBrLe, hlr.OpGe: dir.OpBrLt,
+}
+
+func (c *compiler) compileStmt(stmt hlr.Stmt) error {
+	switch s := stmt.(type) {
+	case *hlr.CompoundStmt:
+		for _, inner := range s.Stmts {
+			if err := c.compileStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *hlr.AssignStmt:
+		return c.compileAssign(s)
+
+	case *hlr.IfStmt:
+		return c.compileIf(s)
+
+	case *hlr.WhileStmt:
+		return c.compileWhile(s)
+
+	case *hlr.CallStmt:
+		if err := c.compileCall(s.ProcSym, s.Args); err != nil {
+			return err
+		}
+		// Discard the return value.
+		c.emit(dir.Instruction{Op: dir.OpPop})
+		return nil
+
+	case *hlr.PrintStmt:
+		if c.level >= LevelMem2 {
+			if op, ok := simpleOperand(s.Value); ok {
+				c.emit(dir.Instruction{Op: dir.OpPrintOperand, Operands: []dir.Operand{op}})
+				return nil
+			}
+		}
+		if err := c.compileExpr(s.Value); err != nil {
+			return err
+		}
+		c.emit(dir.Instruction{Op: dir.OpPrint})
+		return nil
+
+	case *hlr.ReturnStmt:
+		if s.Value != nil {
+			if err := c.compileExpr(s.Value); err != nil {
+				return err
+			}
+			c.emit(dir.Instruction{Op: dir.OpReturnValue})
+		} else {
+			c.emit(dir.Instruction{Op: dir.OpReturn})
+		}
+		return nil
+
+	case *hlr.EmptyStmt:
+		return nil
+
+	default:
+		return fmt.Errorf("compile: unsupported statement %T at %s", stmt, stmt.Pos())
+	}
+}
+
+func (c *compiler) compileAssign(s *hlr.AssignStmt) error {
+	sym := s.TargetSym
+	// Array element assignment always uses the stack form: push index, push
+	// value, store-indexed.
+	if s.Index != nil {
+		if err := c.compileExpr(s.Index); err != nil {
+			return err
+		}
+		if err := c.compileExpr(s.Value); err != nil {
+			return err
+		}
+		c.emit(dir.Instruction{Op: dir.OpStoreIndexed, Operands: []dir.Operand{varOperand(sym)}})
+		return nil
+	}
+
+	// Higher-level lowerings for scalar targets.
+	if c.level >= LevelMem2 {
+		if op, ok := simpleOperand(s.Value); ok {
+			c.emit(dir.Instruction{Op: dir.OpMove, Operands: []dir.Operand{varOperand(sym), op}})
+			return nil
+		}
+		if bin, ok := s.Value.(*hlr.BinaryExpr); ok {
+			if opc, arith := arithOp2[bin.Op]; arith {
+				left, lok := simpleOperand(bin.Left)
+				right, rok := simpleOperand(bin.Right)
+				if lok && rok {
+					if c.level >= LevelMem3 {
+						c.emit(dir.Instruction{
+							Op:       arithOp3[bin.Op],
+							Operands: []dir.Operand{varOperand(sym), left, right},
+						})
+						return nil
+					}
+					// Two-operand form: v := a op b  =>  MOV v,a ; OP2 v,b —
+					// valid only when b does not read v (otherwise the MOV
+					// would clobber it first).
+					if refersToVar(bin.Left, sym) {
+						// v := v op b  =>  OP2 v,b directly.
+						c.emit(dir.Instruction{Op: opc, Operands: []dir.Operand{varOperand(sym), right}})
+						return nil
+					}
+					if !refersToVar(bin.Right, sym) {
+						c.emit(dir.Instruction{Op: dir.OpMove, Operands: []dir.Operand{varOperand(sym), left}})
+						c.emit(dir.Instruction{Op: opc, Operands: []dir.Operand{varOperand(sym), right}})
+						return nil
+					}
+				}
+			}
+		}
+	}
+
+	// General (stack) form.
+	if err := c.compileExpr(s.Value); err != nil {
+		return err
+	}
+	c.emit(dir.Instruction{Op: dir.OpStoreVar, Operands: []dir.Operand{varOperand(sym)}})
+	return nil
+}
+
+// compileCondBranchFalse emits code that transfers control to a (yet to be
+// patched) target when the condition is false, returning the index of the
+// branch instruction to patch.
+func (c *compiler) compileCondBranchFalse(cond hlr.Expr) (int, error) {
+	if c.level >= LevelMem2 {
+		if bin, ok := cond.(*hlr.BinaryExpr); ok && bin.Op.IsComparison() {
+			left, lok := simpleOperand(bin.Left)
+			right, rok := simpleOperand(bin.Right)
+			if lok && rok {
+				at := c.emit(dir.Instruction{
+					Op:       negatedBranch[bin.Op],
+					Operands: []dir.Operand{left, right},
+				})
+				return at, nil
+			}
+		}
+	}
+	if err := c.compileExpr(cond); err != nil {
+		return 0, err
+	}
+	at := c.emit(dir.Instruction{Op: dir.OpJumpZero})
+	return at, nil
+}
+
+func (c *compiler) compileIf(s *hlr.IfStmt) error {
+	brFalse, err := c.compileCondBranchFalse(s.Cond)
+	if err != nil {
+		return err
+	}
+	if err := c.compileStmt(s.Then); err != nil {
+		return err
+	}
+	if s.Else == nil {
+		c.patchTarget(brFalse, c.here())
+		return nil
+	}
+	jumpEnd := c.emit(dir.Instruction{Op: dir.OpJump})
+	c.patchTarget(brFalse, c.here())
+	if err := c.compileStmt(s.Else); err != nil {
+		return err
+	}
+	c.patchTarget(jumpEnd, c.here())
+	return nil
+}
+
+func (c *compiler) compileWhile(s *hlr.WhileStmt) error {
+	top := c.here()
+	brExit, err := c.compileCondBranchFalse(s.Cond)
+	if err != nil {
+		return err
+	}
+	if err := c.compileStmt(s.Body); err != nil {
+		return err
+	}
+	back := c.emit(dir.Instruction{Op: dir.OpJump})
+	c.patchTarget(back, top)
+	c.patchTarget(brExit, c.here())
+	return nil
+}
+
+func (c *compiler) compileCall(procSym *hlr.Symbol, args []hlr.Expr) error {
+	for _, arg := range args {
+		if err := c.compileExpr(arg); err != nil {
+			return err
+		}
+	}
+	c.emit(dir.Instruction{Op: dir.OpCall, Proc: procSym.Proc.Index, NArgs: len(args)})
+	return nil
+}
+
+func (c *compiler) compileExpr(e hlr.Expr) error {
+	switch x := e.(type) {
+	case *hlr.NumberLit:
+		c.emit(dir.Instruction{Op: dir.OpPushConst, Operands: []dir.Operand{dir.ImmOperand(x.Value)}})
+		return nil
+
+	case *hlr.VarRef:
+		if x.Index != nil {
+			if err := c.compileExpr(x.Index); err != nil {
+				return err
+			}
+			c.emit(dir.Instruction{Op: dir.OpPushIndexed, Operands: []dir.Operand{varOperand(x.Sym)}})
+			return nil
+		}
+		c.emit(dir.Instruction{Op: dir.OpPushVar, Operands: []dir.Operand{varOperand(x.Sym)}})
+		return nil
+
+	case *hlr.CallExpr:
+		return c.compileCall(x.ProcSym, x.Args)
+
+	case *hlr.BinaryExpr:
+		if err := c.compileExpr(x.Left); err != nil {
+			return err
+		}
+		if err := c.compileExpr(x.Right); err != nil {
+			return err
+		}
+		opc, ok := stackBinOp[x.Op]
+		if !ok {
+			return fmt.Errorf("compile: unsupported binary operator %v at %s", x.Op, x.Pos())
+		}
+		c.emit(dir.Instruction{Op: opc})
+		return nil
+
+	case *hlr.UnaryExpr:
+		if err := c.compileExpr(x.Operand); err != nil {
+			return err
+		}
+		switch x.Op {
+		case hlr.OpNeg:
+			c.emit(dir.Instruction{Op: dir.OpNeg})
+		case hlr.OpNot:
+			c.emit(dir.Instruction{Op: dir.OpNot})
+		default:
+			return fmt.Errorf("compile: unsupported unary operator %v at %s", x.Op, x.Pos())
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("compile: unsupported expression %T at %s", e, e.Pos())
+	}
+}

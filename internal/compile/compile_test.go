@@ -1,0 +1,382 @@
+package compile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"uhm/internal/dir"
+	"uhm/internal/hlr"
+)
+
+// Shared test programs exercising the language features the paper's argument
+// rests on: loops (locality), recursion, arrays, nested procedures with
+// up-level addressing, and mixed arithmetic.
+var testSources = map[string]string{
+	"fib": `
+program fib;
+var n, result;
+proc fibo(k);
+begin
+  if k < 2 then return k
+  else return fibo(k - 1) + fibo(k - 2)
+end;
+begin
+  n := 12;
+  result := fibo(n);
+  print result
+end.`,
+
+	"loopsum": `
+program loopsum;
+var i, sum, n;
+begin
+  n := 50;
+  i := 1;
+  sum := 0;
+  while i <= n do
+  begin
+    sum := sum + i;
+    i := i + 1
+  end;
+  print sum
+end.`,
+
+	"sieve": `
+program sieve;
+var flags[64], i, j, count;
+begin
+  i := 0;
+  while i < 64 do
+  begin
+    flags[i] := 1;
+    i := i + 1
+  end;
+  i := 2;
+  count := 0;
+  while i < 64 do
+  begin
+    if flags[i] = 1 then
+    begin
+      count := count + 1;
+      j := i + i;
+      while j < 64 do
+      begin
+        flags[j] := 0;
+        j := j + i
+      end
+    end;
+    i := i + 1
+  end;
+  print count
+end.`,
+
+	"nested": `
+program nested;
+var total;
+proc outer(n);
+  var acc;
+  proc step(k);
+  begin
+    acc := acc + k * n
+  end;
+begin
+  acc := 0;
+  call step(1);
+  call step(2);
+  call step(3);
+  total := total + acc
+end;
+begin
+  total := 0;
+  call outer(1);
+  call outer(10);
+  print total
+end.`,
+
+	"mixed": `
+program mixed;
+var a, b, c, r;
+proc max2(x, y);
+begin
+  if x > y then return x;
+  return y
+end;
+begin
+  a := 17; b := 5; c := 0 - 3;
+  r := max2(a, b) * 2 + max2(b, c) - a mod b;
+  print r;
+  if (a > b) and (b > c) then print 1 else print 0;
+  print not (a = b)
+end.`,
+}
+
+// reference evaluates the HLR program with the tree-walking oracle.
+func reference(t *testing.T, src string) []int64 {
+	t.Helper()
+	prog := hlr.MustParse(src)
+	res, err := hlr.Evaluate(prog, hlr.EvalOptions{})
+	if err != nil {
+		t.Fatalf("reference evaluation: %v", err)
+	}
+	return res.Output
+}
+
+// compileAndRun compiles at the given level and executes on the reference
+// DIR interpreter.
+func compileAndRun(t *testing.T, src string, level Level) ([]int64, *dir.Program) {
+	t.Helper()
+	prog := hlr.MustParse(src)
+	dp, err := Compile(prog, level)
+	if err != nil {
+		t.Fatalf("compile at %v: %v", level, err)
+	}
+	res, err := dir.Execute(dp, dir.ExecOptions{})
+	if err != nil {
+		t.Fatalf("execute at %v: %v\n%s", level, err, dp.Disassemble())
+	}
+	return res.Output, dp
+}
+
+func TestLevelStrings(t *testing.T) {
+	if len(Levels()) != 3 {
+		t.Fatalf("Levels() = %v", Levels())
+	}
+	if LevelStack.String() != "stack" || LevelMem2.String() != "mem2" || LevelMem3.String() != "mem3" {
+		t.Error("level names")
+	}
+	if Level(9).Valid() || Level(9).String() == "" {
+		t.Error("invalid level should not validate but should render")
+	}
+	if _, err := Compile(hlr.MustParse("program p; begin print 1 end."), Level(9)); err == nil {
+		t.Error("Compile should reject an invalid level")
+	}
+}
+
+func TestCompiledOutputMatchesReferenceAtAllLevels(t *testing.T) {
+	for name, src := range testSources {
+		want := reference(t, src)
+		for _, level := range Levels() {
+			t.Run(name+"/"+level.String(), func(t *testing.T) {
+				got, _ := compileAndRun(t, src, level)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("output = %v, want %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestHigherLevelsEmitFewerInstructions(t *testing.T) {
+	src := testSources["loopsum"]
+	prog := hlr.MustParse(src)
+	stack := MustCompile(prog, LevelStack)
+	prog2 := hlr.MustParse(src)
+	mem2 := MustCompile(prog2, LevelMem2)
+	prog3 := hlr.MustParse(src)
+	mem3 := MustCompile(prog3, LevelMem3)
+
+	if !(len(mem3.Instrs) <= len(mem2.Instrs) && len(mem2.Instrs) < len(stack.Instrs)) {
+		t.Errorf("static instruction counts should not grow with level: stack=%d mem2=%d mem3=%d",
+			len(stack.Instrs), len(mem2.Instrs), len(mem3.Instrs))
+	}
+
+	// The dynamic count must shrink too (the loop body collapses into
+	// two-/three-operand instructions).
+	rs, _ := dir.Execute(stack, dir.ExecOptions{})
+	r2, _ := dir.Execute(mem2, dir.ExecOptions{})
+	r3, _ := dir.Execute(mem3, dir.ExecOptions{})
+	if !(r3.Executed <= r2.Executed && r2.Executed < rs.Executed) {
+		t.Errorf("dynamic instruction counts: stack=%d mem2=%d mem3=%d",
+			rs.Executed, r2.Executed, r3.Executed)
+	}
+}
+
+func TestHighLevelOpcodesActuallyUsed(t *testing.T) {
+	prog := hlr.MustParse(testSources["loopsum"])
+	mem3 := MustCompile(prog, LevelMem3)
+	mix := mem3.InstructionMix()
+	if mix[dir.OpAdd3] == 0 && mix[dir.OpAdd2] == 0 {
+		t.Error("mem3 compilation should use memory-form add opcodes")
+	}
+	found := false
+	for op := range mix {
+		if op.IsBranchCompare() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mem3 compilation should use compound compare-and-branch opcodes")
+	}
+
+	prog2 := hlr.MustParse(testSources["loopsum"])
+	stack := MustCompile(prog2, LevelStack)
+	for op := range stack.InstructionMix() {
+		if op.IsBranchCompare() || op == dir.OpAdd3 || op == dir.OpMove {
+			t.Errorf("stack compilation must not use memory opcodes, found %v", op)
+		}
+	}
+}
+
+func TestContoursMatchScopes(t *testing.T) {
+	prog := hlr.MustParse(testSources["nested"])
+	dp := MustCompile(prog, LevelStack)
+	if len(dp.Procs) != 3 || len(dp.Contours) != 3 {
+		t.Fatalf("procs=%d contours=%d, want 3 each", len(dp.Procs), len(dp.Contours))
+	}
+	// Contour 2 (step) is nested in contour 1 (outer), which is nested in 0.
+	if dp.Contours[1].Parent != 0 || dp.Contours[2].Parent != 1 {
+		t.Errorf("contour parents = %d, %d", dp.Contours[1].Parent, dp.Contours[2].Parent)
+	}
+	// outer declares n (param) and acc (local): 2 locals in its contour.
+	if len(dp.Contours[1].Locals) != 2 {
+		t.Errorf("outer contour locals = %d, want 2", len(dp.Contours[1].Locals))
+	}
+	// step sees: total (1) + n, acc (2) + k (1) = 4 visible variables.
+	if got := len(dp.VisibleVars(2)); got != 4 {
+		t.Errorf("visible from step = %d, want 4", got)
+	}
+	// Procedure metadata.
+	if dp.Procs[1].Name != "outer" || dp.Procs[1].NumParams != 1 || dp.Procs[1].Depth != 1 {
+		t.Errorf("outer proc meta = %+v", dp.Procs[1])
+	}
+	if dp.Procs[2].Name != "step" || dp.Procs[2].Depth != 2 {
+		t.Errorf("step proc meta = %+v", dp.Procs[2])
+	}
+}
+
+func TestMainCompiledFirst(t *testing.T) {
+	prog := hlr.MustParse(testSources["fib"])
+	dp := MustCompile(prog, LevelStack)
+	if dp.Procs[0].Entry != 0 {
+		t.Errorf("main entry = %d, want 0", dp.Procs[0].Entry)
+	}
+	for i := 1; i < len(dp.Procs); i++ {
+		if dp.Procs[i].Entry <= dp.Procs[i-1].Entry {
+			t.Errorf("procedure entries must increase: %d then %d", dp.Procs[i-1].Entry, dp.Procs[i].Entry)
+		}
+	}
+	// Instruction contours must agree with ContourOf so the encoded binary
+	// can be decoded without the original instruction records.
+	for i, in := range dp.Instrs {
+		if dp.ContourOf(i) != in.Contour {
+			t.Errorf("instruction %d: ContourOf=%d recorded=%d", i, dp.ContourOf(i), in.Contour)
+		}
+	}
+}
+
+func TestCallStatementDiscardsValue(t *testing.T) {
+	src := `
+program p;
+var g;
+proc bump(); begin g := g + 1; return 99 end;
+begin
+  g := 0;
+  call bump();
+  call bump();
+  print g
+end.`
+	for _, level := range Levels() {
+		got, dp := compileAndRun(t, src, level)
+		if !reflect.DeepEqual(got, []int64{2}) {
+			t.Errorf("%v: output = %v, want [2]", level, got)
+		}
+		if dp.InstructionMix()[dir.OpPop] != 2 {
+			t.Errorf("%v: call statements should be followed by POP", level)
+		}
+	}
+}
+
+func TestCompileAnalysesOnDemand(t *testing.T) {
+	prog := hlr.MustParse("program p; var x; begin x := 3; print x end.")
+	if prog.Analysis != nil {
+		t.Fatal("program should not be analysed yet")
+	}
+	dp, err := Compile(prog, LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Analysis == nil {
+		t.Error("Compile should run semantic analysis")
+	}
+	res, err := dir.Execute(dp, dir.ExecOptions{})
+	if err != nil || len(res.Output) != 1 || res.Output[0] != 3 {
+		t.Errorf("res=%v err=%v", res, err)
+	}
+}
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	prog := hlr.MustParse("program p; begin x := 1 end.")
+	if _, err := Compile(prog, LevelStack); err == nil {
+		t.Error("Compile should surface semantic errors")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on error")
+		}
+	}()
+	MustCompile(hlr.MustParse("program p; begin x := 1 end."), LevelStack)
+}
+
+func TestEncodedCompiledProgramsRoundTrip(t *testing.T) {
+	// End-to-end: compile every test source at every level, encode at every
+	// degree, decode, and check the decoded program still runs identically.
+	for name, src := range testSources {
+		want := reference(t, src)
+		for _, level := range Levels() {
+			prog := hlr.MustParse(src)
+			dp := MustCompile(prog, level)
+			for _, degree := range dir.Degrees() {
+				t.Run(name+"/"+level.String()+"/"+degree.String(), func(t *testing.T) {
+					bin, err := dir.Encode(dp, degree)
+					if err != nil {
+						t.Fatalf("encode: %v", err)
+					}
+					dec := bin.NewDecoder()
+					rebuilt := &dir.Program{
+						Name:     dp.Name,
+						Level:    dp.Level,
+						Procs:    dp.Procs,
+						Contours: dp.Contours,
+					}
+					for i := 0; i < bin.NumInstrs(); i++ {
+						in, _, err := dec.Decode(i)
+						if err != nil {
+							t.Fatalf("decode %d: %v", i, err)
+						}
+						rebuilt.Instrs = append(rebuilt.Instrs, in)
+					}
+					res, err := dir.Execute(rebuilt, dir.ExecOptions{})
+					if err != nil {
+						t.Fatalf("execute rebuilt program: %v", err)
+					}
+					if !reflect.DeepEqual(res.Output, want) {
+						t.Errorf("output = %v, want %v", res.Output, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestDisassemblyMentionsLevel(t *testing.T) {
+	prog := hlr.MustParse(testSources["fib"])
+	dp := MustCompile(prog, LevelMem3)
+	if !strings.Contains(dp.Disassemble(), "level mem3") {
+		t.Error("disassembly should mention the semantic level")
+	}
+}
+
+func BenchmarkCompileSieve(b *testing.B) {
+	src := testSources["sieve"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog := hlr.MustParse(src)
+		if _, err := Compile(prog, LevelMem3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package core is the public façade of the reproduction: it wires the HLR
+// front end, the compiler, the DIR encoders, the UHM simulator and the
+// analytic model into a handful of calls that cover the end-to-end pipeline
+//
+//	MiniLang source → DIR (a semantic level) → encoded binary (a degree of
+//	encoding) → simulated execution under a machine organisation,
+//
+// plus one entry point per table and figure of the paper's evaluation (see
+// experiments.go).  The cmd/ tools, the examples and the benchmark harness
+// are all thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+
+	"uhm/internal/compile"
+	"uhm/internal/dir"
+	"uhm/internal/hlr"
+	"uhm/internal/sim"
+	"uhm/internal/workload"
+)
+
+// Re-exported configuration types, so callers need only import core for the
+// common pipeline.
+type (
+	// Level is the semantic level of the compiled DIR.
+	Level = compile.Level
+	// Degree is the degree of encoding of the static representation.
+	Degree = dir.Degree
+	// Strategy is the machine organisation simulated.
+	Strategy = sim.Strategy
+	// Config is the simulation configuration.
+	Config = sim.Config
+	// Report is the outcome of one simulated run.
+	Report = sim.Report
+)
+
+// Re-exported enumerators.
+const (
+	LevelStack = compile.LevelStack
+	LevelMem2  = compile.LevelMem2
+	LevelMem3  = compile.LevelMem3
+
+	DegreePacked  = dir.DegreePacked
+	DegreeContour = dir.DegreeContour
+	DegreeHuffman = dir.DegreeHuffman
+	DegreePair    = dir.DegreePair
+
+	Conventional = sim.Conventional
+	WithDTB      = sim.WithDTB
+	WithCache    = sim.WithCache
+	Expanded     = sim.Expanded
+)
+
+// DefaultConfig returns the paper's §7 reference configuration.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Levels lists the semantic levels.
+func Levels() []Level { return compile.Levels() }
+
+// Degrees lists the encoding degrees.
+func Degrees() []Degree { return dir.Degrees() }
+
+// Strategies lists the machine organisations.
+func Strategies() []Strategy { return sim.Strategies() }
+
+// Workloads lists the built-in workload programs.
+func Workloads() []string { return workload.Names() }
+
+// Artifact is a program carried through the pipeline: the parsed HLR, the
+// compiled DIR and the semantic level it was compiled at.
+type Artifact struct {
+	Name  string
+	Level Level
+	HLR   *hlr.Program
+	DIR   *dir.Program
+}
+
+// BuildSource parses, analyses and compiles MiniLang source text.
+func BuildSource(name, src string, level Level) (*Artifact, error) {
+	prog, err := hlr.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse %s: %w", name, err)
+	}
+	dp, err := compile.Compile(prog, level)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %s: %w", name, err)
+	}
+	return &Artifact{Name: name, Level: level, HLR: prog, DIR: dp}, nil
+}
+
+// BuildWorkload builds one of the built-in workload programs.
+func BuildWorkload(name string, level Level) (*Artifact, error) {
+	src, err := workload.Source(name)
+	if err != nil {
+		return nil, err
+	}
+	return BuildSource(name, src, level)
+}
+
+// Reference evaluates the artifact's HLR with the tree-walking oracle and
+// returns the expected output.
+func (a *Artifact) Reference() ([]int64, error) {
+	res, err := hlr.Evaluate(a.HLR, hlr.EvalOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Output, nil
+}
+
+// Encode emits the artifact's DIR at the given encoding degree.
+func (a *Artifact) Encode(degree Degree) (*dir.Binary, error) {
+	return dir.Encode(a.DIR, degree)
+}
+
+// Disassemble returns the DIR program listing.
+func (a *Artifact) Disassemble() string { return a.DIR.Disassemble() }
+
+// Run simulates the artifact under one machine organisation.
+func Run(a *Artifact, strategy Strategy, cfg Config) (*Report, error) {
+	return sim.Run(a.DIR, strategy, cfg)
+}
+
+// Compare simulates the artifact under every organisation and verifies that
+// all of them produce the same output.
+func Compare(a *Artifact, cfg Config) ([]*Report, error) {
+	return sim.RunAll(a.DIR, cfg)
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uhm/internal/dir"
+	"uhm/internal/dtb"
+	"uhm/internal/host"
+	"uhm/internal/metrics"
+	"uhm/internal/perfmodel"
+	"uhm/internal/psder"
+	"uhm/internal/sim"
+	"uhm/internal/translate"
+	"uhm/internal/workload"
+)
+
+// This file contains one entry point per table and figure of the paper's
+// evaluation.  Each returns structured data plus a Render helper so
+// cmd/uhmbench, the examples and the benchmark harness all print identical
+// reports.  The experiment-to-module map lives in DESIGN.md; measured-versus-
+// published values are recorded in EXPERIMENTS.md.
+
+// DefaultExperimentWorkloads are the workloads the figure experiments sweep
+// when the caller does not choose their own.
+func DefaultExperimentWorkloads() []string {
+	return []string{"loopsum", "fib", "sieve", "callheavy"}
+}
+
+// --- Table 1 -------------------------------------------------------------
+
+// Table1Report reproduces Table 1: the equivalence of a PSDER call sequence
+// to a PDP-11-type format and a System/360 RX-type format, with bit counts.
+func Table1Report() string {
+	return dir.Table1Report(dir.DefaultTable1Params())
+}
+
+// --- Tables 2 and 3 ------------------------------------------------------
+
+// Table2 regenerates the paper's Table 2 (analytic model).
+func Table2() *perfmodel.Table { return perfmodel.Table2() }
+
+// Table3 regenerates the paper's Table 3 (analytic model).
+func Table3() *perfmodel.Table { return perfmodel.Table3() }
+
+// --- Figure 1: the space of program representations ----------------------
+
+// Figure1Row is one point of the representation space: a workload compiled at
+// one semantic level and encoded at one degree, with its static size, the
+// decoder-table (interpreter) growth, and its simulated interpretation time
+// on the conventional organisation.
+type Figure1Row struct {
+	Workload       string
+	Level          Level
+	Degree         Degree
+	StaticBits     int
+	CodebookBits   int
+	Instructions   int64
+	TotalCycles    int64
+	PerInstruction float64
+	MeasuredDecode float64
+}
+
+// Figure1 sweeps the representation space.
+func Figure1(workloads []string, cfg Config) ([]Figure1Row, error) {
+	if len(workloads) == 0 {
+		workloads = DefaultExperimentWorkloads()
+	}
+	var rows []Figure1Row
+	for _, name := range workloads {
+		for _, level := range Levels() {
+			art, err := BuildWorkload(name, level)
+			if err != nil {
+				return nil, err
+			}
+			for _, degree := range Degrees() {
+				runCfg := cfg
+				runCfg.Degree = degree
+				rep, err := Run(art, Conventional, runCfg)
+				if err != nil {
+					return nil, fmt.Errorf("figure1 %s/%v/%v: %w", name, level, degree, err)
+				}
+				rows = append(rows, Figure1Row{
+					Workload:       name,
+					Level:          level,
+					Degree:         degree,
+					StaticBits:     rep.StaticBits,
+					CodebookBits:   rep.CodebookBits,
+					Instructions:   rep.Instructions,
+					TotalCycles:    int64(rep.TotalCycles),
+					PerInstruction: rep.PerInstruction,
+					MeasuredDecode: rep.Measured.D,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure1 formats the sweep in the layout of Figure 1's two axes.
+func RenderFigure1(rows []Figure1Row) string {
+	tbl := metrics.NewTable(
+		"Figure 1: the space of program representations (size falls with encoding degree; time falls with semantic level)",
+		"workload", "level", "degree", "static size", "decoder tables", "dyn instrs", "cycles/instr", "decode steps/instr")
+	for _, r := range rows {
+		tbl.AddRow(r.Workload, r.Level.String(), r.Degree.String(),
+			metrics.Bits(r.StaticBits), metrics.Bits(r.CodebookBits),
+			fmt.Sprint(r.Instructions), metrics.Float(r.PerInstruction), metrics.Float(r.MeasuredDecode))
+	}
+	return tbl.Render()
+}
+
+// --- Figure 2: organisation and behaviour of the DTB ----------------------
+
+// Figure2Row reports the DTB hit ratio measured for one buffer capacity.
+type Figure2Row struct {
+	Entries       int
+	CapacityBytes int
+	HitRatio      float64
+	Evictions     int64
+	Overflows     int64
+}
+
+// Figure2 describes the DTB organisation (Figure 2's arrays) and measures
+// its hit ratio across a range of capacities on the given workload.
+func Figure2(workloadName string, cfg Config) (string, []Figure2Row, error) {
+	if workloadName == "" {
+		workloadName = "sieve"
+	}
+	art, err := BuildWorkload(workloadName, LevelStack)
+	if err != nil {
+		return "", nil, err
+	}
+	var rows []Figure2Row
+	for _, entries := range []int{8, 16, 32, 64, 128, 256} {
+		runCfg := cfg
+		runCfg.DTB = dtb.Config{
+			Entries: entries, Assoc: 4, UnitWords: cfg.DTB.UnitWords,
+			Policy: dtb.VariableOverflow, OverflowUnits: entries / 4,
+		}
+		if runCfg.DTB.UnitWords == 0 {
+			runCfg.DTB.UnitWords = 4
+		}
+		rep, err := Run(art, WithDTB, runCfg)
+		if err != nil {
+			return "", nil, err
+		}
+		rows = append(rows, Figure2Row{
+			Entries:       entries,
+			CapacityBytes: runCfg.DTB.CapacityBytes(),
+			HitRatio:      rep.Measured.HD,
+			Evictions:     rep.DTBStats.Evictions,
+			Overflows:     rep.DTBStats.Overflows,
+		})
+	}
+	d, err := dtb.New(cfg.DTB)
+	if err != nil {
+		return "", nil, err
+	}
+	organisation := fmt.Sprintf(
+		"DTB organisation (Figure 2): associative tag array + address array + replacement array over %d sets of %d, buffer array of %d-word units (%s allocation): %s",
+		d.Sets(), cfg.DTB.Assoc, cfg.DTB.UnitWords, cfg.DTB.Policy, d.String())
+	return organisation, rows, nil
+}
+
+// RenderFigure2 formats the capacity sweep.
+func RenderFigure2(organisation string, rows []Figure2Row) string {
+	tbl := metrics.NewTable("Figure 2: DTB hit ratio vs capacity (workload instruction working set)",
+		"entries", "capacity", "hit ratio", "evictions", "overflow installs")
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.Entries), fmt.Sprintf("%d B", r.CapacityBytes),
+			metrics.Percent(r.HitRatio), fmt.Sprint(r.Evictions), fmt.Sprint(r.Overflows))
+	}
+	return organisation + "\n\n" + tbl.Render()
+}
+
+// --- Figure 3: organisation of the universal host machine -----------------
+
+// Figure3Activity summarises per-unit activity of one simulated run: how much
+// work IU1 (semantic routines), IU2 (short-format instructions), the IFU
+// (instruction fetches) and the memory levels performed.
+type Figure3Activity struct {
+	Workload        string
+	Strategy        Strategy
+	Instructions    int64
+	ShortOps        map[psder.ShortOp]int64
+	Routines        map[psder.RoutineID]int64
+	Level1Refs      int64
+	Level2Refs      int64
+	BufferRefs      int64
+	FetchCycles     int64
+	DecodeCycles    int64
+	TranslateCycles int64
+	SemanticCycles  int64
+}
+
+// Figure3 runs one workload under the DTB organisation and reports the
+// activity of every block in Figure 3's diagram.
+func Figure3(workloadName string, cfg Config) (*Figure3Activity, error) {
+	if workloadName == "" {
+		workloadName = "fib"
+	}
+	dp := workload.MustCompileAt(workloadName, LevelStack)
+	// Drive the host machine directly so IU1/IU2 activity can be captured,
+	// then run the simulator for the memory-system numbers.
+	machine := host.New(dp, host.Options{})
+	seqs, err := translate.TranslateProgram(dp)
+	if err != nil {
+		return nil, err
+	}
+	pc := dp.Procs[0].Entry
+	var instructions int64
+	for {
+		res, err := machine.ExecSequence(seqs[pc])
+		if err != nil {
+			return nil, err
+		}
+		instructions++
+		if res.Halted {
+			break
+		}
+		pc = res.NextPC
+	}
+	rep, err := sim.Run(dp, WithDTB, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Activity{
+		Workload:        workloadName,
+		Strategy:        WithDTB,
+		Instructions:    rep.Instructions,
+		ShortOps:        machine.ShortOpActivity(),
+		Routines:        machine.RoutineActivity(),
+		Level1Refs:      rep.Memory.Level1Refs,
+		Level2Refs:      rep.Memory.Level2Refs,
+		BufferRefs:      rep.Memory.BufferRefs,
+		FetchCycles:     int64(rep.FetchCycles),
+		DecodeCycles:    int64(rep.DecodeCycles),
+		TranslateCycles: int64(rep.TranslateCycles),
+		SemanticCycles:  int64(rep.SemanticCycles),
+	}, nil
+}
+
+// RenderFigure3 formats the activity report.
+func RenderFigure3(a *Figure3Activity) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: UHM organisation — per-unit activity for %q under the %v organisation\n\n", a.Workload, a.Strategy)
+	tbl := metrics.NewTable("Cycle breakdown", "unit", "cycles")
+	tbl.AddRow("IFU + memory (instruction fetch)", fmt.Sprint(a.FetchCycles))
+	tbl.AddRow("decode (field extraction, code trees)", fmt.Sprint(a.DecodeCycles))
+	tbl.AddRow("dynamic translator (generate + store)", fmt.Sprint(a.TranslateCycles))
+	tbl.AddRow("IU1 + IU2 (semantic routines)", fmt.Sprint(a.SemanticCycles))
+	b.WriteString(tbl.Render())
+	b.WriteString("\n")
+
+	refs := metrics.NewTable("Memory references", "array", "references")
+	refs.AddRow("level-1 memory", fmt.Sprint(a.Level1Refs))
+	refs.AddRow("level-2 memory", fmt.Sprint(a.Level2Refs))
+	refs.AddRow("DTB arrays", fmt.Sprint(a.BufferRefs))
+	b.WriteString(refs.Render())
+	b.WriteString("\n")
+
+	iu2 := metrics.NewTable("IU2 short-format instruction mix", "op", "count")
+	var ops []psder.ShortOp
+	for op := range a.ShortOps {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		iu2.AddRow(op.String(), fmt.Sprint(a.ShortOps[op]))
+	}
+	b.WriteString(iu2.Render())
+	b.WriteString("\n")
+
+	iu1 := metrics.NewTable("IU1 semantic-routine activity (top 10)", "routine", "calls")
+	type rc struct {
+		r psder.RoutineID
+		n int64
+	}
+	var rcs []rc
+	for r, n := range a.Routines {
+		rcs = append(rcs, rc{r, n})
+	}
+	sort.Slice(rcs, func(i, j int) bool {
+		if rcs[i].n != rcs[j].n {
+			return rcs[i].n > rcs[j].n
+		}
+		return rcs[i].r < rcs[j].r
+	})
+	for i, e := range rcs {
+		if i >= 10 {
+			break
+		}
+		iu1.AddRow(e.r.String(), fmt.Sprint(e.n))
+	}
+	b.WriteString(iu1.Render())
+	return b.String()
+}
+
+// --- Figure 4: the INTERP instruction ------------------------------------
+
+// Figure4Stats counts the two paths of Figure 4's flow diagram: the hit path
+// (translation found in the DTB) and the miss path (trap to the dynamic
+// translation routine, generate, store, then execute).
+type Figure4Stats struct {
+	Workload     string
+	Interps      int64 // INTERP executions = DIR instructions interpreted
+	HitPath      int64
+	MissPath     int64
+	HitRatio     float64
+	AvgHitCost   float64 // cycles on the hit path (fetch from DTB)
+	AvgMissCost  float64 // cycles on the miss path (fetch + decode + translate)
+	Installs     int64
+	Evictions    int64
+	Invalidates  int64
+	BufferRefs   int64
+	TranslateAvg float64
+}
+
+// Figure4 measures the INTERP hit and miss paths on one workload.
+func Figure4(workloadName string, cfg Config) (*Figure4Stats, error) {
+	if workloadName == "" {
+		workloadName = "sieve"
+	}
+	art, err := BuildWorkload(workloadName, LevelStack)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Run(art, WithDTB, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := rep.DTBStats
+	out := &Figure4Stats{
+		Workload:    workloadName,
+		Interps:     st.Lookups,
+		HitPath:     st.Hits,
+		MissPath:    st.Misses,
+		HitRatio:    st.HitRatio(),
+		Installs:    st.Installs,
+		Evictions:   st.Evictions,
+		Invalidates: st.Invalidates,
+		BufferRefs:  rep.Memory.BufferRefs,
+	}
+	if st.Hits > 0 {
+		// Hit path: fetch of the PSDER words from the buffer array.
+		out.AvgHitCost = rep.Measured.S1 * float64(cfg.Memory.BufferTime)
+	}
+	if st.Misses > 0 {
+		out.AvgMissCost = rep.Measured.D + rep.Measured.G +
+			rep.Measured.S2*float64(cfg.Memory.Level2Time)
+		out.TranslateAvg = rep.Measured.G
+	}
+	return out, nil
+}
+
+// RenderFigure4 formats the INTERP path statistics.
+func RenderFigure4(s *Figure4Stats) string {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Figure 4: INTERP instruction flow on %q (hit path vs miss/translate path)", s.Workload),
+		"quantity", "value")
+	tbl.AddRow("INTERP executions", fmt.Sprint(s.Interps))
+	tbl.AddRow("hit path taken", fmt.Sprint(s.HitPath))
+	tbl.AddRow("miss path taken (trap via DTRPOINT)", fmt.Sprint(s.MissPath))
+	tbl.AddRow("hit ratio h_D", metrics.Percent(s.HitRatio))
+	tbl.AddRow("avg hit-path cost (cycles)", metrics.Float(s.AvgHitCost))
+	tbl.AddRow("avg miss-path cost (cycles)", metrics.Float(s.AvgMissCost))
+	tbl.AddRow("translations installed", fmt.Sprint(s.Installs))
+	tbl.AddRow("replacements (LRU evictions)", fmt.Sprint(s.Evictions))
+	tbl.AddRow("buffer-array references", fmt.Sprint(s.BufferRefs))
+	return tbl.Render()
+}
+
+// --- Empirical cross-check of Section 7 ----------------------------------
+
+// EmpiricalRow compares the three organisations (plus the expanded baseline)
+// on one workload, with the measured model parameters.
+type EmpiricalRow struct {
+	Workload string
+	Reports  []*Report
+}
+
+// Empirical runs every organisation on every workload at the configured
+// encoding degree.
+func Empirical(workloads []string, cfg Config) ([]EmpiricalRow, error) {
+	if len(workloads) == 0 {
+		workloads = DefaultExperimentWorkloads()
+	}
+	var rows []EmpiricalRow
+	for _, name := range workloads {
+		art, err := BuildWorkload(name, LevelStack)
+		if err != nil {
+			return nil, err
+		}
+		reports, err := Compare(art, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("empirical %s: %w", name, err)
+		}
+		rows = append(rows, EmpiricalRow{Workload: name, Reports: reports})
+	}
+	return rows, nil
+}
+
+// RenderEmpirical formats the comparison, including the measured counterparts
+// of the paper's F2 figure of merit.
+func RenderEmpirical(rows []EmpiricalRow) string {
+	tbl := metrics.NewTable(
+		"Section 7 empirical cross-check: measured cycles per DIR instruction (T) and figures of merit",
+		"workload", "strategy", "T (cycles/instr)", "d", "x", "s1", "s2", "hit ratio")
+	var b strings.Builder
+	for _, row := range rows {
+		var conv, withDTB *Report
+		for _, rep := range row.Reports {
+			hit := ""
+			switch rep.Strategy {
+			case WithDTB:
+				hit = metrics.Percent(rep.Measured.HD)
+				withDTB = rep
+			case WithCache:
+				hit = metrics.Percent(rep.Measured.HC)
+			case Conventional:
+				conv = rep
+			}
+			tbl.AddRow(row.Workload, rep.Strategy.String(), metrics.Float(rep.PerInstruction),
+				metrics.Float(rep.Measured.D), metrics.Float(rep.Measured.X),
+				metrics.Float(rep.Measured.S1), metrics.Float(rep.Measured.S2), hit)
+		}
+		if conv != nil && withDTB != nil && withDTB.PerInstruction > 0 {
+			f2 := (conv.PerInstruction - withDTB.PerInstruction) / withDTB.PerInstruction * 100
+			fmt.Fprintf(&b, "  %-10s measured F2 (degradation from not using the DTB): %.1f%%\n", row.Workload, f2)
+		}
+	}
+	return tbl.Render() + "\n" + b.String()
+}
+
+// --- §3.2 compaction study ------------------------------------------------
+
+// CompactionRow records the static size of one workload at every encoding
+// degree, as a fraction of the packed (unencoded) size.
+type CompactionRow struct {
+	Workload   string
+	Level      Level
+	Bits       map[Degree]int
+	Reduction  map[Degree]float64 // fraction saved relative to DegreePacked
+	Expanded   int                // bits of the fully expanded PSDER form
+	Interprets map[Degree]int     // codebook bits per degree
+}
+
+// Compaction measures the §3.2 claim that encoding reduces program size by
+// 25–75 percent.
+func Compaction(workloads []string, level Level) ([]CompactionRow, error) {
+	if len(workloads) == 0 {
+		workloads = DefaultExperimentWorkloads()
+	}
+	var rows []CompactionRow
+	for _, name := range workloads {
+		art, err := BuildWorkload(name, level)
+		if err != nil {
+			return nil, err
+		}
+		row := CompactionRow{
+			Workload:   name,
+			Level:      level,
+			Bits:       make(map[Degree]int),
+			Reduction:  make(map[Degree]float64),
+			Interprets: make(map[Degree]int),
+		}
+		seqs, err := translate.TranslateProgram(art.DIR)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range seqs {
+			row.Expanded += s.Words() * 32
+		}
+		for _, degree := range Degrees() {
+			bin, err := art.Encode(degree)
+			if err != nil {
+				return nil, err
+			}
+			row.Bits[degree] = bin.SizeBits()
+			row.Interprets[degree] = bin.CodebookBits()
+		}
+		packed := row.Bits[DegreePacked]
+		for _, degree := range Degrees() {
+			if packed > 0 {
+				row.Reduction[degree] = 1 - float64(row.Bits[degree])/float64(packed)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderCompaction formats the compaction study.
+func RenderCompaction(rows []CompactionRow) string {
+	tbl := metrics.NewTable(
+		"Encoding compaction (§3.2): static size by degree, relative to packed fields",
+		"workload", "packed", "contour", "huffman", "pair", "saving (pair)", "expanded PSDER")
+	for _, r := range rows {
+		tbl.AddRow(r.Workload,
+			metrics.Bits(r.Bits[DegreePacked]), metrics.Bits(r.Bits[DegreeContour]),
+			metrics.Bits(r.Bits[DegreeHuffman]), metrics.Bits(r.Bits[DegreePair]),
+			metrics.Percent(r.Reduction[DegreePair]), metrics.Bits(r.Expanded))
+	}
+	return tbl.Render()
+}

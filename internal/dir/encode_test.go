@@ -1,0 +1,339 @@
+package dir
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func encodeOrFail(t *testing.T, p *Program, d Degree) *Binary {
+	t.Helper()
+	bin, err := Encode(p, d)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", d, err)
+	}
+	return bin
+}
+
+// decodeAll decodes every instruction of a binary and returns them with the
+// total decode steps.
+func decodeAll(t *testing.T, bin *Binary) ([]Instruction, int) {
+	t.Helper()
+	dec := bin.NewDecoder()
+	out := make([]Instruction, bin.NumInstrs())
+	steps := 0
+	for i := range out {
+		in, cost, err := dec.Decode(i)
+		if err != nil {
+			t.Fatalf("decode %d (%v): %v", i, bin.Degree, err)
+		}
+		out[i] = in
+		steps += cost.Steps
+	}
+	return out, steps
+}
+
+// sameInstruction compares the fields the encoding must preserve.
+func sameInstruction(a, b Instruction) bool {
+	if a.Op != b.Op || a.Target != b.Target || a.Proc != b.Proc || a.NArgs != b.NArgs || a.Contour != b.Contour {
+		return false
+	}
+	if len(a.Operands) != len(b.Operands) {
+		return false
+	}
+	for i := range a.Operands {
+		if a.Operands[i].Mode != b.Operands[i].Mode {
+			return false
+		}
+		switch a.Operands[i].Mode {
+		case ModeImm:
+			if a.Operands[i].Imm != b.Operands[i].Imm {
+				return false
+			}
+		case ModeVar:
+			if a.Operands[i].Addr != b.Operands[i].Addr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDegreeStringsAndValidity(t *testing.T) {
+	if len(Degrees()) != 4 {
+		t.Fatalf("Degrees() = %v", Degrees())
+	}
+	names := map[Degree]string{DegreePacked: "packed", DegreeContour: "contour", DegreeHuffman: "huffman", DegreePair: "pair"}
+	for d, want := range names {
+		if d.String() != want || !d.Valid() {
+			t.Errorf("degree %d: %q valid=%v", d, d.String(), d.Valid())
+		}
+	}
+	if Degree(9).Valid() || Degree(9).String() == "" {
+		t.Error("degree 9 should be invalid but render")
+	}
+	if _, err := Encode(testProgram(), Degree(9)); err == nil {
+		t.Error("Encode should reject an invalid degree")
+	}
+}
+
+func TestEncodeRejectsInvalidProgram(t *testing.T) {
+	p := testProgram()
+	p.Instrs[0].Operands = nil
+	if _, err := Encode(p, DegreePacked); err == nil {
+		t.Error("Encode should validate the program")
+	}
+}
+
+func TestRoundTripAllDegrees(t *testing.T) {
+	programs := map[string]*Program{"stack": testProgram(), "high": highLevelProgram()}
+	for name, p := range programs {
+		for _, d := range Degrees() {
+			t.Run(name+"/"+d.String(), func(t *testing.T) {
+				bin := encodeOrFail(t, p, d)
+				decoded, _ := decodeAll(t, bin)
+				for i := range p.Instrs {
+					want := p.Instrs[i]
+					if !sameInstruction(decoded[i], want) {
+						t.Errorf("instruction %d: decoded %v, want %v", i, decoded[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestEncodedSizesShrinkWithDegree(t *testing.T) {
+	p := testProgram()
+	packed := encodeOrFail(t, p, DegreePacked)
+	contourBin := encodeOrFail(t, p, DegreeContour)
+	huff := encodeOrFail(t, p, DegreeHuffman)
+
+	if packed.SizeBits() <= 0 {
+		t.Fatal("packed size should be positive")
+	}
+	if contourBin.SizeBits() > packed.SizeBits() {
+		t.Errorf("contour encoding (%d bits) should not exceed packed (%d bits)",
+			contourBin.SizeBits(), packed.SizeBits())
+	}
+	if huff.SizeBits() > contourBin.SizeBits() {
+		t.Errorf("huffman encoding (%d bits) should not exceed contour (%d bits)",
+			huff.SizeBits(), contourBin.SizeBits())
+	}
+	if packed.SizeBytes() != (packed.SizeBits()+7)/8 {
+		t.Errorf("SizeBytes inconsistent with SizeBits")
+	}
+	if packed.AvgInstrBits() <= 0 {
+		t.Error("AvgInstrBits should be positive")
+	}
+	if len(packed.Bytes()) != packed.SizeBytes() {
+		t.Errorf("Bytes length %d != SizeBytes %d", len(packed.Bytes()), packed.SizeBytes())
+	}
+}
+
+func TestDecodeCostGrowsWithEncoding(t *testing.T) {
+	p := testProgram()
+	_, packedSteps := decodeAll(t, encodeOrFail(t, p, DegreePacked))
+	_, huffSteps := decodeAll(t, encodeOrFail(t, p, DegreeHuffman))
+	if packedSteps <= 0 {
+		t.Fatal("packed decode steps should be positive")
+	}
+	if huffSteps < packedSteps {
+		t.Errorf("huffman decode steps (%d) should be at least packed steps (%d)", huffSteps, packedSteps)
+	}
+}
+
+func TestInstrBitRange(t *testing.T) {
+	bin := encodeOrFail(t, testProgram(), DegreePacked)
+	total := 0
+	for i := 0; i < bin.NumInstrs(); i++ {
+		off, length, err := bin.InstrBitRange(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != total {
+			t.Errorf("instruction %d offset = %d, want %d", i, off, total)
+		}
+		if length <= 0 {
+			t.Errorf("instruction %d length = %d", i, length)
+		}
+		total += length
+	}
+	if total != bin.SizeBits() {
+		t.Errorf("sum of lengths %d != total bits %d", total, bin.SizeBits())
+	}
+	if _, _, err := bin.InstrBitRange(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, _, err := bin.InstrBitRange(bin.NumInstrs()); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestCodebookBitsGrowWithDegree(t *testing.T) {
+	p := testProgram()
+	packed := encodeOrFail(t, p, DegreePacked).CodebookBits()
+	contourBits := encodeOrFail(t, p, DegreeContour).CodebookBits()
+	huff := encodeOrFail(t, p, DegreeHuffman).CodebookBits()
+	pair := encodeOrFail(t, p, DegreePair).CodebookBits()
+	if packed <= 0 {
+		t.Error("packed codebook should be positive (width registers)")
+	}
+	if contourBits < packed {
+		t.Errorf("contour codebook (%d) should be >= packed (%d)", contourBits, packed)
+	}
+	if huff <= contourBits {
+		t.Errorf("huffman codebook (%d) should exceed contour (%d)", huff, contourBits)
+	}
+	if pair <= huff {
+		t.Errorf("pair codebook (%d) should exceed huffman (%d)", pair, huff)
+	}
+}
+
+func TestEncodeNotVisibleError(t *testing.T) {
+	p := testProgram()
+	// Reference a proc-1 local from the main contour: not visible.
+	p.Instrs[2].Operands[0] = VarOperand(1, 1)
+	if _, err := Encode(p, DegreeContour); err == nil || !strings.Contains(err.Error(), "not visible") {
+		t.Errorf("err = %v, want a visibility error", err)
+	}
+	// Packed encoding does not need visibility and must still work.
+	if _, err := Encode(p, DegreePacked); err != nil {
+		t.Errorf("packed encode should not need visibility: %v", err)
+	}
+}
+
+func TestDecoderContourReconstruction(t *testing.T) {
+	p := testProgram()
+	bin := encodeOrFail(t, p, DegreeContour)
+	decoded, _ := decodeAll(t, bin)
+	for i, in := range decoded {
+		if in.Contour != p.Instrs[i].Contour {
+			t.Errorf("instruction %d contour = %d, want %d", i, in.Contour, p.Instrs[i].Contour)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	values := []int64{0, 1, -1, 2, -2, 1000, -1000, 1 << 40, -(1 << 40)}
+	for _, v := range values {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+	if zigzag(0) != 0 || zigzag(-1) != 1 || zigzag(1) != 2 {
+		t.Errorf("zigzag values: %d %d %d", zigzag(0), zigzag(-1), zigzag(1))
+	}
+}
+
+func TestNegativeImmediatesAndBackwardBranches(t *testing.T) {
+	p := &Program{
+		Name:  "neg",
+		Level: "stack",
+		Procs: []Proc{{Name: "neg", Entry: 0, FrameSlots: 1}},
+		Contours: []Contour{
+			{Parent: 0, Locals: []ContourVar{{Addr: VarAddr{0, 0}, Size: 1}}},
+		},
+		Instrs: []Instruction{
+			{Op: OpPushConst, Operands: []Operand{ImmOperand(-12345)}},
+			{Op: OpStoreVar, Operands: []Operand{VarOperand(0, 0)}},
+			{Op: OpJump, Target: 0}, // backward branch
+			{Op: OpHalt},
+		},
+	}
+	for _, d := range Degrees() {
+		bin := encodeOrFail(t, p, d)
+		decoded, _ := decodeAll(t, bin)
+		if decoded[0].Operands[0].Imm != -12345 {
+			t.Errorf("%v: negative immediate = %d", d, decoded[0].Operands[0].Imm)
+		}
+		if decoded[2].Target != 0 {
+			t.Errorf("%v: backward target = %d", d, decoded[2].Target)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	specs := Table1(DefaultTable1Params())
+	if len(specs) != 3 {
+		t.Fatalf("Table1 rows = %d, want 3", len(specs))
+	}
+	psder, pdp, rx := specs[0], specs[1], specs[2]
+	if !(psder.TotalBits() > pdp.TotalBits() && pdp.TotalBits() > rx.TotalBits()) {
+		t.Errorf("sizes should strictly decrease: %d, %d, %d",
+			psder.TotalBits(), pdp.TotalBits(), rx.TotalBits())
+	}
+	// With the default widths the RX format is the classic 32-bit layout.
+	if rx.TotalBits() != 28 {
+		t.Errorf("RX total = %d bits, want 28 (index register field omitted)", rx.TotalBits())
+	}
+	report := Table1Report(DefaultTable1Params())
+	for _, want := range []string{"PSDER", "PDP-11", "System/360 RX", "Table 1"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	for _, spec := range specs {
+		if spec.String() == "" {
+			t.Error("empty spec string")
+		}
+	}
+}
+
+func TestReflectDeepEqualRoundTripPacked(t *testing.T) {
+	// For the packed degree the decoded instruction stream must equal the
+	// original exactly (including operand slices), not just field-by-field.
+	p := testProgram()
+	bin := encodeOrFail(t, p, DegreePacked)
+	decoded, _ := decodeAll(t, bin)
+	for i := range p.Instrs {
+		want := p.Instrs[i]
+		got := decoded[i]
+		if len(want.Operands) == 0 && got.Operands == nil {
+			got.Operands = want.Operands
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("instruction %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkEncodeHuffman(b *testing.B) {
+	p := testProgram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(p, DegreeHuffman); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePacked(b *testing.B) {
+	bin, err := Encode(testProgram(), DegreePacked)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := bin.NewDecoder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.Decode(i % bin.NumInstrs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeHuffman(b *testing.B) {
+	bin, err := Encode(testProgram(), DegreeHuffman)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := bin.NewDecoder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.Decode(i % bin.NumInstrs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package dir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table 1 of the paper shows how a sequence of PSDER procedure calls (which
+// compute two operand addresses, apply a functional procedure and store the
+// result) is "combined to form a PDP-11 type of instruction and further
+// compressed into a System/360 RX type of format".  This file reproduces that
+// equivalence quantitatively: the same semantic content expressed in the
+// three representations, with the bit cost of every field, so the
+// monotonically shrinking sizes the table illustrates can be regenerated.
+
+// FormatField is one field of a representation in the Table 1 comparison.
+type FormatField struct {
+	Name string
+	Bits int
+	Note string
+}
+
+// FormatSpec is one row of the Table 1 comparison: a representation of the
+// canonical two-operand register+displacement instruction.
+type FormatSpec struct {
+	Name   string
+	Fields []FormatField
+}
+
+// TotalBits returns the total size of the representation in bits.
+func (f FormatSpec) TotalBits() int {
+	total := 0
+	for _, field := range f.Fields {
+		total += field.Bits
+	}
+	return total
+}
+
+// String renders the spec as a one-line summary.
+func (f FormatSpec) String() string {
+	parts := make([]string, 0, len(f.Fields))
+	for _, field := range f.Fields {
+		parts = append(parts, fmt.Sprintf("%s:%d", field.Name, field.Bits))
+	}
+	return fmt.Sprintf("%-22s %3d bits  [%s]", f.Name, f.TotalBits(), strings.Join(parts, " "))
+}
+
+// Table1Params parameterise the field widths of the comparison.  The defaults
+// reflect the machines the paper names: 16-bit machine addresses for PSDER
+// call targets and arguments, PDP-11 style 3-bit mode / 3-bit register
+// operand specifiers, and System/360 RX style 8-bit opcode, 4-bit register
+// and 12-bit displacement fields.
+type Table1Params struct {
+	MachineAddrBits int // width of a machine address (procedure or argument pointer)
+	CallOpcodeBits  int // width of the machine-language CALL opcode in the PSDER
+	PDPOpcodeBits   int // PDP-11 style opcode field
+	PDPOperandBits  int // PDP-11 style operand specifier (mode + register)
+	PDPDispBits     int // PDP-11 style displacement word per memory operand
+	RXOpcodeBits    int // 360 RX opcode field
+	RXRegisterBits  int // 360 RX register field
+	RXBaseBits      int // 360 RX base register field
+	RXDispBits      int // 360 RX displacement field
+}
+
+// DefaultTable1Params returns the default field widths.
+func DefaultTable1Params() Table1Params {
+	return Table1Params{
+		MachineAddrBits: 16,
+		CallOpcodeBits:  8,
+		PDPOpcodeBits:   4,
+		PDPOperandBits:  6,
+		PDPDispBits:     16,
+		RXOpcodeBits:    8,
+		RXRegisterBits:  4,
+		RXBaseBits:      4,
+		RXDispBits:      12,
+	}
+}
+
+// Table1 builds the three representations of the canonical two-operand
+// instruction: the PSDER call sequence, the PDP-11-type format and the
+// System/360 RX-type format (whose second operand's index-register field is
+// omitted, as the paper's note 6 states).
+func Table1(p Table1Params) []FormatSpec {
+	psder := FormatSpec{
+		Name: "PSDER call sequence",
+		Fields: []FormatField{
+			{Name: "call-op", Bits: p.CallOpcodeBits, Note: "machine-language procedure-call opcode"},
+			{Name: "addr-calc-proc", Bits: p.MachineAddrBits, Note: "address of operand-1 effective-address procedure"},
+			{Name: "reg1-cell", Bits: p.MachineAddrBits, Note: "address at which register 1 contents are stored"},
+			{Name: "disp1", Bits: p.MachineAddrBits, Note: "operand-1 displacement argument"},
+			{Name: "call-op", Bits: p.CallOpcodeBits, Note: "second procedure call"},
+			{Name: "addr-calc-proc", Bits: p.MachineAddrBits, Note: "address of operand-2 effective-address procedure"},
+			{Name: "reg2-cell", Bits: p.MachineAddrBits, Note: "address at which register 2 contents are stored"},
+			{Name: "disp2", Bits: p.MachineAddrBits, Note: "operand-2 displacement argument"},
+			{Name: "call-op", Bits: p.CallOpcodeBits, Note: "third procedure call"},
+			{Name: "func-proc", Bits: p.MachineAddrBits, Note: "address of the functional procedure"},
+			{Name: "call-op", Bits: p.CallOpcodeBits, Note: "fourth procedure call"},
+			{Name: "store-proc", Bits: p.MachineAddrBits, Note: "store result; address implicitly the one calculated earlier"},
+		},
+	}
+	pdp := FormatSpec{
+		Name: "PDP-11 type format",
+		Fields: []FormatField{
+			{Name: "opcode", Bits: p.PDPOpcodeBits, Note: "surrogate for the sequence of procedure calls"},
+			{Name: "operand1", Bits: p.PDPOperandBits, Note: "mode + register specifier, operand 1 (source)"},
+			{Name: "operand2", Bits: p.PDPOperandBits, Note: "mode + register specifier, operand 2 (source and destination)"},
+			{Name: "disp1", Bits: p.PDPDispBits, Note: "operand-1 displacement word"},
+			{Name: "disp2", Bits: p.PDPDispBits, Note: "operand-2 displacement word"},
+		},
+	}
+	rx := FormatSpec{
+		Name: "System/360 RX type format",
+		Fields: []FormatField{
+			{Name: "opcode", Bits: p.RXOpcodeBits, Note: "combined operation and format"},
+			{Name: "reg1", Bits: p.RXRegisterBits, Note: "register operand"},
+			{Name: "reg2", Bits: p.RXBaseBits, Note: "base register for the storage operand"},
+			{Name: "disp", Bits: p.RXDispBits, Note: "displacement (index register field omitted for the second operand)"},
+		},
+	}
+	return []FormatSpec{psder, pdp, rx}
+}
+
+// Table1Report renders the comparison as text, one representation per line,
+// in the order the paper presents them (PSDER, PDP-11, 360 RX).
+func Table1Report(p Table1Params) string {
+	var b strings.Builder
+	b.WriteString("Table 1: equivalence of a PSDER sequence to more compact, encoded formats\n")
+	for _, spec := range Table1(p) {
+		b.WriteString(spec.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+// Package contour implements the contextual encoding of §3.2: "the scope
+// rules of the HLR limit the number of variables that may be referenced from
+// within a given contour.  The operand specification field needs only as many
+// bits as are needed to select from amongst these variables.  The field
+// length is variable but fixed within any single contour."
+//
+// A Contour corresponds to a block or procedure of the HLR (Johnston's
+// contour model, the paper's reference [14]).  The Table records, for every
+// contour, how many objects (variables, labels, procedure names) are visible
+// there; the Encoder then writes operand tokens with exactly the number of
+// bits needed inside the current contour, and the Decoder must "keep track of
+// the various field sizes as the contour changes".
+//
+// The package also supports the paper's combined scheme in which "contextual
+// information and frequency information may be employed simultaneously to
+// construct a separate frequency based encoding for each contour": see
+// PerContourCodes.
+package contour
+
+import (
+	"errors"
+	"fmt"
+
+	"uhm/internal/bitio"
+	"uhm/internal/encoding/huffman"
+)
+
+// ID identifies a contour.  Contour 0 is always the outermost (global)
+// contour.
+type ID int
+
+// Global is the outermost contour.
+const Global ID = 0
+
+// ErrUnknownContour is returned when encoding or decoding refers to a contour
+// that was never declared.
+var ErrUnknownContour = errors.New("contour: unknown contour")
+
+// ErrOperandRange is returned when an operand token is out of range for its
+// contour.
+var ErrOperandRange = errors.New("contour: operand index out of range for contour")
+
+// Info describes one contour.
+type Info struct {
+	ID      ID
+	Parent  ID  // parent contour; Global's parent is Global
+	Local   int // number of objects declared directly in this contour
+	Visible int // number of objects visible (locals plus enclosing scopes)
+}
+
+// FieldWidth returns the number of bits needed to select among the visible
+// objects of the contour.
+func (i Info) FieldWidth() int {
+	return widthFor(i.Visible)
+}
+
+func widthFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	w := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		w++
+	}
+	return w
+}
+
+// Table records every contour of a program.  The zero value is not usable;
+// call NewTable.
+type Table struct {
+	infos map[ID]Info
+	next  ID
+}
+
+// NewTable returns a table pre-populated with the global contour holding
+// globalObjects visible objects.
+func NewTable(globalObjects int) *Table {
+	if globalObjects < 0 {
+		globalObjects = 0
+	}
+	t := &Table{infos: make(map[ID]Info), next: 1}
+	t.infos[Global] = Info{ID: Global, Parent: Global, Local: globalObjects, Visible: globalObjects}
+	return t
+}
+
+// Declare creates a new contour nested inside parent with the given number of
+// locally declared objects, and returns its ID.  Visibility accumulates down
+// the static chain, matching block-structured scope rules.
+func (t *Table) Declare(parent ID, locals int) (ID, error) {
+	p, ok := t.infos[parent]
+	if !ok {
+		return 0, fmt.Errorf("%w: parent %d", ErrUnknownContour, parent)
+	}
+	if locals < 0 {
+		locals = 0
+	}
+	id := t.next
+	t.next++
+	t.infos[id] = Info{ID: id, Parent: parent, Local: locals, Visible: p.Visible + locals}
+	return id, nil
+}
+
+// Info returns the description of a contour.
+func (t *Table) Info(id ID) (Info, error) {
+	info, ok := t.infos[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %d", ErrUnknownContour, id)
+	}
+	return info, nil
+}
+
+// Len returns the number of contours (including the global contour).
+func (t *Table) Len() int { return len(t.infos) }
+
+// Depth returns the static nesting depth of a contour (Global is depth 0).
+func (t *Table) Depth(id ID) (int, error) {
+	depth := 0
+	for id != Global {
+		info, ok := t.infos[id]
+		if !ok {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownContour, id)
+		}
+		id = info.Parent
+		depth++
+		if depth > len(t.infos) {
+			return 0, errors.New("contour: cycle in parent chain")
+		}
+	}
+	return depth, nil
+}
+
+// Coder encodes and decodes operand tokens with contour-dependent widths.
+// The coder is stateful: Enter and Leave track the current contour exactly as
+// the paper's interpreter must "keep track of the various field sizes as the
+// contour changes and refer to the current field size before extracting the
+// field".
+type Coder struct {
+	table   *Table
+	current ID
+	stack   []ID
+}
+
+// NewCoder returns a coder positioned in the global contour.
+func NewCoder(table *Table) *Coder {
+	return &Coder{table: table, current: Global}
+}
+
+// Current returns the contour the coder is currently positioned in.
+func (c *Coder) Current() ID { return c.current }
+
+// Enter moves the coder into contour id (for instance at a block entry or
+// procedure call in the token stream).
+func (c *Coder) Enter(id ID) error {
+	if _, ok := c.table.infos[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownContour, id)
+	}
+	c.stack = append(c.stack, c.current)
+	c.current = id
+	return nil
+}
+
+// Leave returns to the contour that was current before the matching Enter.
+func (c *Coder) Leave() error {
+	if len(c.stack) == 0 {
+		return errors.New("contour: Leave without matching Enter")
+	}
+	c.current = c.stack[len(c.stack)-1]
+	c.stack = c.stack[:len(c.stack)-1]
+	return nil
+}
+
+// EncodeOperand writes operand token op using the field width of the current
+// contour.
+func (c *Coder) EncodeOperand(w *bitio.Writer, op int) error {
+	info := c.table.infos[c.current]
+	if op < 0 || (info.Visible > 0 && op >= info.Visible) || (info.Visible == 0 && op != 0) {
+		return fmt.Errorf("%w: %d in contour %d (visible %d)", ErrOperandRange, op, c.current, info.Visible)
+	}
+	return w.WriteBits(uint64(op), info.FieldWidth())
+}
+
+// DecodeOperand reads an operand token using the current contour's width and
+// returns it along with the width consumed.
+func (c *Coder) DecodeOperand(r *bitio.Reader) (int, int, error) {
+	info := c.table.infos[c.current]
+	width := info.FieldWidth()
+	v, err := r.ReadBits(width)
+	if err != nil {
+		return 0, width, err
+	}
+	return int(v), width, nil
+}
+
+// PerContourCodes combines contextual and frequency information: a separate
+// canonical Huffman code is constructed for each contour from that contour's
+// own operand-frequency statistics.  Contours with no statistics fall back to
+// the fixed-width contextual code.
+type PerContourCodes struct {
+	table *Table
+	codes map[ID]*huffman.Code
+}
+
+// BuildPerContourCodes builds one code per contour from the supplied
+// per-contour frequency tables.
+func BuildPerContourCodes(table *Table, stats map[ID]huffman.FreqTable) (*PerContourCodes, error) {
+	p := &PerContourCodes{table: table, codes: make(map[ID]*huffman.Code)}
+	for id, freq := range stats {
+		if _, err := table.Info(id); err != nil {
+			return nil, err
+		}
+		if len(freq) == 0 {
+			continue
+		}
+		code, err := huffman.New(freq)
+		if err != nil {
+			return nil, fmt.Errorf("contour %d: %w", id, err)
+		}
+		p.codes[id] = code
+	}
+	return p, nil
+}
+
+// Code returns the Huffman code for a contour, or nil if that contour uses
+// the fixed-width fallback.
+func (p *PerContourCodes) Code(id ID) *huffman.Code { return p.codes[id] }
+
+// Encode writes operand op in contour id, using that contour's frequency code
+// if one exists and the fixed-width contextual code otherwise.
+func (p *PerContourCodes) Encode(w *bitio.Writer, id ID, op int) error {
+	if code := p.codes[id]; code != nil {
+		return code.Encode(w, huffman.Symbol(op))
+	}
+	info, err := p.table.Info(id)
+	if err != nil {
+		return err
+	}
+	if op < 0 || (info.Visible > 0 && op >= info.Visible) || (info.Visible == 0 && op != 0) {
+		return fmt.Errorf("%w: %d in contour %d", ErrOperandRange, op, id)
+	}
+	return w.WriteBits(uint64(op), info.FieldWidth())
+}
+
+// Decode reads an operand in contour id and reports the number of decode
+// steps (1 for a fixed-width extract, the code length for a Huffman decode).
+func (p *PerContourCodes) Decode(r *bitio.Reader, id ID) (int, int, error) {
+	if code := p.codes[id]; code != nil {
+		s, steps, err := code.Decode(r)
+		return int(s), steps, err
+	}
+	info, err := p.table.Info(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := r.ReadBits(info.FieldWidth())
+	if err != nil {
+		return 0, 1, err
+	}
+	return int(v), 1, nil
+}

@@ -1,0 +1,297 @@
+package contour
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uhm/internal/bitio"
+	"uhm/internal/encoding/huffman"
+)
+
+func TestFieldWidth(t *testing.T) {
+	cases := []struct {
+		visible, want int
+	}{{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5}, {1024, 10}}
+	for _, c := range cases {
+		got := Info{Visible: c.visible}.FieldWidth()
+		if got != c.want {
+			t.Errorf("FieldWidth(visible=%d) = %d, want %d", c.visible, got, c.want)
+		}
+	}
+}
+
+func TestDeclareAndVisibility(t *testing.T) {
+	tbl := NewTable(4)
+	outer, err := tbl.Declare(Global, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := tbl.Declare(outer, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := tbl.Info(Global)
+	o, _ := tbl.Info(outer)
+	i, _ := tbl.Info(inner)
+	if g.Visible != 4 || o.Visible != 7 || i.Visible != 9 {
+		t.Errorf("visible counts = %d,%d,%d want 4,7,9", g.Visible, o.Visible, i.Visible)
+	}
+	if d, _ := tbl.Depth(inner); d != 2 {
+		t.Errorf("Depth(inner) = %d, want 2", d)
+	}
+	if d, _ := tbl.Depth(Global); d != 0 {
+		t.Errorf("Depth(Global) = %d, want 0", d)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tbl.Len())
+	}
+}
+
+func TestDeclareUnknownParent(t *testing.T) {
+	tbl := NewTable(1)
+	if _, err := tbl.Declare(ID(99), 1); err == nil {
+		t.Error("expected error for unknown parent contour")
+	}
+	if _, err := tbl.Info(ID(42)); err == nil {
+		t.Error("expected error for unknown contour info")
+	}
+	if _, err := tbl.Depth(ID(42)); err == nil {
+		t.Error("expected error for unknown contour depth")
+	}
+}
+
+func TestNegativeCountsClamped(t *testing.T) {
+	tbl := NewTable(-5)
+	g, _ := tbl.Info(Global)
+	if g.Visible != 0 {
+		t.Errorf("negative global objects should clamp to 0, got %d", g.Visible)
+	}
+	id, err := tbl.Declare(Global, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := tbl.Info(id)
+	if info.Local != 0 {
+		t.Errorf("negative locals should clamp to 0, got %d", info.Local)
+	}
+}
+
+func TestCoderWidthTracksContour(t *testing.T) {
+	tbl := NewTable(16) // 4-bit fields globally
+	block, _ := tbl.Declare(Global, 16)
+	// block sees 32 objects -> 5-bit fields
+	c := NewCoder(tbl)
+	w := bitio.NewWriter(0)
+	if err := c.EncodeOperand(w, 9); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("global operand used %d bits, want 4", w.Len())
+	}
+	if err := c.Enter(block); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EncodeOperand(w, 31); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 9 {
+		t.Fatalf("after block operand, total bits = %d, want 9", w.Len())
+	}
+	if err := c.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Current() != Global {
+		t.Errorf("after Leave, current = %d, want Global", c.Current())
+	}
+
+	// Decoding must follow the same contour transitions.
+	d := NewCoder(tbl)
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	v, width, err := d.DecodeOperand(r)
+	if err != nil || v != 9 || width != 4 {
+		t.Errorf("global decode = (%d,%d,%v), want (9,4,nil)", v, width, err)
+	}
+	_ = d.Enter(block)
+	v, width, err = d.DecodeOperand(r)
+	if err != nil || v != 31 || width != 5 {
+		t.Errorf("block decode = (%d,%d,%v), want (31,5,nil)", v, width, err)
+	}
+}
+
+func TestCoderErrors(t *testing.T) {
+	tbl := NewTable(4)
+	c := NewCoder(tbl)
+	w := bitio.NewWriter(0)
+	if err := c.EncodeOperand(w, 4); err == nil {
+		t.Error("expected range error for operand 4 with 4 visible")
+	}
+	if err := c.EncodeOperand(w, -1); err == nil {
+		t.Error("expected range error for negative operand")
+	}
+	if err := c.Enter(ID(77)); err == nil {
+		t.Error("expected error entering unknown contour")
+	}
+	if err := c.Leave(); err == nil {
+		t.Error("expected error on Leave without Enter")
+	}
+}
+
+func TestEmptyContourOperandZero(t *testing.T) {
+	tbl := NewTable(0)
+	c := NewCoder(tbl)
+	w := bitio.NewWriter(0)
+	if err := c.EncodeOperand(w, 0); err != nil {
+		t.Errorf("operand 0 in empty contour should encode (width 1): %v", err)
+	}
+	if err := c.EncodeOperand(w, 1); err == nil {
+		t.Error("operand 1 in empty contour should fail")
+	}
+}
+
+func TestPerContourCodes(t *testing.T) {
+	tbl := NewTable(8)
+	loop, _ := tbl.Declare(Global, 8)
+	stats := map[ID]huffman.FreqTable{
+		loop: {0: 100, 1: 50, 2: 10, 3: 1},
+	}
+	p, err := BuildPerContourCodes(tbl, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code(loop) == nil {
+		t.Fatal("loop contour should have a frequency code")
+	}
+	if p.Code(Global) != nil {
+		t.Fatal("global contour should fall back to fixed width")
+	}
+
+	w := bitio.NewWriter(0)
+	// Global: fixed 3-bit field.
+	if err := p.Encode(w, Global, 5); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("global fallback used %d bits, want 3", w.Len())
+	}
+	// Loop contour: most frequent operand should use fewer bits than fixed.
+	before := w.Len()
+	if err := p.Encode(w, loop, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len()-before >= 4 {
+		t.Errorf("frequent operand used %d bits, expected < 4", w.Len()-before)
+	}
+
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	v, steps, err := p.Decode(r, Global)
+	if err != nil || v != 5 || steps != 1 {
+		t.Errorf("global decode = (%d,%d,%v)", v, steps, err)
+	}
+	v, steps, err = p.Decode(r, loop)
+	if err != nil || v != 0 {
+		t.Errorf("loop decode = (%d,%d,%v)", v, steps, err)
+	}
+	if steps < 1 {
+		t.Errorf("decode steps = %d, want >= 1", steps)
+	}
+}
+
+func TestPerContourCodesErrors(t *testing.T) {
+	tbl := NewTable(4)
+	if _, err := BuildPerContourCodes(tbl, map[ID]huffman.FreqTable{ID(9): {0: 1}}); err == nil {
+		t.Error("expected error for stats on unknown contour")
+	}
+	p, err := BuildPerContourCodes(tbl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	if err := p.Encode(w, ID(9), 0); err == nil {
+		t.Error("expected error encoding in unknown contour")
+	}
+	if err := p.Encode(w, Global, 99); err == nil {
+		t.Error("expected range error")
+	}
+	r := bitio.NewReader(nil, 0)
+	if _, _, err := p.Decode(r, ID(9)); err == nil {
+		t.Error("expected error decoding in unknown contour")
+	}
+}
+
+// Property: operands always round-trip when encoder and decoder perform the
+// same contour transitions, and the bits consumed equal the contour width.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable(rng.Intn(20) + 1)
+		ids := []ID{Global}
+		for i := 0; i < rng.Intn(6)+1; i++ {
+			parent := ids[rng.Intn(len(ids))]
+			id, err := tbl.Declare(parent, rng.Intn(10)+1)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		type step struct {
+			contour ID
+			op      int
+		}
+		var steps []step
+		enc := NewCoder(tbl)
+		w := bitio.NewWriter(0)
+		for i := 0; i < 100; i++ {
+			id := ids[rng.Intn(len(ids))]
+			info, _ := tbl.Info(id)
+			op := rng.Intn(info.Visible)
+			// Jump contours via Enter from wherever we are; Leave immediately
+			// after encoding to keep the stack flat.
+			if err := enc.Enter(id); err != nil {
+				return false
+			}
+			if err := enc.EncodeOperand(w, op); err != nil {
+				return false
+			}
+			if err := enc.Leave(); err != nil {
+				return false
+			}
+			steps = append(steps, step{id, op})
+		}
+		dec := NewCoder(tbl)
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		for _, s := range steps {
+			if err := dec.Enter(s.contour); err != nil {
+				return false
+			}
+			v, width, err := dec.DecodeOperand(r)
+			if err != nil || v != s.op {
+				return false
+			}
+			info, _ := tbl.Info(s.contour)
+			if width != info.FieldWidth() {
+				return false
+			}
+			if err := dec.Leave(); err != nil {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkContourEncode(b *testing.B) {
+	tbl := NewTable(32)
+	c := NewCoder(tbl)
+	w := bitio.NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.Len() > 1<<20 {
+			w.Reset()
+		}
+		_ = c.EncodeOperand(w, i%32)
+	}
+}

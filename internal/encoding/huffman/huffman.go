@@ -1,0 +1,423 @@
+// Package huffman implements the frequency-based encodings of §3.2 of the
+// paper: classic Huffman coding of the symbols appearing in a static program
+// representation, plus the restricted-length variant in which "the permitted
+// field lengths are restricted to a small number of selected lengths", which
+// "simplifies the decoding problem without sacrificing much by way of memory
+// efficiency" (the Burroughs B1700 approach the paper cites via Wilner).
+//
+// Codes are canonical: within a code length, symbols are assigned codewords
+// in increasing symbol order.  Canonical codes make the decoder a small table
+// walk, which is exactly what the paper's decode-cost parameter d models
+// ("traversing a decoding tree guided by an examination of the encoded
+// field").
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"uhm/internal/bitio"
+)
+
+// Symbol is an alphabet element.  DIR opcodes, addressing-mode designators
+// and operand tokens are all mapped onto small non-negative integers before
+// encoding.
+type Symbol uint32
+
+// FreqTable records how many times each symbol occurs in the static program
+// representation being encoded.
+type FreqTable map[Symbol]uint64
+
+// Add increments the count of s by n.
+func (t FreqTable) Add(s Symbol, n uint64) { t[s] += n }
+
+// Total returns the sum of all counts.
+func (t FreqTable) Total() uint64 {
+	var sum uint64
+	for _, c := range t {
+		sum += c
+	}
+	return sum
+}
+
+// Symbols returns the symbols present in the table in increasing order.
+func (t FreqTable) Symbols() []Symbol {
+	syms := make([]Symbol, 0, len(t))
+	for s := range t {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	return syms
+}
+
+// Codeword is a single canonical Huffman codeword.
+type Codeword struct {
+	Bits uint64 // the code bits, most significant bit first within Len
+	Len  int    // code length in bits; 0 means the symbol is not coded
+}
+
+// Code is a complete prefix code over an alphabet.
+type Code struct {
+	words   map[Symbol]Codeword
+	decoder *decoder
+	maxLen  int
+}
+
+// ErrEmptyAlphabet is returned when a code is requested for no symbols.
+var ErrEmptyAlphabet = errors.New("huffman: empty alphabet")
+
+// ErrUnknownSymbol is returned when encoding a symbol that has no codeword.
+var ErrUnknownSymbol = errors.New("huffman: symbol not in code")
+
+// ErrBadCode is returned when a decode encounters a bit pattern with no
+// corresponding codeword.
+var ErrBadCode = errors.New("huffman: invalid code in input")
+
+// New builds an optimal (unrestricted) canonical Huffman code for the given
+// frequency table.  Symbols with zero frequency are excluded.
+func New(freq FreqTable) (*Code, error) {
+	return build(freq, 0)
+}
+
+// NewRestricted builds a canonical code whose codeword lengths never exceed
+// maxLen bits.  This is the "small number of selected lengths" variant; the
+// B1700 restricted opcode lengths correspond to maxLen in {4, 6, 10}.
+// maxLen must be large enough that the alphabet fits (maxLen >= ceil(log2 n)).
+func NewRestricted(freq FreqTable, maxLen int) (*Code, error) {
+	if maxLen <= 0 {
+		return nil, fmt.Errorf("huffman: non-positive length limit %d", maxLen)
+	}
+	return build(freq, maxLen)
+}
+
+// NewFixed builds a degenerate "code" in which every symbol is given the same
+// fixed width (the packed-field, zero-encoding baseline of Figure 1).  The
+// width is the minimum number of bits needed to distinguish the symbols.
+func NewFixed(symbols []Symbol) (*Code, error) {
+	if len(symbols) == 0 {
+		return nil, ErrEmptyAlphabet
+	}
+	width := bitsFor(len(symbols))
+	sorted := append([]Symbol(nil), symbols...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	words := make(map[Symbol]Codeword, len(sorted))
+	for i, s := range sorted {
+		words[s] = Codeword{Bits: uint64(i), Len: width}
+	}
+	return finish(words)
+}
+
+// bitsFor returns the number of bits needed to represent n distinct values.
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	w := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		w++
+	}
+	return w
+}
+
+type hNode struct {
+	weight uint64
+	sym    Symbol
+	order  int // tie-break to keep the construction deterministic
+	left   *hNode
+	right  *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func build(freq FreqTable, maxLen int) (*Code, error) {
+	syms := make([]Symbol, 0, len(freq))
+	for s, c := range freq {
+		if c > 0 {
+			syms = append(syms, s)
+		}
+	}
+	if len(syms) == 0 {
+		return nil, ErrEmptyAlphabet
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	if maxLen > 0 && len(syms) > (1<<uint(minInt(maxLen, 62))) {
+		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d-bit codes", len(syms), maxLen)
+	}
+
+	if len(syms) == 1 {
+		words := map[Symbol]Codeword{syms[0]: {Bits: 0, Len: 1}}
+		return finish(words)
+	}
+
+	lengths := huffmanLengths(syms, freq)
+	if maxLen > 0 {
+		limitLengths(syms, lengths, maxLen)
+	}
+
+	words := canonicalAssign(syms, lengths)
+	return finish(words)
+}
+
+// huffmanLengths computes optimal code lengths per symbol with the standard
+// two-queue/heap construction.
+func huffmanLengths(syms []Symbol, freq FreqTable) map[Symbol]int {
+	h := make(hHeap, 0, len(syms))
+	for i, s := range syms {
+		h = append(h, &hNode{weight: freq[s], sym: s, order: i})
+	}
+	heap.Init(&h)
+	order := len(syms)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hNode)
+		b := heap.Pop(&h).(*hNode)
+		heap.Push(&h, &hNode{weight: a.weight + b.weight, order: order, left: a, right: b})
+		order++
+	}
+	root := h[0]
+	lengths := make(map[Symbol]int, len(syms))
+	var walk func(n *hNode, depth int)
+	walk = func(n *hNode, depth int) {
+		if n.left == nil && n.right == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// limitLengths clamps code lengths to maxLen and repairs the Kraft inequality
+// using the standard heuristic: overlong codes are truncated, then lengths of
+// the most frequent over-budget codewords are increased/decreased until
+// sum(2^-len) <= 1, preferring to lengthen rare symbols.
+func limitLengths(syms []Symbol, lengths map[Symbol]int, maxLen int) {
+	for _, s := range syms {
+		if lengths[s] > maxLen {
+			lengths[s] = maxLen
+		}
+	}
+	// Kraft sum measured in units of 2^-maxLen.
+	kraft := func() uint64 {
+		var k uint64
+		for _, s := range syms {
+			k += 1 << uint(maxLen-lengths[s])
+		}
+		return k
+	}
+	budget := uint64(1) << uint(maxLen)
+	// While over budget, lengthen the symbol with the shortest code that can
+	// still grow (ties broken by symbol order, which correlates with rarity
+	// after canonical sorting by the caller's construction).
+	for kraft() > budget {
+		best := -1
+		for i, s := range syms {
+			if lengths[s] < maxLen {
+				if best == -1 || lengths[s] < lengths[syms[best]] {
+					best = i
+				}
+			}
+		}
+		if best == -1 {
+			// Cannot repair: fall back to fixed width maxLen for all.
+			for _, s := range syms {
+				lengths[s] = maxLen
+			}
+			return
+		}
+		lengths[syms[best]]++
+	}
+}
+
+// canonicalAssign assigns canonical codewords given per-symbol lengths.
+func canonicalAssign(syms []Symbol, lengths map[Symbol]int) map[Symbol]Codeword {
+	type entry struct {
+		sym Symbol
+		len int
+	}
+	entries := make([]entry, 0, len(syms))
+	maxLen := 0
+	for _, s := range syms {
+		entries = append(entries, entry{s, lengths[s]})
+		if lengths[s] > maxLen {
+			maxLen = lengths[s]
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].len != entries[j].len {
+			return entries[i].len < entries[j].len
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	words := make(map[Symbol]Codeword, len(entries))
+	var code uint64
+	prevLen := 0
+	for _, e := range entries {
+		if prevLen != 0 {
+			code = (code + 1) << uint(e.len-prevLen)
+		}
+		words[e.sym] = Codeword{Bits: code, Len: e.len}
+		prevLen = e.len
+	}
+	return words
+}
+
+func finish(words map[Symbol]Codeword) (*Code, error) {
+	c := &Code{words: words}
+	for _, w := range words {
+		if w.Len > c.maxLen {
+			c.maxLen = w.Len
+		}
+	}
+	dec, err := newDecoder(words)
+	if err != nil {
+		return nil, err
+	}
+	c.decoder = dec
+	return c, nil
+}
+
+// Codeword returns the codeword for s.
+func (c *Code) Codeword(s Symbol) (Codeword, bool) {
+	w, ok := c.words[s]
+	return w, ok
+}
+
+// MaxLen returns the length in bits of the longest codeword.
+func (c *Code) MaxLen() int { return c.maxLen }
+
+// Alphabet returns the coded symbols in increasing order.
+func (c *Code) Alphabet() []Symbol {
+	syms := make([]Symbol, 0, len(c.words))
+	for s := range c.words {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	return syms
+}
+
+// Encode appends the codeword for s to w.
+func (c *Code) Encode(w *bitio.Writer, s Symbol) error {
+	cw, ok := c.words[s]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSymbol, s)
+	}
+	return w.WriteBits(cw.Bits, cw.Len)
+}
+
+// Decode reads one codeword from r and returns its symbol together with the
+// number of decode steps (tree levels examined).  The step count feeds the
+// simulator's per-instruction decode cost, mirroring the paper's observation
+// that frequency-based encoding "increases the number of levels of decoding
+// needed".
+func (c *Code) Decode(r *bitio.Reader) (Symbol, int, error) {
+	return c.decoder.decode(r)
+}
+
+// EncodedSize returns the total number of bits this code uses to represent
+// the given frequency table (i.e. sum over symbols of freq*len).
+func (c *Code) EncodedSize(freq FreqTable) uint64 {
+	var bits uint64
+	for s, n := range freq {
+		if w, ok := c.words[s]; ok {
+			bits += n * uint64(w.Len)
+		}
+	}
+	return bits
+}
+
+// AverageLength returns the expected codeword length in bits under freq.
+func (c *Code) AverageLength(freq FreqTable) float64 {
+	total := freq.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.EncodedSize(freq)) / float64(total)
+}
+
+// decoder is a canonical-code decoder driven level by level, one bit at a
+// time, counting the levels traversed.
+type decoder struct {
+	// byLen[l] maps the numeric value of an l-bit prefix to a symbol, for
+	// codeword lengths l that are actually used.
+	byLen  map[int]map[uint64]Symbol
+	maxLen int
+}
+
+func newDecoder(words map[Symbol]Codeword) (*decoder, error) {
+	d := &decoder{byLen: make(map[int]map[uint64]Symbol)}
+	seen := make(map[string]Symbol)
+	for s, w := range words {
+		if w.Len <= 0 || w.Len > bitio.MaxFieldWidth {
+			return nil, fmt.Errorf("huffman: symbol %d has invalid code length %d", s, w.Len)
+		}
+		key := fmt.Sprintf("%d/%d", w.Len, w.Bits)
+		if other, dup := seen[key]; dup {
+			return nil, fmt.Errorf("huffman: symbols %d and %d share codeword", other, s)
+		}
+		seen[key] = s
+		m := d.byLen[w.Len]
+		if m == nil {
+			m = make(map[uint64]Symbol)
+			d.byLen[w.Len] = m
+		}
+		m[w.Bits] = s
+		if w.Len > d.maxLen {
+			d.maxLen = w.Len
+		}
+	}
+	return d, nil
+}
+
+func (d *decoder) decode(r *bitio.Reader) (Symbol, int, error) {
+	var acc uint64
+	steps := 0
+	for l := 1; l <= d.maxLen; l++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, steps, err
+		}
+		acc = acc << 1
+		if bit {
+			acc |= 1
+		}
+		steps++
+		if m, ok := d.byLen[l]; ok {
+			if s, hit := m[acc]; hit {
+				return s, steps, nil
+			}
+		}
+	}
+	return 0, steps, ErrBadCode
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

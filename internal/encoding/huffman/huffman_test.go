@@ -1,0 +1,398 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uhm/internal/bitio"
+)
+
+func freqFromSlice(counts []uint64) FreqTable {
+	t := make(FreqTable)
+	for i, c := range counts {
+		if c > 0 {
+			t.Add(Symbol(i), c)
+		}
+	}
+	return t
+}
+
+func TestEmptyAlphabet(t *testing.T) {
+	if _, err := New(FreqTable{}); err != ErrEmptyAlphabet {
+		t.Errorf("New(empty) err = %v, want ErrEmptyAlphabet", err)
+	}
+	if _, err := NewFixed(nil); err != ErrEmptyAlphabet {
+		t.Errorf("NewFixed(nil) err = %v, want ErrEmptyAlphabet", err)
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	c, err := New(FreqTable{7: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := c.Codeword(7)
+	if !ok || w.Len != 1 {
+		t.Errorf("single-symbol codeword = %+v ok=%v, want len 1", w, ok)
+	}
+	bw := bitio.NewWriter(0)
+	if err := c.Encode(bw, 7); err != nil {
+		t.Fatal(err)
+	}
+	r := bitio.NewReader(bw.Bytes(), bw.Len())
+	s, _, err := c.Decode(r)
+	if err != nil || s != 7 {
+		t.Errorf("decode = %d,%v", s, err)
+	}
+}
+
+func TestClassicExample(t *testing.T) {
+	// Frequencies with a known optimal assignment: average length must match
+	// the textbook optimum of 2.2 bits for {45,13,12,16,9,5}/100.
+	freq := freqFromSlice([]uint64{45, 13, 12, 16, 9, 5})
+	c, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.AverageLength(freq)
+	if math.Abs(got-2.24) > 1e-9 {
+		t.Errorf("average length = %v, want 2.24", got)
+	}
+	// The most frequent symbol must get the shortest code.
+	w0, _ := c.Codeword(0)
+	if w0.Len != 1 {
+		t.Errorf("most frequent symbol code length = %d, want 1", w0.Len)
+	}
+}
+
+func TestAverageLengthNearEntropy(t *testing.T) {
+	freq := freqFromSlice([]uint64{50, 25, 12, 6, 3, 2, 1, 1})
+	c, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(freq.Total())
+	entropy := 0.0
+	for _, n := range freq {
+		p := float64(n) / total
+		entropy -= p * math.Log2(p)
+	}
+	avg := c.AverageLength(freq)
+	if avg < entropy-1e-9 {
+		t.Errorf("average length %v below entropy %v", avg, entropy)
+	}
+	if avg > entropy+1 {
+		t.Errorf("average length %v exceeds entropy+1 (%v)", avg, entropy+1)
+	}
+}
+
+func TestUnknownSymbol(t *testing.T) {
+	c, err := New(FreqTable{1: 5, 2: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	if err := c.Encode(w, 99); err == nil {
+		t.Error("expected error encoding unknown symbol")
+	}
+}
+
+func TestRoundTripSequence(t *testing.T) {
+	freq := freqFromSlice([]uint64{40, 20, 20, 10, 5, 3, 1, 1})
+	c, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var msg []Symbol
+	for i := 0; i < 500; i++ {
+		msg = append(msg, Symbol(rng.Intn(8)))
+	}
+	w := bitio.NewWriter(0)
+	for _, s := range msg {
+		if err := c.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	for i, want := range msg {
+		got, _, err := c.Decode(r)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("decode %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestRestrictedLengthsRespectLimit(t *testing.T) {
+	// A very skewed distribution forces long codes when unrestricted.
+	freq := make(FreqTable)
+	for i := 0; i < 20; i++ {
+		freq.Add(Symbol(i), uint64(1)<<uint(i))
+	}
+	unres, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unres.MaxLen() <= 6 {
+		t.Fatalf("test premise broken: unrestricted max length %d", unres.MaxLen())
+	}
+	res, err := NewRestricted(freq, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLen() > 6 {
+		t.Errorf("restricted max length = %d, want <= 6", res.MaxLen())
+	}
+	// Restricted code is still decodable and complete for the alphabet.
+	w := bitio.NewWriter(0)
+	for s := range freq {
+		if err := res.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restricted code is never better than the optimum.
+	if res.AverageLength(freq) < unres.AverageLength(freq)-1e-9 {
+		t.Errorf("restricted average %v beats optimal %v", res.AverageLength(freq), unres.AverageLength(freq))
+	}
+}
+
+func TestRestrictedTooTight(t *testing.T) {
+	freq := make(FreqTable)
+	for i := 0; i < 10; i++ {
+		freq.Add(Symbol(i), 1)
+	}
+	if _, err := NewRestricted(freq, 3); err == nil {
+		t.Error("expected error: 10 symbols cannot fit in 3-bit codes")
+	}
+	if _, err := NewRestricted(freq, 0); err == nil {
+		t.Error("expected error for zero length limit")
+	}
+}
+
+func TestFixedCode(t *testing.T) {
+	syms := []Symbol{0, 1, 2, 3, 4}
+	c, err := NewFixed(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range syms {
+		w, ok := c.Codeword(s)
+		if !ok {
+			t.Fatalf("missing codeword for %d", s)
+		}
+		if w.Len != 3 {
+			t.Errorf("fixed width for %d = %d, want 3", s, w.Len)
+		}
+	}
+	bw := bitio.NewWriter(0)
+	for _, s := range syms {
+		if err := c.Encode(bw, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(bw.Bytes(), bw.Len())
+	for _, want := range syms {
+		got, _, err := c.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("fixed decode got %d,%v want %d", got, err, want)
+		}
+	}
+}
+
+func TestDecodeBadInput(t *testing.T) {
+	c, err := NewFixed([]Symbol{0, 1, 2}) // 2-bit codes 00,01,10; 11 unused
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	_ = w.WriteBits(0b11, 2)
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	if _, _, err := c.Decode(r); err == nil {
+		t.Error("expected error decoding unused codeword")
+	}
+}
+
+func TestDecodeStepsCounted(t *testing.T) {
+	freq := freqFromSlice([]uint64{100, 1, 1, 1})
+	c, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	_ = c.Encode(w, 0)
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	_, steps, err := c.Decode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, _ := c.Codeword(0)
+	if steps != w0.Len {
+		t.Errorf("decode steps = %d, want codeword length %d", steps, w0.Len)
+	}
+}
+
+func TestEncodedSizeAndAlphabet(t *testing.T) {
+	freq := freqFromSlice([]uint64{10, 10, 10, 10})
+	c, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EncodedSize(freq); got != 80 {
+		t.Errorf("EncodedSize = %d, want 80 (4 symbols x 10 x 2 bits)", got)
+	}
+	al := c.Alphabet()
+	if len(al) != 4 || al[0] != 0 || al[3] != 3 {
+		t.Errorf("Alphabet = %v", al)
+	}
+}
+
+// Property: every generated code is prefix-free.
+func TestQuickPrefixFree(t *testing.T) {
+	f := func(seed int64, n uint8, limited bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%30) + 2
+		freq := make(FreqTable)
+		for i := 0; i < count; i++ {
+			freq.Add(Symbol(i), uint64(rng.Intn(1000)+1))
+		}
+		var c *Code
+		var err error
+		if limited {
+			c, err = NewRestricted(freq, 12)
+		} else {
+			c, err = New(freq)
+		}
+		if err != nil {
+			return false
+		}
+		syms := c.Alphabet()
+		for i, a := range syms {
+			wa, _ := c.Codeword(a)
+			for j, b := range syms {
+				if i == j {
+					continue
+				}
+				wb, _ := c.Codeword(b)
+				if wa.Len <= wb.Len {
+					if wb.Bits>>(uint(wb.Len-wa.Len)) == wa.Bits {
+						return false // wa is a prefix of wb
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random messages round-trip under random frequency tables.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := rng.Intn(40) + 2
+		freq := make(FreqTable)
+		for i := 0; i < count; i++ {
+			freq.Add(Symbol(i), uint64(rng.Intn(500)+1))
+		}
+		c, err := New(freq)
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter(0)
+		var msg []Symbol
+		for i := 0; i < 200; i++ {
+			s := Symbol(rng.Intn(count))
+			msg = append(msg, s)
+			if err := c.Encode(w, s); err != nil {
+				return false
+			}
+		}
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		for _, want := range msg {
+			got, _, err := c.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Kraft inequality holds for every generated code.
+func TestQuickKraft(t *testing.T) {
+	f := func(seed int64, limited bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := rng.Intn(50) + 1
+		freq := make(FreqTable)
+		for i := 0; i < count; i++ {
+			freq.Add(Symbol(i), uint64(rng.Intn(100)+1))
+		}
+		var c *Code
+		var err error
+		if limited {
+			c, err = NewRestricted(freq, 10)
+		} else {
+			c, err = New(freq)
+		}
+		if err != nil {
+			return count > 1024 // only acceptable failure: alphabet too big for limit
+		}
+		sum := 0.0
+		for _, s := range c.Alphabet() {
+			w, _ := c.Codeword(s)
+			sum += math.Pow(2, -float64(w.Len))
+		}
+		return sum <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	freq := freqFromSlice([]uint64{400, 200, 100, 80, 60, 40, 20, 10, 5, 1})
+	c, err := New(freq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bitio.NewWriter(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.Len() > 1<<20 {
+			w.Reset()
+		}
+		_ = c.Encode(w, Symbol(i%10))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	freq := freqFromSlice([]uint64{400, 200, 100, 80, 60, 40, 20, 10, 5, 1})
+	c, err := New(freq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bitio.NewWriter(1 << 16)
+	for i := 0; i < 4096; i++ {
+		_ = c.Encode(w, Symbol(i%10))
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 16 {
+			_ = r.Seek(0)
+		}
+		_, _, _ = c.Decode(r)
+	}
+}

@@ -1,0 +1,241 @@
+// Package pairfreq implements the pair-frequency encoding of §3.2: "The idea
+// of frequency based encoding may be generalized by considering the frequency
+// of occurrence of pairs, triples, etc., rather than single operators and
+// operands" and, on the decode side, "An encoding based on the frequency of
+// pairs of fields would require a separate decode tree for each possible
+// predecessor field."
+//
+// Concretely, the coder conditions the code for each symbol on its
+// predecessor: for each predecessor symbol a separate canonical Huffman code
+// (decode tree) is built from the conditional frequency table.  The first
+// symbol of a stream, and any symbol whose predecessor was never observed in
+// the statistics, uses an unconditional fallback code.
+package pairfreq
+
+import (
+	"errors"
+	"fmt"
+
+	"uhm/internal/bitio"
+	"uhm/internal/encoding/huffman"
+)
+
+// Symbol aliases the huffman symbol type for convenience.
+type Symbol = huffman.Symbol
+
+// Stats accumulates unconditional and predecessor-conditioned frequency
+// counts from the static program representation.
+type Stats struct {
+	uncond huffman.FreqTable
+	cond   map[Symbol]huffman.FreqTable
+	last   Symbol
+	seen   bool
+}
+
+// NewStats returns an empty statistics accumulator.
+func NewStats() *Stats {
+	return &Stats{uncond: make(huffman.FreqTable), cond: make(map[Symbol]huffman.FreqTable)}
+}
+
+// Observe records the next symbol in the static token stream.
+func (s *Stats) Observe(sym Symbol) {
+	s.uncond.Add(sym, 1)
+	if s.seen {
+		t := s.cond[s.last]
+		if t == nil {
+			t = make(huffman.FreqTable)
+			s.cond[s.last] = t
+		}
+		t.Add(sym, 1)
+	}
+	s.last = sym
+	s.seen = true
+}
+
+// ObserveAll records a whole token stream, resetting the predecessor first so
+// that streams do not condition across boundaries.
+func (s *Stats) ObserveAll(syms []Symbol) {
+	s.seen = false
+	for _, sym := range syms {
+		s.Observe(sym)
+	}
+}
+
+// Total returns the total number of observed symbols.
+func (s *Stats) Total() uint64 { return s.uncond.Total() }
+
+// Unconditional returns a copy of the unconditional frequency table.
+func (s *Stats) Unconditional() huffman.FreqTable {
+	out := make(huffman.FreqTable, len(s.uncond))
+	for k, v := range s.uncond {
+		out[k] = v
+	}
+	return out
+}
+
+// Predecessors returns the number of distinct predecessor contexts observed.
+func (s *Stats) Predecessors() int { return len(s.cond) }
+
+// Coder is a pair-frequency (first-order conditional) coder.
+type Coder struct {
+	fallback *huffman.Code
+	byPred   map[Symbol]*huffman.Code
+}
+
+// ErrNoStats is returned by NewCoder when no symbols were observed.
+var ErrNoStats = errors.New("pairfreq: no statistics observed")
+
+// NewCoder builds the conditional coder from accumulated statistics.
+// maxLen, if positive, restricts codeword lengths (the restricted-length
+// variant); zero means unrestricted optimal codes.
+func NewCoder(stats *Stats, maxLen int) (*Coder, error) {
+	if stats == nil || stats.Total() == 0 {
+		return nil, ErrNoStats
+	}
+	build := func(freq huffman.FreqTable) (*huffman.Code, error) {
+		if maxLen > 0 {
+			return huffman.NewRestricted(freq, maxLen)
+		}
+		return huffman.New(freq)
+	}
+	fallback, err := build(stats.uncond)
+	if err != nil {
+		return nil, fmt.Errorf("pairfreq: fallback code: %w", err)
+	}
+	c := &Coder{fallback: fallback, byPred: make(map[Symbol]*huffman.Code, len(stats.cond))}
+	for pred, freq := range stats.cond {
+		code, err := build(freq)
+		if err != nil {
+			return nil, fmt.Errorf("pairfreq: code for predecessor %d: %w", pred, err)
+		}
+		c.byPred[pred] = code
+	}
+	return c, nil
+}
+
+// Trees returns the number of decode trees the coder maintains (one per
+// predecessor context plus the fallback).  This is the quantity the paper
+// points to when noting that pair encoding increases interpreter size.
+func (c *Coder) Trees() int { return len(c.byPred) + 1 }
+
+// codeFor selects the decode tree for the given predecessor state.
+func (c *Coder) codeFor(havePred bool, pred Symbol, sym Symbol) *huffman.Code {
+	if !havePred {
+		return c.fallback
+	}
+	code := c.byPred[pred]
+	if code == nil {
+		return c.fallback
+	}
+	// The conditional table may not contain every symbol (the pair never
+	// occurred in the statistics); fall back when the symbol is missing.
+	if _, ok := code.Codeword(sym); !ok {
+		return c.fallback
+	}
+	return code
+}
+
+// Encoder carries the predecessor state of an encoding pass.
+type Encoder struct {
+	c        *Coder
+	pred     Symbol
+	havePred bool
+}
+
+// Decoder carries the predecessor state of a decoding pass.
+type Decoder struct {
+	c        *Coder
+	pred     Symbol
+	havePred bool
+}
+
+// NewEncoder starts a new encoding pass (no predecessor).
+func (c *Coder) NewEncoder() *Encoder { return &Encoder{c: c} }
+
+// NewDecoder starts a new decoding pass (no predecessor).
+func (c *Coder) NewDecoder() *Decoder { return &Decoder{c: c} }
+
+// Prime sets the encoder's predecessor state without encoding a symbol.  It
+// supports random-access encoding of a stream whose predecessor is known.
+func (e *Encoder) Prime(pred Symbol) {
+	e.pred = pred
+	e.havePred = true
+}
+
+// Prime sets the decoder's predecessor state without decoding a symbol.  It
+// supports random-access decoding (e.g. re-decoding one instruction in the
+// middle of a program) when the caller knows the predecessor symbol.
+func (d *Decoder) Prime(pred Symbol) {
+	d.pred = pred
+	d.havePred = true
+}
+
+// escape is written before a fallback-coded symbol whenever a conditional
+// tree exists for the current predecessor, so the decoder knows which tree to
+// use.  A single bit suffices: 0 = conditional tree, 1 = fallback.
+func (e *Encoder) writeEscape(w *bitio.Writer, useFallback bool, treeExists bool) {
+	if !e.havePred || !treeExists {
+		return // decoder will also use the fallback; no escape needed
+	}
+	w.WriteBit(useFallback)
+}
+
+// Encode appends sym to the stream.
+func (e *Encoder) Encode(w *bitio.Writer, sym Symbol) error {
+	treeExists := false
+	var condCode *huffman.Code
+	if e.havePred {
+		condCode = e.c.byPred[e.pred]
+		treeExists = condCode != nil
+	}
+	code := e.c.codeFor(e.havePred, e.pred, sym)
+	useFallback := code == e.c.fallback
+	e.writeEscape(w, useFallback, treeExists)
+	if err := code.Encode(w, sym); err != nil {
+		return err
+	}
+	e.pred = sym
+	e.havePred = true
+	return nil
+}
+
+// Decode reads the next symbol and reports the number of decode steps
+// (escape bit, if any, plus code-tree levels traversed).
+func (d *Decoder) Decode(r *bitio.Reader) (Symbol, int, error) {
+	steps := 0
+	code := d.c.fallback
+	if d.havePred {
+		if condCode := d.c.byPred[d.pred]; condCode != nil {
+			esc, err := r.ReadBit()
+			if err != nil {
+				return 0, steps, err
+			}
+			steps++
+			if !esc {
+				code = condCode
+			}
+		}
+	}
+	sym, n, err := code.Decode(r)
+	steps += n
+	if err != nil {
+		return 0, steps, err
+	}
+	d.pred = sym
+	d.havePred = true
+	return sym, steps, nil
+}
+
+// EncodedSize encodes the whole stream into a scratch writer and returns the
+// number of bits used.  It is a convenience for the representation-space
+// measurements of Figure 1.
+func (c *Coder) EncodedSize(stream []Symbol) (int, error) {
+	w := bitio.NewWriter(len(stream) * 8)
+	e := c.NewEncoder()
+	for _, s := range stream {
+		if err := e.Encode(w, s); err != nil {
+			return 0, err
+		}
+	}
+	return w.Len(), nil
+}

@@ -1,0 +1,295 @@
+package pairfreq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uhm/internal/bitio"
+	"uhm/internal/encoding/huffman"
+)
+
+// markovStream generates a stream with strong pairwise structure: each symbol
+// is usually followed by (symbol+1) mod n.
+func markovStream(rng *rand.Rand, n, length int, followProb float64) []Symbol {
+	stream := make([]Symbol, length)
+	cur := Symbol(rng.Intn(n))
+	for i := range stream {
+		stream[i] = cur
+		if rng.Float64() < followProb {
+			cur = Symbol((int(cur) + 1) % n)
+		} else {
+			cur = Symbol(rng.Intn(n))
+		}
+	}
+	return stream
+}
+
+func TestNoStats(t *testing.T) {
+	if _, err := NewCoder(NewStats(), 0); err != ErrNoStats {
+		t.Errorf("err = %v, want ErrNoStats", err)
+	}
+	if _, err := NewCoder(nil, 0); err != ErrNoStats {
+		t.Errorf("nil stats err = %v, want ErrNoStats", err)
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	s := NewStats()
+	s.ObserveAll([]Symbol{1, 2, 1, 2, 3})
+	if s.Total() != 5 {
+		t.Errorf("Total = %d, want 5", s.Total())
+	}
+	uncond := s.Unconditional()
+	if uncond[1] != 2 || uncond[2] != 2 || uncond[3] != 1 {
+		t.Errorf("unconditional = %v", uncond)
+	}
+	if s.Predecessors() != 2 { // predecessors observed: 1 and 2
+		t.Errorf("Predecessors = %d, want 2", s.Predecessors())
+	}
+}
+
+func TestObserveAllResetsPredecessor(t *testing.T) {
+	s := NewStats()
+	s.ObserveAll([]Symbol{5})
+	s.ObserveAll([]Symbol{6})
+	// 5 should not be recorded as a predecessor of 6.
+	if s.Predecessors() != 0 {
+		t.Errorf("Predecessors = %d, want 0 (streams must not condition across boundaries)", s.Predecessors())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	stream := markovStream(rng, 8, 2000, 0.9)
+	stats := NewStats()
+	stats.ObserveAll(stream)
+	c, err := NewCoder(stats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	enc := c.NewEncoder()
+	for _, s := range stream {
+		if err := enc.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	dec := c.NewDecoder()
+	for i, want := range stream {
+		got, _, err := dec.Decode(r)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("decode %d: got %d want %d", i, got, want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining bits = %d, want 0", r.Remaining())
+	}
+}
+
+func TestPairCodingBeatsUnconditionalOnMarkovSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	stream := markovStream(rng, 16, 5000, 0.95)
+	stats := NewStats()
+	stats.ObserveAll(stream)
+
+	pair, err := NewCoder(stats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairBits, err := pair.EncodedSize(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uncond, err := huffman.New(stats.Unconditional())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	for _, s := range stream {
+		if err := uncond.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	uncondBits := w.Len()
+
+	if pairBits >= uncondBits {
+		t.Errorf("pair coding (%d bits) should beat unconditional coding (%d bits) on a Markov source", pairBits, uncondBits)
+	}
+}
+
+func TestTreesCount(t *testing.T) {
+	stats := NewStats()
+	stats.ObserveAll([]Symbol{1, 2, 3, 1, 2, 3, 1})
+	c, err := NewCoder(stats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predecessor contexts: 1, 2, 3 -> 3 conditional trees + 1 fallback.
+	if c.Trees() != 4 {
+		t.Errorf("Trees = %d, want 4", c.Trees())
+	}
+}
+
+func TestUnseenPairFallsBack(t *testing.T) {
+	// Train only on 1->2 pairs, then encode 1 followed by 3 (unseen pair).
+	stats := NewStats()
+	stats.ObserveAll([]Symbol{1, 2, 1, 2, 1, 2, 3})
+	c, err := NewCoder(stats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []Symbol{1, 3, 2, 1, 2}
+	w := bitio.NewWriter(0)
+	enc := c.NewEncoder()
+	for _, s := range stream {
+		if err := enc.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	dec := c.NewDecoder()
+	for i, want := range stream {
+		got, _, err := dec.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("decode %d: got %d err %v, want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestRestrictedLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	stream := markovStream(rng, 12, 3000, 0.9)
+	stats := NewStats()
+	stats.ObserveAll(stream)
+	c, err := NewCoder(stats, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip still works with restricted code lengths.
+	w := bitio.NewWriter(0)
+	enc := c.NewEncoder()
+	for _, s := range stream {
+		if err := enc.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	dec := c.NewDecoder()
+	for i, want := range stream {
+		got, _, err := dec.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("decode %d: got %d err %v, want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestDecodeStepsPositive(t *testing.T) {
+	stats := NewStats()
+	stats.ObserveAll([]Symbol{1, 2, 1, 2})
+	c, err := NewCoder(stats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	enc := c.NewEncoder()
+	for _, s := range []Symbol{1, 2} {
+		_ = enc.Encode(w, s)
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	dec := c.NewDecoder()
+	for i := 0; i < 2; i++ {
+		_, steps, err := dec.Decode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps < 1 {
+			t.Errorf("decode steps = %d, want >= 1", steps)
+		}
+	}
+}
+
+// Property: any training stream, re-encoded, round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nSyms uint8, follow uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSyms%20) + 2
+		p := float64(follow%100) / 100.0
+		stream := markovStream(rng, n, 400, p)
+		stats := NewStats()
+		stats.ObserveAll(stream)
+		c, err := NewCoder(stats, 0)
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter(0)
+		enc := c.NewEncoder()
+		for _, s := range stream {
+			if err := enc.Encode(w, s); err != nil {
+				return false
+			}
+		}
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		dec := c.NewDecoder()
+		for _, want := range stream {
+			got, _, err := dec.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPairEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	stream := markovStream(rng, 16, 4096, 0.9)
+	stats := NewStats()
+	stats.ObserveAll(stream)
+	c, err := NewCoder(stats, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := bitio.NewWriter(len(stream))
+		enc := c.NewEncoder()
+		for _, s := range stream {
+			_ = enc.Encode(w, s)
+		}
+	}
+}
+
+func BenchmarkPairDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	stream := markovStream(rng, 16, 4096, 0.9)
+	stats := NewStats()
+	stats.ObserveAll(stream)
+	c, err := NewCoder(stats, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	enc := c.NewEncoder()
+	for _, s := range stream {
+		_ = enc.Encode(w, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bitio.NewReader(w.Bytes(), w.Len())
+		dec := c.NewDecoder()
+		for range stream {
+			_, _, _ = dec.Decode(r)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package hlr
+
+import "fmt"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() Position
+}
+
+// Program is the root of a MiniLang AST.
+type Program struct {
+	Name     string
+	Block    *Block
+	NamePos  Position
+	EndPos   Position
+	Analysis *Analysis // populated by Analyze
+}
+
+// Pos implements Node.
+func (p *Program) Pos() Position { return p.NamePos }
+
+// Block is a declaration scope: variable declarations, nested procedure
+// declarations and a body.  Blocks are the syntactic counterpart of the
+// paper's contours.
+type Block struct {
+	Vars     []*VarDecl
+	Procs    []*ProcDecl
+	Body     *CompoundStmt
+	BlockPos Position
+
+	// Scope is attached by semantic analysis.
+	Scope *Scope
+}
+
+// Pos implements Node.
+func (b *Block) Pos() Position { return b.BlockPos }
+
+// VarDecl declares a scalar (Size == 0) or an array of Size elements.
+type VarDecl struct {
+	Name    string
+	Size    int64 // 0 for scalars; > 0 for arrays
+	DeclPos Position
+}
+
+// Pos implements Node.
+func (v *VarDecl) Pos() Position { return v.DeclPos }
+
+// IsArray reports whether the declaration is an array.
+func (v *VarDecl) IsArray() bool { return v.Size > 0 }
+
+// ProcDecl declares a procedure (which may also be used as a function when
+// it executes "return expr").
+type ProcDecl struct {
+	Name    string
+	Params  []string
+	Body    *Block
+	DeclPos Position
+
+	// Attached by semantic analysis.
+	Sym *Symbol
+}
+
+// Pos implements Node.
+func (p *ProcDecl) Pos() Position { return p.DeclPos }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// CompoundStmt is a begin...end list of statements.
+type CompoundStmt struct {
+	Stmts    []Stmt
+	BeginPos Position
+}
+
+// Pos implements Node.
+func (s *CompoundStmt) Pos() Position { return s.BeginPos }
+func (s *CompoundStmt) stmtNode()     {}
+
+// AssignStmt assigns to a scalar variable or an array element.
+type AssignStmt struct {
+	Target    string
+	Index     Expr // nil for scalar targets
+	Value     Expr
+	TargetPos Position
+
+	// TargetSym is attached by semantic analysis.
+	TargetSym *Symbol
+}
+
+// Pos implements Node.
+func (s *AssignStmt) Pos() Position { return s.TargetPos }
+func (s *AssignStmt) stmtNode()     {}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+	IfPos Position
+}
+
+// Pos implements Node.
+func (s *IfStmt) Pos() Position { return s.IfPos }
+func (s *IfStmt) stmtNode()     {}
+
+// WhileStmt is a while-do loop.
+type WhileStmt struct {
+	Cond     Expr
+	Body     Stmt
+	WhilePos Position
+}
+
+// Pos implements Node.
+func (s *WhileStmt) Pos() Position { return s.WhilePos }
+func (s *WhileStmt) stmtNode()     {}
+
+// CallStmt invokes a procedure for its effects, discarding any return value.
+type CallStmt struct {
+	Name    string
+	Args    []Expr
+	CallPos Position
+
+	// ProcSym is attached by semantic analysis.
+	ProcSym *Symbol
+}
+
+// Pos implements Node.
+func (s *CallStmt) Pos() Position { return s.CallPos }
+func (s *CallStmt) stmtNode()     {}
+
+// PrintStmt emits the value of an expression to the program output.
+type PrintStmt struct {
+	Value    Expr
+	PrintPos Position
+}
+
+// Pos implements Node.
+func (s *PrintStmt) Pos() Position { return s.PrintPos }
+func (s *PrintStmt) stmtNode()     {}
+
+// ReturnStmt returns from the enclosing procedure, optionally with a value.
+type ReturnStmt struct {
+	Value     Expr // may be nil
+	ReturnPos Position
+}
+
+// Pos implements Node.
+func (s *ReturnStmt) Pos() Position { return s.ReturnPos }
+func (s *ReturnStmt) stmtNode()     {}
+
+// EmptyStmt is an empty statement (arising from stray semicolons).
+type EmptyStmt struct {
+	AtPos Position
+}
+
+// Pos implements Node.
+func (s *EmptyStmt) Pos() Position { return s.AtPos }
+func (s *EmptyStmt) stmtNode()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Value  int64
+	LitPos Position
+}
+
+// Pos implements Node.
+func (e *NumberLit) Pos() Position { return e.LitPos }
+func (e *NumberLit) exprNode()     {}
+
+// VarRef references a scalar variable or an array element.
+type VarRef struct {
+	Name   string
+	Index  Expr // nil for scalar references
+	RefPos Position
+
+	// Sym is attached by semantic analysis.
+	Sym *Symbol
+}
+
+// Pos implements Node.
+func (e *VarRef) Pos() Position { return e.RefPos }
+func (e *VarRef) exprNode()     {}
+
+// CallExpr invokes a procedure as a function, using its returned value.
+type CallExpr struct {
+	Name    string
+	Args    []Expr
+	CallPos Position
+
+	// ProcSym is attached by semantic analysis.
+	ProcSym *Symbol
+}
+
+// Pos implements Node.
+func (e *CallExpr) Pos() Position { return e.CallPos }
+func (e *CallExpr) exprNode()     {}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "mod",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "and", OpOr: "or",
+}
+
+// String returns the operator's source spelling.
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("binop(%d)", int(op))
+}
+
+// IsComparison reports whether the operator is a relational comparison.
+func (op BinOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op    BinOp
+	Left  Expr
+	Right Expr
+	OpPos Position
+}
+
+// Pos implements Node.
+func (e *BinaryExpr) Pos() Position { return e.OpPos }
+func (e *BinaryExpr) exprNode()     {}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota
+	OpNot
+)
+
+// String returns the operator's source spelling.
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpNot:
+		return "not"
+	default:
+		return fmt.Sprintf("unop(%d)", int(op))
+	}
+}
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Op      UnOp
+	Operand Expr
+	OpPos   Position
+}
+
+// Pos implements Node.
+func (e *UnaryExpr) Pos() Position { return e.OpPos }
+func (e *UnaryExpr) exprNode()     {}

@@ -1,0 +1,356 @@
+package hlr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Evaluation errors.
+var (
+	// ErrStepLimit is returned when an evaluation exceeds its step budget.
+	ErrStepLimit = errors.New("hlr: evaluation step limit exceeded")
+	// ErrDivideByZero is returned on division or modulo by zero.
+	ErrDivideByZero = errors.New("hlr: division by zero")
+	// ErrIndexRange is returned on an out-of-range array index.
+	ErrIndexRange = errors.New("hlr: array index out of range")
+	// ErrCallDepth is returned when the activation stack grows too deep.
+	ErrCallDepth = errors.New("hlr: call depth limit exceeded")
+)
+
+// EvalOptions bounds a reference evaluation.
+type EvalOptions struct {
+	// MaxSteps limits the number of statement/expression evaluations; zero
+	// selects a generous default.
+	MaxSteps int64
+	// MaxDepth limits the activation-stack depth; zero selects a default.
+	MaxDepth int
+}
+
+// DefaultEvalOptions returns the default evaluation bounds.
+func DefaultEvalOptions() EvalOptions {
+	return EvalOptions{MaxSteps: 50_000_000, MaxDepth: 10_000}
+}
+
+// Result is the observable outcome of a program run: the sequence of values
+// printed.  It is the quantity every execution strategy in this reproduction
+// must agree on.
+type Result struct {
+	Output []int64
+	Steps  int64
+}
+
+// Evaluate runs the program on the reference tree-walking evaluator.  The
+// program must have been analysed (Analyze) first; Evaluate analyses it if
+// not.  This evaluator is the semantic oracle for the compiler, the DIR
+// interpreters and the UHM simulation: all of them must produce the same
+// Output.
+func Evaluate(prog *Program, opts EvalOptions) (*Result, error) {
+	if prog.Analysis == nil {
+		if _, err := Analyze(prog); err != nil {
+			return nil, err
+		}
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultEvalOptions().MaxSteps
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultEvalOptions().MaxDepth
+	}
+	ev := &evaluator{analysis: prog.Analysis, opts: opts}
+	main := prog.Analysis.Procs[0]
+	root := &activation{proc: main, slots: make([]int64, main.FrameSlots)}
+	_, _, err := ev.execBlock(main.Block, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: ev.output, Steps: ev.steps}, nil
+}
+
+type activation struct {
+	proc   *ProcInfo
+	slots  []int64
+	static *activation
+	depth  int // call depth, for the recursion limit
+}
+
+// frameAt follows static links until it reaches the activation whose scope
+// depth equals wantDepth.
+func (a *activation) frameAt(wantDepth int) *activation {
+	f := a
+	for f != nil && f.proc.Depth > wantDepth {
+		f = f.static
+	}
+	return f
+}
+
+type evaluator struct {
+	analysis *Analysis
+	opts     EvalOptions
+	output   []int64
+	steps    int64
+}
+
+func (ev *evaluator) tick(pos Position) error {
+	ev.steps++
+	if ev.steps > ev.opts.MaxSteps {
+		return fmt.Errorf("%w at %s", ErrStepLimit, pos)
+	}
+	return nil
+}
+
+type control int
+
+const (
+	ctlNormal control = iota
+	ctlReturn
+)
+
+func (ev *evaluator) execBlock(blk *Block, act *activation) (control, int64, error) {
+	return ev.execStmt(blk.Body, act)
+}
+
+func (ev *evaluator) execStmt(stmt Stmt, act *activation) (control, int64, error) {
+	if err := ev.tick(stmt.Pos()); err != nil {
+		return ctlNormal, 0, err
+	}
+	switch s := stmt.(type) {
+	case *CompoundStmt:
+		for _, inner := range s.Stmts {
+			ctl, v, err := ev.execStmt(inner, act)
+			if err != nil || ctl == ctlReturn {
+				return ctl, v, err
+			}
+		}
+		return ctlNormal, 0, nil
+
+	case *AssignStmt:
+		value, err := ev.evalExpr(s.Value, act)
+		if err != nil {
+			return ctlNormal, 0, err
+		}
+		if err := ev.store(s.TargetSym, s.Index, value, act, s.Pos()); err != nil {
+			return ctlNormal, 0, err
+		}
+		return ctlNormal, 0, nil
+
+	case *IfStmt:
+		cond, err := ev.evalExpr(s.Cond, act)
+		if err != nil {
+			return ctlNormal, 0, err
+		}
+		if cond != 0 {
+			return ev.execStmt(s.Then, act)
+		}
+		if s.Else != nil {
+			return ev.execStmt(s.Else, act)
+		}
+		return ctlNormal, 0, nil
+
+	case *WhileStmt:
+		for {
+			if err := ev.tick(s.Pos()); err != nil {
+				return ctlNormal, 0, err
+			}
+			cond, err := ev.evalExpr(s.Cond, act)
+			if err != nil {
+				return ctlNormal, 0, err
+			}
+			if cond == 0 {
+				return ctlNormal, 0, nil
+			}
+			ctl, v, err := ev.execStmt(s.Body, act)
+			if err != nil || ctl == ctlReturn {
+				return ctl, v, err
+			}
+		}
+
+	case *CallStmt:
+		_, err := ev.call(s.ProcSym, s.Args, act, s.Pos())
+		return ctlNormal, 0, err
+
+	case *PrintStmt:
+		v, err := ev.evalExpr(s.Value, act)
+		if err != nil {
+			return ctlNormal, 0, err
+		}
+		ev.output = append(ev.output, v)
+		return ctlNormal, 0, nil
+
+	case *ReturnStmt:
+		var v int64
+		if s.Value != nil {
+			var err error
+			v, err = ev.evalExpr(s.Value, act)
+			if err != nil {
+				return ctlNormal, 0, err
+			}
+		}
+		return ctlReturn, v, nil
+
+	case *EmptyStmt:
+		return ctlNormal, 0, nil
+
+	default:
+		return ctlNormal, 0, fmt.Errorf("hlr: unsupported statement %T at %s", stmt, stmt.Pos())
+	}
+}
+
+func (ev *evaluator) store(sym *Symbol, index Expr, value int64, act *activation, pos Position) error {
+	frame := act.frameAt(sym.Depth)
+	if frame == nil {
+		return fmt.Errorf("hlr: no activation at depth %d for %q at %s", sym.Depth, sym.Name, pos)
+	}
+	slot := int64(sym.Offset)
+	if index != nil {
+		idx, err := ev.evalExpr(index, act)
+		if err != nil {
+			return err
+		}
+		if idx < 0 || idx >= sym.Size {
+			return fmt.Errorf("%w: %s[%d] (size %d) at %s", ErrIndexRange, sym.Name, idx, sym.Size, pos)
+		}
+		slot += idx
+	}
+	frame.slots[slot] = value
+	return nil
+}
+
+func (ev *evaluator) load(sym *Symbol, index Expr, act *activation, pos Position) (int64, error) {
+	frame := act.frameAt(sym.Depth)
+	if frame == nil {
+		return 0, fmt.Errorf("hlr: no activation at depth %d for %q at %s", sym.Depth, sym.Name, pos)
+	}
+	slot := int64(sym.Offset)
+	if index != nil {
+		idx, err := ev.evalExpr(index, act)
+		if err != nil {
+			return 0, err
+		}
+		if idx < 0 || idx >= sym.Size {
+			return 0, fmt.Errorf("%w: %s[%d] (size %d) at %s", ErrIndexRange, sym.Name, idx, sym.Size, pos)
+		}
+		slot += idx
+	}
+	return frame.slots[slot], nil
+}
+
+func (ev *evaluator) call(procSym *Symbol, args []Expr, act *activation, pos Position) (int64, error) {
+	if act.depth+1 > ev.opts.MaxDepth {
+		return 0, fmt.Errorf("%w at %s", ErrCallDepth, pos)
+	}
+	info := procSym.Proc
+	frame := &activation{
+		proc:   info,
+		slots:  make([]int64, info.FrameSlots),
+		static: act.frameAt(procSym.Depth),
+		depth:  act.depth + 1,
+	}
+	for i, arg := range args {
+		v, err := ev.evalExpr(arg, act)
+		if err != nil {
+			return 0, err
+		}
+		frame.slots[i] = v
+	}
+	ctl, v, err := ev.execBlock(info.Block, frame)
+	if err != nil {
+		return 0, err
+	}
+	if ctl == ctlReturn {
+		return v, nil
+	}
+	return 0, nil
+}
+
+func (ev *evaluator) evalExpr(expr Expr, act *activation) (int64, error) {
+	if err := ev.tick(expr.Pos()); err != nil {
+		return 0, err
+	}
+	switch e := expr.(type) {
+	case *NumberLit:
+		return e.Value, nil
+	case *VarRef:
+		return ev.load(e.Sym, e.Index, act, e.Pos())
+	case *CallExpr:
+		return ev.call(e.ProcSym, e.Args, act, e.Pos())
+	case *UnaryExpr:
+		v, err := ev.evalExpr(e.Operand, act)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpNeg:
+			return -v, nil
+		case OpNot:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		default:
+			return 0, fmt.Errorf("hlr: unknown unary operator %v at %s", e.Op, e.Pos())
+		}
+	case *BinaryExpr:
+		left, err := ev.evalExpr(e.Left, act)
+		if err != nil {
+			return 0, err
+		}
+		// MiniLang has no short-circuit evaluation: both operands of "and"
+		// and "or" are always evaluated, as in classic ALGOL boolean
+		// operators.  This keeps every execution strategy's instruction
+		// counts directly comparable.
+		right, err := ev.evalExpr(e.Right, act)
+		if err != nil {
+			return 0, err
+		}
+		return applyBinOp(e.Op, left, right, e.Pos())
+	default:
+		return 0, fmt.Errorf("hlr: unsupported expression %T at %s", expr, expr.Pos())
+	}
+}
+
+// applyBinOp applies a binary operator with MiniLang semantics (booleans are
+// 0/1 integers, division truncates toward zero as in Go).
+func applyBinOp(op BinOp, a, b int64, pos Position) (int64, error) {
+	boolToInt := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("%w at %s", ErrDivideByZero, pos)
+		}
+		return a / b, nil
+	case OpMod:
+		if b == 0 {
+			return 0, fmt.Errorf("%w at %s", ErrDivideByZero, pos)
+		}
+		return a % b, nil
+	case OpEq:
+		return boolToInt(a == b), nil
+	case OpNe:
+		return boolToInt(a != b), nil
+	case OpLt:
+		return boolToInt(a < b), nil
+	case OpLe:
+		return boolToInt(a <= b), nil
+	case OpGt:
+		return boolToInt(a > b), nil
+	case OpGe:
+		return boolToInt(a >= b), nil
+	case OpAnd:
+		return boolToInt(a != 0 && b != 0), nil
+	case OpOr:
+		return boolToInt(a != 0 || b != 0), nil
+	default:
+		return 0, fmt.Errorf("hlr: unknown binary operator %v at %s", op, pos)
+	}
+}

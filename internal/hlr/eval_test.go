@@ -1,0 +1,316 @@
+package hlr
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// run parses, analyses and evaluates src, failing the test on any error.
+func run(t *testing.T, src string) []int64 {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Evaluate(prog, EvalOptions{})
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	return res.Output
+}
+
+func TestEvaluateArithmetic(t *testing.T) {
+	out := run(t, `
+program arith;
+var a, b;
+begin
+  a := 7; b := 3;
+  print a + b;
+  print a - b;
+  print a * b;
+  print a / b;
+  print a mod b;
+  print -a;
+  print (a + b) * 2
+end.`)
+	want := []int64{10, 4, 21, 2, 1, -7, 20}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateComparisonsAndBooleans(t *testing.T) {
+	out := run(t, `
+program cmp;
+var a, b;
+begin
+  a := 5; b := 9;
+  print a < b;
+  print a > b;
+  print a <= 5;
+  print a >= 6;
+  print a = 5;
+  print a <> 5;
+  print (a < b) and (b < 10);
+  print (a > b) or (b = 9);
+  print not (a = 5)
+end.`)
+	want := []int64{1, 0, 1, 0, 1, 0, 1, 1, 0}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateWhileLoop(t *testing.T) {
+	out := run(t, `
+program loop;
+var i, sum;
+begin
+  i := 1; sum := 0;
+  while i <= 10 do
+  begin
+    sum := sum + i;
+    i := i + 1
+  end;
+  print sum
+end.`)
+	if len(out) != 1 || out[0] != 55 {
+		t.Errorf("output = %v, want [55]", out)
+	}
+}
+
+func TestEvaluateIfElse(t *testing.T) {
+	out := run(t, `
+program branch;
+var x;
+begin
+  x := 3;
+  if x > 5 then print 100 else print 200;
+  if x < 5 then print 300;
+  if x > 5 then print 400
+end.`)
+	want := []int64{200, 300}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateRecursionFibonacci(t *testing.T) {
+	out := run(t, fibSource)
+	if len(out) != 1 || out[0] != 55 {
+		t.Errorf("fib(10) = %v, want [55]", out)
+	}
+}
+
+func TestEvaluateSieve(t *testing.T) {
+	out := run(t, sieveSource)
+	// Primes below 50: 2 3 5 7 11 13 17 19 23 29 31 37 41 43 47 = 15 primes.
+	if len(out) != 1 || out[0] != 15 {
+		t.Errorf("sieve output = %v, want [15]", out)
+	}
+}
+
+func TestEvaluateArrays(t *testing.T) {
+	out := run(t, `
+program arr;
+var a[10], i;
+begin
+  i := 0;
+  while i < 10 do
+  begin
+    a[i] := i * i;
+    i := i + 1
+  end;
+  print a[0] + a[1] + a[9];
+  a[2 + 3] := 99;
+  print a[5]
+end.`)
+	want := []int64{82, 99}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateUplevelAddressing(t *testing.T) {
+	out := run(t, `
+program uplevel;
+var counter;
+proc outer(n);
+  proc bump(k);
+  begin
+    counter := counter + k + n
+  end;
+begin
+  call bump(1);
+  call bump(2)
+end;
+begin
+  counter := 0;
+  call outer(10);
+  call outer(100);
+  print counter
+end.`)
+	// outer(10): bump adds 1+10 and 2+10 = 23; outer(100): 1+100 + 2+100 = 203.
+	if len(out) != 1 || out[0] != 226 {
+		t.Errorf("output = %v, want [226]", out)
+	}
+}
+
+func TestEvaluateShadowing(t *testing.T) {
+	out := run(t, `
+program shadow;
+var x;
+proc q(x);
+begin
+  x := x + 1;
+  return x
+end;
+begin
+  x := 100;
+  print q(1);
+  print x
+end.`)
+	want := []int64{2, 100}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateFunctionWithoutReturnYieldsZero(t *testing.T) {
+	out := run(t, `
+program noreturn;
+var x;
+proc q();
+begin
+  x := 5
+end;
+begin
+  x := 1;
+  print q();
+  print x
+end.`)
+	want := []int64{0, 5}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateReturnStopsProcedure(t *testing.T) {
+	out := run(t, `
+program early;
+proc q(n);
+begin
+  if n > 0 then return 1;
+  print 999;
+  return 2
+end;
+begin
+  print q(5);
+  print q(0)
+end.`)
+	want := []int64{1, 999, 2}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateMutualRecursion(t *testing.T) {
+	out := run(t, `
+program mutual;
+var r;
+proc isodd(n);
+begin
+  if n = 0 then return 0;
+  return iseven(n - 1)
+end;
+proc iseven(n);
+begin
+  if n = 0 then return 1;
+  return isodd(n - 1)
+end;
+begin
+  print iseven(10);
+  print isodd(7)
+end.`)
+	want := []int64{1, 1}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+func TestEvaluateDivideByZero(t *testing.T) {
+	prog := MustParse("program d; var a; begin a := 1 / 0 end.")
+	if _, err := Evaluate(prog, EvalOptions{}); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("err = %v, want ErrDivideByZero", err)
+	}
+	prog = MustParse("program d; var a; begin a := 1 mod 0 end.")
+	if _, err := Evaluate(prog, EvalOptions{}); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("mod err = %v, want ErrDivideByZero", err)
+	}
+}
+
+func TestEvaluateIndexOutOfRange(t *testing.T) {
+	prog := MustParse("program d; var a[3]; begin a[3] := 1 end.")
+	if _, err := Evaluate(prog, EvalOptions{}); !errors.Is(err, ErrIndexRange) {
+		t.Errorf("err = %v, want ErrIndexRange", err)
+	}
+	prog = MustParse("program d; var a[3], b; begin b := a[0-1] end.")
+	if _, err := Evaluate(prog, EvalOptions{}); !errors.Is(err, ErrIndexRange) {
+		t.Errorf("negative index err = %v, want ErrIndexRange", err)
+	}
+}
+
+func TestEvaluateStepLimit(t *testing.T) {
+	prog := MustParse("program d; var a; begin a := 0; while 1 do a := a + 1 end.")
+	_, err := Evaluate(prog, EvalOptions{MaxSteps: 1000})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestEvaluateCallDepthLimit(t *testing.T) {
+	prog := MustParse("program d; proc q(n); begin return q(n + 1) end; begin print q(0) end.")
+	_, err := Evaluate(prog, EvalOptions{MaxDepth: 50})
+	if !errors.Is(err, ErrCallDepth) {
+		t.Errorf("err = %v, want ErrCallDepth", err)
+	}
+}
+
+func TestEvaluateAnalysisOnDemand(t *testing.T) {
+	prog := MustParse("program d; var a; begin a := 2; print a end.")
+	if prog.Analysis != nil {
+		t.Fatal("analysis should not exist before Evaluate")
+	}
+	res, err := Evaluate(prog, EvalOptions{})
+	if err != nil || len(res.Output) != 1 || res.Output[0] != 2 {
+		t.Errorf("result = %+v err = %v", res, err)
+	}
+	if prog.Analysis == nil {
+		t.Error("Evaluate should attach the analysis")
+	}
+	if res.Steps <= 0 {
+		t.Error("steps should be counted")
+	}
+}
+
+func TestEvaluateAnalysisErrorPropagates(t *testing.T) {
+	prog := MustParse("program d; begin x := 1 end.")
+	if _, err := Evaluate(prog, EvalOptions{}); err == nil {
+		t.Error("evaluation of an invalid program should fail")
+	}
+}
+
+func BenchmarkEvaluateFib(b *testing.B) {
+	prog := MustParse(fibSource)
+	if _, err := Analyze(prog); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(prog, EvalOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package hlr
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// LexError describes a lexical error with its source position.
+type LexError struct {
+	Pos Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns MiniLang source text into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokenize lexes the entire input, returning all tokens including the final
+// EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) here() Position { return Position{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '{': // ALGOL-style comment in braces
+			start := l.here()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return &LexError{Pos: start, Msg: "unterminated comment"}
+				}
+				if l.advance() == '}' {
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		if kind, ok := keywords[text]; ok {
+			return Token{Kind: kind, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, &LexError{Pos: pos, Msg: fmt.Sprintf("invalid number %q", text)}
+		}
+		return Token{Kind: TokNumber, Text: text, Num: n, Pos: pos}, nil
+	}
+
+	l.advance()
+	switch r {
+	case ';':
+		return Token{Kind: TokSemicolon, Text: ";", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokPeriod, Text: ".", Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Text: "-", Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Text: "/", Pos: pos}, nil
+	case '=':
+		return Token{Kind: TokEq, Text: "=", Pos: pos}, nil
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokAssign, Text: ":=", Pos: pos}, nil
+		}
+		return Token{}, &LexError{Pos: pos, Msg: "expected '=' after ':'"}
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return Token{Kind: TokLe, Text: "<=", Pos: pos}, nil
+		case '>':
+			l.advance()
+			return Token{Kind: TokNe, Text: "<>", Pos: pos}, nil
+		}
+		return Token{Kind: TokLt, Text: "<", Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokGe, Text: ">=", Pos: pos}, nil
+		}
+		return Token{Kind: TokGt, Text: ">", Pos: pos}, nil
+	}
+	return Token{}, &LexError{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", r)}
+}

@@ -1,0 +1,137 @@
+package hlr
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeSimple(t *testing.T) {
+	toks, err := Tokenize("program p; begin x := x + 1 end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokProgram, TokIdent, TokSemicolon, TokBegin, TokIdent, TokAssign,
+		TokIdent, TokPlus, TokNumber, TokEnd, TokPeriod, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("<= >= <> < > = + - * / mod and or not := , . ; ( ) [ ]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokLe, TokGe, TokNe, TokLt, TokGt, TokEq, TokPlus, TokMinus, TokStar,
+		TokSlash, TokMod, TokAnd, TokOr, TokNot, TokAssign, TokComma, TokPeriod,
+		TokSemicolon, TokLParen, TokRParen, TokLBracket, TokRBracket, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeNumbersAndIdents(t *testing.T) {
+	toks, err := Tokenize("abc x1 _tmp 42 007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "abc" || toks[1].Text != "x1" || toks[2].Text != "_tmp" {
+		t.Errorf("identifiers = %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+	if toks[3].Num != 42 || toks[4].Num != 7 {
+		t.Errorf("numbers = %d %d", toks[3].Num, toks[4].Num)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("x { this is a comment } y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Errorf("tokens around comment = %v", toks)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("x\n  y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("x position = %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("y position = %v", toks[1].Pos)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{
+		"x @ y",                      // illegal character
+		"x : y",                      // ':' without '='
+		"{ unterminated ",            // unterminated comment
+		"99999999999999999999999999", // number overflow
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexErrorMessage(t *testing.T) {
+	_, err := Tokenize("\n  @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	le, ok := err.(*LexError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if le.Pos.Line != 2 || le.Pos.Col != 3 {
+		t.Errorf("error position = %v", le.Pos)
+	}
+	if le.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (Token{Kind: TokIdent, Text: "foo"}).String() != `identifier "foo"` {
+		t.Error("identifier token String")
+	}
+	if (Token{Kind: TokNumber, Num: 5}).String() != "number 5" {
+		t.Error("number token String")
+	}
+	if (Token{Kind: TokBegin}).String() != "'begin'" {
+		t.Error("keyword token String")
+	}
+	if TokenKind(999).String() == "" {
+		t.Error("unknown token kind should render")
+	}
+	if (Position{Line: 3, Col: 9}).String() != "3:9" {
+		t.Error("position String")
+	}
+}

@@ -1,0 +1,510 @@
+package hlr
+
+import "fmt"
+
+// ParseError describes a syntax error with its source position.
+type ParseError struct {
+	Pos Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parser is a recursive-descent parser for MiniLang.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a MiniLang source program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; it is a convenience for tests and
+// built-in workload programs that are known to be valid.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("hlr.MustParse: %v", err))
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(kind TokenKind) bool { return p.cur().Kind == kind }
+
+func (p *Parser) accept(kind TokenKind) (Token, bool) {
+	if p.at(kind) {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	if p.at(kind) {
+		return p.next(), nil
+	}
+	return Token{}, &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected %s, found %s", kind, p.cur())}
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	if _, err := p.expect(TokProgram); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	block, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	end, err := p.expect(TokPeriod)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF) {
+		return nil, &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf("unexpected %s after end of program", p.cur())}
+	}
+	return &Program{Name: name.Text, Block: block, NamePos: name.Pos, EndPos: end.Pos}, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	blk := &Block{BlockPos: p.cur().Pos}
+	for p.at(TokVar) {
+		decls, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		blk.Vars = append(blk.Vars, decls...)
+	}
+	for p.at(TokProc) {
+		proc, err := p.parseProcDecl()
+		if err != nil {
+			return nil, err
+		}
+		blk.Procs = append(blk.Procs, proc)
+	}
+	body, err := p.parseCompound()
+	if err != nil {
+		return nil, err
+	}
+	blk.Body = body
+	return blk, nil
+}
+
+func (p *Parser) parseVarDecl() ([]*VarDecl, error) {
+	if _, err := p.expect(TokVar); err != nil {
+		return nil, err
+	}
+	var decls []*VarDecl
+	for {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		decl := &VarDecl{Name: name.Text, DeclPos: name.Pos}
+		if _, ok := p.accept(TokLBracket); ok {
+			size, err := p.expect(TokNumber)
+			if err != nil {
+				return nil, err
+			}
+			if size.Num <= 0 {
+				return nil, &ParseError{Pos: size.Pos, Msg: fmt.Sprintf("array size must be positive, got %d", size.Num)}
+			}
+			decl.Size = size.Num
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		decls = append(decls, decl)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *Parser) parseProcDecl() (*ProcDecl, error) {
+	procTok, err := p.expect(TokProc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	if !p.at(TokRParen) {
+		for {
+			param, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, param.Text)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return &ProcDecl{Name: name.Text, Params: params, Body: body, DeclPos: procTok.Pos}, nil
+}
+
+func (p *Parser) parseCompound() (*CompoundStmt, error) {
+	begin, err := p.expect(TokBegin)
+	if err != nil {
+		return nil, err
+	}
+	comp := &CompoundStmt{BeginPos: begin.Pos}
+	for {
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		comp.Stmts = append(comp.Stmts, stmt)
+		if _, ok := p.accept(TokSemicolon); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokEnd); err != nil {
+		return nil, err
+	}
+	return comp, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokIdent:
+		return p.parseAssign()
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokBegin:
+		return p.parseCompound()
+	case TokCall:
+		return p.parseCall()
+	case TokPrint:
+		tok := p.next()
+		value, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Value: value, PrintPos: tok.Pos}, nil
+	case TokReturn:
+		tok := p.next()
+		stmt := &ReturnStmt{ReturnPos: tok.Pos}
+		if !p.at(TokSemicolon) && !p.at(TokEnd) {
+			value, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Value = value
+		}
+		return stmt, nil
+	case TokSemicolon, TokEnd:
+		return &EmptyStmt{AtPos: p.cur().Pos}, nil
+	default:
+		return nil, &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected a statement, found %s", p.cur())}
+	}
+}
+
+func (p *Parser) parseAssign() (Stmt, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	stmt := &AssignStmt{Target: name.Text, TargetPos: name.Pos}
+	if _, ok := p.accept(TokLBracket); ok {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Index = idx
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	value, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Value = value
+	return stmt, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	ifTok := p.next()
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokThen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &IfStmt{Cond: cond, Then: then, IfPos: ifTok.Pos}
+	if _, ok := p.accept(TokElse); ok {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Else = els
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	whileTok := p.next()
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokDo); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, WhilePos: whileTok.Pos}, nil
+}
+
+func (p *Parser) parseCall() (Stmt, error) {
+	callTok := p.next()
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	return &CallStmt{Name: name.Text, Args: args, CallPos: callTok.Pos}, nil
+}
+
+func (p *Parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.at(TokRParen) {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOr) {
+		op := p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right, OpPos: op.Pos}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseRel()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAnd) {
+		op := p.next()
+		right, err := p.parseRel()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right, OpPos: op.Pos}
+	}
+	return left, nil
+}
+
+var relOps = map[TokenKind]BinOp{
+	TokEq: OpEq, TokNe: OpNe, TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+}
+
+func (p *Parser) parseRel() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := relOps[p.cur().Kind]; ok {
+		opTok := p.next()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, Left: left, Right: right, OpPos: opTok.Pos}, nil
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		opTok := p.next()
+		op := OpAdd
+		if opTok.Kind == TokMinus {
+			op = OpSub
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right, OpPos: opTok.Pos}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokMod) {
+		opTok := p.next()
+		var op BinOp
+		switch opTok.Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right, OpPos: opTok.Pos}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		tok := p.next()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNeg, Operand: operand, OpPos: tok.Pos}, nil
+	case TokNot:
+		tok := p.next()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: OpNot, Operand: operand, OpPos: tok.Pos}, nil
+	default:
+		return p.parsePrimary()
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokNumber:
+		tok := p.next()
+		return &NumberLit{Value: tok.Num, LitPos: tok.Pos}, nil
+	case TokIdent:
+		tok := p.next()
+		switch p.cur().Kind {
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &VarRef{Name: tok.Text, Index: idx, RefPos: tok.Pos}, nil
+		case TokLParen:
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: tok.Text, Args: args, CallPos: tok.Pos}, nil
+		default:
+			return &VarRef{Name: tok.Text, RefPos: tok.Pos}, nil
+		}
+	case TokLParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected an expression, found %s", p.cur())}
+	}
+}

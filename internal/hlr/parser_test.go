@@ -1,0 +1,262 @@
+package hlr
+
+import (
+	"strings"
+	"testing"
+)
+
+const fibSource = `
+program fib;
+var n, result;
+proc fibo(k);
+begin
+  if k < 2 then return k
+  else return fibo(k - 1) + fibo(k - 2)
+end;
+begin
+  n := 10;
+  result := fibo(n);
+  print result
+end.
+`
+
+const sieveSource = `
+program sieve;
+var flags[50], i, j, count;
+begin
+  i := 0;
+  while i < 50 do
+  begin
+    flags[i] := 1;
+    i := i + 1
+  end;
+  i := 2;
+  count := 0;
+  while i < 50 do
+  begin
+    if flags[i] = 1 then
+    begin
+      count := count + 1;
+      j := i + i;
+      while j < 50 do
+      begin
+        flags[j] := 0;
+        j := j + i
+      end
+    end;
+    i := i + 1
+  end;
+  print count
+end.
+`
+
+func TestParseFib(t *testing.T) {
+	prog, err := Parse(fibSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "fib" {
+		t.Errorf("program name = %q", prog.Name)
+	}
+	if len(prog.Block.Vars) != 2 {
+		t.Errorf("vars = %d, want 2", len(prog.Block.Vars))
+	}
+	if len(prog.Block.Procs) != 1 || prog.Block.Procs[0].Name != "fibo" {
+		t.Fatalf("procs = %v", prog.Block.Procs)
+	}
+	if len(prog.Block.Procs[0].Params) != 1 || prog.Block.Procs[0].Params[0] != "k" {
+		t.Errorf("params = %v", prog.Block.Procs[0].Params)
+	}
+	if len(prog.Block.Body.Stmts) != 3 {
+		t.Errorf("main statements = %d, want 3", len(prog.Block.Body.Stmts))
+	}
+}
+
+func TestParseArraysAndNesting(t *testing.T) {
+	prog, err := Parse(sieveSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Block.Vars) != 4 {
+		t.Fatalf("vars = %d, want 4", len(prog.Block.Vars))
+	}
+	arr := prog.Block.Vars[0]
+	if !arr.IsArray() || arr.Size != 50 || arr.Name != "flags" {
+		t.Errorf("array decl = %+v", arr)
+	}
+	if prog.Block.Vars[1].IsArray() {
+		t.Error("i should be a scalar")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	prog, err := Parse("program p; var x, y, z; begin x := y + z * 2 end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.Block.Body.Stmts[0].(*AssignStmt)
+	add, ok := assign.Value.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("top-level op = %T %v", assign.Value, assign.Value)
+	}
+	mul, ok := add.Right.(*BinaryExpr)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("right operand should be the multiplication, got %T", add.Right)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	prog, err := Parse("program p; var x, y, z; begin x := (y + z) * 2 end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.Block.Body.Stmts[0].(*AssignStmt)
+	mul, ok := assign.Value.(*BinaryExpr)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("top-level op should be *, got %v", assign.Value)
+	}
+	if _, ok := mul.Left.(*BinaryExpr); !ok {
+		t.Error("left operand should be the parenthesised addition")
+	}
+}
+
+func TestParseBooleanOperators(t *testing.T) {
+	prog, err := Parse("program p; var a, b, c; begin if a < b and not (b = c) or a > c then a := 1 end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifStmt := prog.Block.Body.Stmts[0].(*IfStmt)
+	or, ok := ifStmt.Cond.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top-level condition should be 'or', got %v", ifStmt.Cond)
+	}
+}
+
+func TestParseIfElseAssociation(t *testing.T) {
+	prog, err := Parse("program p; var a; begin if a then if a then a := 1 else a := 2 end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Block.Body.Stmts[0].(*IfStmt)
+	if outer.Else != nil {
+		t.Error("else should bind to the inner if")
+	}
+	inner, ok := outer.Then.(*IfStmt)
+	if !ok || inner.Else == nil {
+		t.Error("inner if should carry the else branch")
+	}
+}
+
+func TestParseCallForms(t *testing.T) {
+	prog, err := Parse(`
+program p;
+var x;
+proc q(a, b); begin return a + b end;
+begin
+  call q(1, 2);
+  x := q(3, x) + q(4, 5)
+end.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prog.Block.Body.Stmts[0].(*CallStmt); !ok {
+		t.Error("first statement should be a call statement")
+	}
+	assign := prog.Block.Body.Stmts[1].(*AssignStmt)
+	add := assign.Value.(*BinaryExpr)
+	if _, ok := add.Left.(*CallExpr); !ok {
+		t.Error("left operand should be a call expression")
+	}
+}
+
+func TestParseEmptyStatements(t *testing.T) {
+	prog, err := Parse("program p; var x; begin ; x := 1; end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Block.Body.Stmts) != 3 {
+		t.Fatalf("statements = %d, want 3 (two of them empty)", len(prog.Block.Body.Stmts))
+	}
+	if _, ok := prog.Block.Body.Stmts[0].(*EmptyStmt); !ok {
+		t.Error("first statement should be empty")
+	}
+	if _, ok := prog.Block.Body.Stmts[2].(*EmptyStmt); !ok {
+		t.Error("last statement should be empty")
+	}
+}
+
+func TestParseReturnWithoutValue(t *testing.T) {
+	prog, err := Parse("program p; proc q(); begin return end; begin call q() end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Block.Procs[0].Body.Body.Stmts[0].(*ReturnStmt)
+	if ret.Value != nil {
+		t.Error("return without value should have nil Value")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing program", "begin end.", "expected 'program'"},
+		{"missing period", "program p; begin end", "expected '.'"},
+		{"trailing tokens", "program p; begin end. extra", "unexpected"},
+		{"bad statement", "program p; begin 42 end.", "expected a statement"},
+		{"missing then", "program p; var a; begin if a a := 1 end.", "expected 'then'"},
+		{"missing do", "program p; var a; begin while a a := 1 end.", "expected 'do'"},
+		{"missing assign", "program p; var a; begin a 1 end.", "expected ':='"},
+		{"bad array size", "program p; var a[0]; begin a[0] := 1 end.", "array size must be positive"},
+		{"unclosed paren", "program p; var a; begin a := (1 + 2 end.", "expected ')'"},
+		{"unclosed bracket", "program p; var a[3]; begin a[1 := 2 end.", "expected ']'"},
+		{"missing proc paren", "program p; proc q; begin end; begin end.", "expected '('"},
+		{"bad expression", "program p; var a; begin a := * end.", "expected an expression"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) should fail", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %q, want it to contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on a syntax error")
+		}
+	}()
+	MustParse("program")
+}
+
+func TestMustParseOK(t *testing.T) {
+	prog := MustParse("program ok; begin print 1 end.")
+	if prog.Name != "ok" {
+		t.Errorf("name = %q", prog.Name)
+	}
+}
+
+func TestBinOpStrings(t *testing.T) {
+	for op := OpAdd; op <= OpOr; op++ {
+		if op.String() == "" {
+			t.Errorf("operator %d has empty String", op)
+		}
+	}
+	if !OpLt.IsComparison() || OpAdd.IsComparison() {
+		t.Error("IsComparison misclassifies operators")
+	}
+	if OpNeg.String() != "-" || OpNot.String() != "not" {
+		t.Error("unary operator strings")
+	}
+	if BinOp(99).String() == "" || UnOp(99).String() == "" {
+		t.Error("unknown operators should still render")
+	}
+}

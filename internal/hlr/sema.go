@@ -1,0 +1,361 @@
+package hlr
+
+import "fmt"
+
+// SemaError is a semantic-analysis error with its source position.
+type SemaError struct {
+	Pos Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SemaError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// SymbolKind categorises declared names.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymScalar SymbolKind = iota
+	SymArray
+	SymParam
+	SymProc
+)
+
+// String returns the kind's name.
+func (k SymbolKind) String() string {
+	switch k {
+	case SymScalar:
+		return "variable"
+	case SymArray:
+		return "array"
+	case SymParam:
+		return "parameter"
+	case SymProc:
+		return "procedure"
+	default:
+		return fmt.Sprintf("symbol(%d)", int(k))
+	}
+}
+
+// Symbol is a declared name, bound to a machine-oriented address: the static
+// nesting depth of its declaring contour and its slot offset within that
+// contour's frame.  This is precisely the binding the paper says the compiler
+// must perform so that the DIR "does not require an associative memory".
+type Symbol struct {
+	Name   string
+	Kind   SymbolKind
+	Depth  int   // static nesting depth of the declaring scope (0 = outermost)
+	Offset int   // first frame slot occupied
+	Size   int64 // number of slots (1 for scalars and parameters)
+	Proc   *ProcInfo
+}
+
+// IsStorage reports whether the symbol occupies frame storage.
+func (s *Symbol) IsStorage() bool { return s.Kind != SymProc }
+
+// ProcInfo describes a procedure (or the main program body, which is
+// procedure index 0).
+type ProcInfo struct {
+	Name       string
+	Index      int // dense index; 0 is the main program body
+	Depth      int // static nesting depth of the procedure's own scope
+	NumParams  int
+	FrameSlots int       // total frame slots: parameters, scalars and array storage
+	Decl       *ProcDecl // nil for the main program body
+	Block      *Block
+}
+
+// Scope is a contour: the set of names declared by one block, linked to its
+// statically enclosing scope.
+type Scope struct {
+	Parent  *Scope
+	Depth   int
+	Proc    *ProcInfo
+	symbols map[string]*Symbol
+	order   []*Symbol
+}
+
+func newScope(parent *Scope, proc *ProcInfo) *Scope {
+	depth := 0
+	if parent != nil {
+		depth = parent.Depth + 1
+	}
+	return &Scope{Parent: parent, Depth: depth, Proc: proc, symbols: make(map[string]*Symbol)}
+}
+
+// Lookup resolves a name through the static chain, innermost scope first.
+func (s *Scope) Lookup(name string) *Symbol {
+	for scope := s; scope != nil; scope = scope.Parent {
+		if sym, ok := scope.symbols[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+// LookupLocal resolves a name in this scope only.
+func (s *Scope) LookupLocal(name string) *Symbol {
+	return s.symbols[name]
+}
+
+// Symbols returns the scope's symbols in declaration order.
+func (s *Scope) Symbols() []*Symbol { return s.order }
+
+// VisibleCount returns the number of storage symbols visible from this scope
+// (the quantity that fixes the contextual operand-field width of §3.2).
+func (s *Scope) VisibleCount() int {
+	n := 0
+	for scope := s; scope != nil; scope = scope.Parent {
+		for _, sym := range scope.order {
+			if sym.IsStorage() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (s *Scope) declare(sym *Symbol) error {
+	if _, dup := s.symbols[sym.Name]; dup {
+		return fmt.Errorf("%q is already declared in this scope", sym.Name)
+	}
+	s.symbols[sym.Name] = sym
+	s.order = append(s.order, sym)
+	return nil
+}
+
+// Analysis is the result of semantic analysis: the procedure table and the
+// root scope, with every name reference in the AST annotated with its Symbol.
+type Analysis struct {
+	Procs     []*ProcInfo
+	RootScope *Scope
+}
+
+// MainFrameSlots returns the frame size of the main program body.
+func (a *Analysis) MainFrameSlots() int { return a.Procs[0].FrameSlots }
+
+// ProcByName returns the ProcInfo with the given name, if any.  Procedure
+// names are not required to be globally unique in MiniLang (they obey scope
+// rules); the first match in procedure-index order is returned, which is
+// sufficient for the workload programs and tools.
+func (a *Analysis) ProcByName(name string) (*ProcInfo, bool) {
+	for _, p := range a.Procs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+type analyzer struct {
+	procs []*ProcInfo
+}
+
+// Analyze performs semantic analysis on a parsed program: it builds scopes,
+// assigns (depth, offset) addresses to every variable, parameter and array,
+// numbers every procedure, resolves every name reference and checks argument
+// counts and indexing.  On success the Program's Analysis field is populated
+// and the same value is returned.
+func Analyze(prog *Program) (*Analysis, error) {
+	a := &analyzer{}
+	main := &ProcInfo{Name: prog.Name, Index: 0, Depth: 0, Block: prog.Block}
+	a.procs = append(a.procs, main)
+	rootScope := newScope(nil, main)
+	if err := a.analyzeBlock(prog.Block, rootScope, main); err != nil {
+		return nil, err
+	}
+	analysis := &Analysis{Procs: a.procs, RootScope: rootScope}
+	prog.Analysis = analysis
+	return analysis, nil
+}
+
+// analyzeBlock declares the block's variables and procedures in scope and
+// analyses nested procedure bodies and the block body.
+func (a *analyzer) analyzeBlock(blk *Block, scope *Scope, proc *ProcInfo) error {
+	blk.Scope = scope
+	// Declare variables, assigning consecutive frame slots after any slots
+	// already used (parameters of the enclosing procedure).
+	for _, v := range blk.Vars {
+		kind := SymScalar
+		size := int64(1)
+		if v.IsArray() {
+			kind = SymArray
+			size = v.Size
+		}
+		sym := &Symbol{Name: v.Name, Kind: kind, Depth: scope.Depth, Offset: proc.FrameSlots, Size: size}
+		if err := scope.declare(sym); err != nil {
+			return &SemaError{Pos: v.Pos(), Msg: err.Error()}
+		}
+		proc.FrameSlots += int(size)
+	}
+	// Declare procedures (so they are visible to each other and recursively
+	// to themselves) before analysing their bodies.
+	for _, pd := range blk.Procs {
+		info := &ProcInfo{
+			Name:      pd.Name,
+			Index:     len(a.procs),
+			Depth:     scope.Depth + 1,
+			NumParams: len(pd.Params),
+			Decl:      pd,
+			Block:     pd.Body,
+		}
+		sym := &Symbol{Name: pd.Name, Kind: SymProc, Depth: scope.Depth, Proc: info}
+		if err := scope.declare(sym); err != nil {
+			return &SemaError{Pos: pd.Pos(), Msg: err.Error()}
+		}
+		pd.Sym = sym
+		a.procs = append(a.procs, info)
+	}
+	for _, pd := range blk.Procs {
+		procScope := newScope(scope, pd.Sym.Proc)
+		info := pd.Sym.Proc
+		for _, param := range pd.Params {
+			sym := &Symbol{Name: param, Kind: SymParam, Depth: procScope.Depth, Offset: info.FrameSlots, Size: 1}
+			if err := procScope.declare(sym); err != nil {
+				return &SemaError{Pos: pd.Pos(), Msg: fmt.Sprintf("parameter %s", err)}
+			}
+			info.FrameSlots++
+		}
+		if err := a.analyzeBlock(pd.Body, procScope, info); err != nil {
+			return err
+		}
+	}
+	return a.analyzeStmt(blk.Body, scope)
+}
+
+func (a *analyzer) analyzeStmt(stmt Stmt, scope *Scope) error {
+	switch s := stmt.(type) {
+	case *CompoundStmt:
+		for _, inner := range s.Stmts {
+			if err := a.analyzeStmt(inner, scope); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AssignStmt:
+		sym := scope.Lookup(s.Target)
+		if sym == nil {
+			return &SemaError{Pos: s.Pos(), Msg: fmt.Sprintf("undeclared name %q", s.Target)}
+		}
+		if !sym.IsStorage() {
+			return &SemaError{Pos: s.Pos(), Msg: fmt.Sprintf("cannot assign to %s %q", sym.Kind, s.Target)}
+		}
+		if s.Index != nil {
+			if sym.Kind != SymArray {
+				return &SemaError{Pos: s.Pos(), Msg: fmt.Sprintf("%q is not an array", s.Target)}
+			}
+			if err := a.analyzeExpr(s.Index, scope); err != nil {
+				return err
+			}
+		} else if sym.Kind == SymArray {
+			return &SemaError{Pos: s.Pos(), Msg: fmt.Sprintf("array %q must be indexed", s.Target)}
+		}
+		s.TargetSym = sym
+		return a.analyzeExpr(s.Value, scope)
+	case *IfStmt:
+		if err := a.analyzeExpr(s.Cond, scope); err != nil {
+			return err
+		}
+		if err := a.analyzeStmt(s.Then, scope); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return a.analyzeStmt(s.Else, scope)
+		}
+		return nil
+	case *WhileStmt:
+		if err := a.analyzeExpr(s.Cond, scope); err != nil {
+			return err
+		}
+		return a.analyzeStmt(s.Body, scope)
+	case *CallStmt:
+		sym, err := a.resolveProc(s.Name, len(s.Args), s.Pos(), scope)
+		if err != nil {
+			return err
+		}
+		s.ProcSym = sym
+		for _, arg := range s.Args {
+			if err := a.analyzeExpr(arg, scope); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *PrintStmt:
+		return a.analyzeExpr(s.Value, scope)
+	case *ReturnStmt:
+		if s.Value != nil {
+			return a.analyzeExpr(s.Value, scope)
+		}
+		return nil
+	case *EmptyStmt:
+		return nil
+	default:
+		return &SemaError{Pos: stmt.Pos(), Msg: fmt.Sprintf("unsupported statement %T", stmt)}
+	}
+}
+
+func (a *analyzer) analyzeExpr(expr Expr, scope *Scope) error {
+	switch e := expr.(type) {
+	case *NumberLit:
+		return nil
+	case *VarRef:
+		sym := scope.Lookup(e.Name)
+		if sym == nil {
+			return &SemaError{Pos: e.Pos(), Msg: fmt.Sprintf("undeclared name %q", e.Name)}
+		}
+		if !sym.IsStorage() {
+			return &SemaError{Pos: e.Pos(), Msg: fmt.Sprintf("%s %q used as a variable", sym.Kind, e.Name)}
+		}
+		if e.Index != nil {
+			if sym.Kind != SymArray {
+				return &SemaError{Pos: e.Pos(), Msg: fmt.Sprintf("%q is not an array", e.Name)}
+			}
+			if err := a.analyzeExpr(e.Index, scope); err != nil {
+				return err
+			}
+		} else if sym.Kind == SymArray {
+			return &SemaError{Pos: e.Pos(), Msg: fmt.Sprintf("array %q must be indexed", e.Name)}
+		}
+		e.Sym = sym
+		return nil
+	case *CallExpr:
+		sym, err := a.resolveProc(e.Name, len(e.Args), e.Pos(), scope)
+		if err != nil {
+			return err
+		}
+		e.ProcSym = sym
+		for _, arg := range e.Args {
+			if err := a.analyzeExpr(arg, scope); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *BinaryExpr:
+		if err := a.analyzeExpr(e.Left, scope); err != nil {
+			return err
+		}
+		return a.analyzeExpr(e.Right, scope)
+	case *UnaryExpr:
+		return a.analyzeExpr(e.Operand, scope)
+	default:
+		return &SemaError{Pos: expr.Pos(), Msg: fmt.Sprintf("unsupported expression %T", expr)}
+	}
+}
+
+func (a *analyzer) resolveProc(name string, nargs int, pos Position, scope *Scope) (*Symbol, error) {
+	sym := scope.Lookup(name)
+	if sym == nil {
+		return nil, &SemaError{Pos: pos, Msg: fmt.Sprintf("undeclared procedure %q", name)}
+	}
+	if sym.Kind != SymProc {
+		return nil, &SemaError{Pos: pos, Msg: fmt.Sprintf("%s %q called as a procedure", sym.Kind, name)}
+	}
+	if sym.Proc.NumParams != nargs {
+		return nil, &SemaError{
+			Pos: pos,
+			Msg: fmt.Sprintf("procedure %q expects %d argument(s), got %d", name, sym.Proc.NumParams, nargs),
+		}
+	}
+	return sym, nil
+}

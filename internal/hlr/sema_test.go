@@ -1,0 +1,221 @@
+package hlr
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyzeSrc(t *testing.T, src string) (*Program, *Analysis) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	an, err := Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return prog, an
+}
+
+func TestAnalyzeBindsOffsets(t *testing.T) {
+	_, an := analyzeSrc(t, `
+program p;
+var a, b, arr[5], c;
+begin
+  a := 1; b := 2; c := 3; arr[0] := 4
+end.`)
+	root := an.RootScope
+	a := root.Lookup("a")
+	b := root.Lookup("b")
+	arr := root.Lookup("arr")
+	c := root.Lookup("c")
+	if a.Offset != 0 || b.Offset != 1 || arr.Offset != 2 || c.Offset != 7 {
+		t.Errorf("offsets = %d,%d,%d,%d want 0,1,2,7", a.Offset, b.Offset, arr.Offset, c.Offset)
+	}
+	if a.Depth != 0 || arr.Kind != SymArray || arr.Size != 5 {
+		t.Errorf("symbol details: %+v %+v", a, arr)
+	}
+	if an.MainFrameSlots() != 8 {
+		t.Errorf("main frame slots = %d, want 8", an.MainFrameSlots())
+	}
+}
+
+func TestAnalyzeProcedureNumberingAndDepth(t *testing.T) {
+	_, an := analyzeSrc(t, `
+program p;
+var g;
+proc outer(x);
+  var local;
+  proc inner(y);
+  begin
+    return y + x + g
+  end;
+begin
+  local := inner(x);
+  return local
+end;
+begin
+  g := 1;
+  print outer(2)
+end.`)
+	if len(an.Procs) != 3 {
+		t.Fatalf("procs = %d, want 3", len(an.Procs))
+	}
+	main, outer, inner := an.Procs[0], an.Procs[1], an.Procs[2]
+	if main.Index != 0 || main.Depth != 0 {
+		t.Errorf("main = %+v", main)
+	}
+	if outer.Name != "outer" || outer.Depth != 1 || outer.NumParams != 1 || outer.FrameSlots != 2 {
+		t.Errorf("outer = %+v", outer)
+	}
+	if inner.Name != "inner" || inner.Depth != 2 || inner.NumParams != 1 || inner.FrameSlots != 1 {
+		t.Errorf("inner = %+v", inner)
+	}
+	if p, ok := an.ProcByName("inner"); !ok || p != inner {
+		t.Error("ProcByName(inner) failed")
+	}
+	if _, ok := an.ProcByName("nosuch"); ok {
+		t.Error("ProcByName should fail for unknown name")
+	}
+}
+
+func TestAnalyzeUplevelReferences(t *testing.T) {
+	prog, _ := analyzeSrc(t, `
+program p;
+var g;
+proc q(x);
+begin
+  g := g + x
+end;
+begin
+  g := 0;
+  call q(5);
+  print g
+end.`)
+	// Inside q, the reference to g must resolve to the depth-0 symbol.
+	q := prog.Block.Procs[0]
+	assign := q.Body.Body.Stmts[0].(*AssignStmt)
+	if assign.TargetSym.Depth != 0 || assign.TargetSym.Name != "g" {
+		t.Errorf("up-level target symbol = %+v", assign.TargetSym)
+	}
+	// And x resolves to the parameter at depth 1, offset 0.
+	add := assign.Value.(*BinaryExpr)
+	x := add.Right.(*VarRef)
+	if x.Sym.Depth != 1 || x.Sym.Offset != 0 || x.Sym.Kind != SymParam {
+		t.Errorf("parameter symbol = %+v", x.Sym)
+	}
+}
+
+func TestVisibleCount(t *testing.T) {
+	prog, _ := analyzeSrc(t, `
+program p;
+var a, b;
+proc q(x, y);
+  var c;
+begin
+  c := a + x
+end;
+begin
+  call q(1, 2)
+end.`)
+	rootVisible := prog.Block.Scope.VisibleCount()
+	if rootVisible != 2 {
+		t.Errorf("root visible = %d, want 2", rootVisible)
+	}
+	qScope := prog.Block.Procs[0].Body.Scope
+	// q sees: its params x, y, its local c, and globals a, b = 5.
+	if got := qScope.VisibleCount(); got != 5 {
+		t.Errorf("q visible = %d, want 5", got)
+	}
+	if qScope.LookupLocal("a") != nil {
+		t.Error("LookupLocal should not see enclosing scope")
+	}
+	if qScope.LookupLocal("c") == nil {
+		t.Error("LookupLocal should see own locals")
+	}
+	if len(qScope.Symbols()) != 3 {
+		t.Errorf("q scope symbols = %d, want 3", len(qScope.Symbols()))
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	prog, _ := analyzeSrc(t, `
+program p;
+var x;
+proc q(x);
+begin
+  x := x + 1;
+  return x
+end;
+begin
+  x := 100;
+  print q(1);
+  print x
+end.`)
+	q := prog.Block.Procs[0]
+	assign := q.Body.Body.Stmts[0].(*AssignStmt)
+	if assign.TargetSym.Depth != 1 {
+		t.Errorf("inner x should shadow the global: depth = %d", assign.TargetSym.Depth)
+	}
+	mainAssign := prog.Block.Body.Stmts[0].(*AssignStmt)
+	if mainAssign.TargetSym.Depth != 0 {
+		t.Errorf("outer x depth = %d", mainAssign.TargetSym.Depth)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared variable", "program p; begin x := 1 end.", `undeclared name "x"`},
+		{"undeclared in expr", "program p; var a; begin a := b end.", `undeclared name "b"`},
+		{"undeclared proc", "program p; begin call q() end.", `undeclared procedure "q"`},
+		{"duplicate variable", "program p; var a, a; begin a := 1 end.", "already declared"},
+		{"duplicate proc", "program p; var a; proc a(); begin end; begin a := 1 end.", "already declared"},
+		{"duplicate param", "program p; proc q(x, x); begin end; begin call q(1, 2) end.", "already declared"},
+		{"assign to proc", "program p; proc q(); begin end; begin q := 1 end.", "cannot assign to procedure"},
+		{"index scalar", "program p; var a; begin a[1] := 2 end.", "is not an array"},
+		{"index scalar in expr", "program p; var a, b; begin b := a[1] end.", "is not an array"},
+		{"array without index", "program p; var a[3]; begin a := 1 end.", "must be indexed"},
+		{"array value without index", "program p; var a[3], b; begin b := a end.", "must be indexed"},
+		{"call a variable", "program p; var a; begin call a() end.", "called as a procedure"},
+		{"variable used as proc in expr", "program p; var a, b; begin b := a(1) end.", "called as a procedure"},
+		{"proc used as variable", "program p; var b; proc q(); begin end; begin b := q + 1 end.", "used as a variable"},
+		{"wrong arg count", "program p; proc q(x); begin end; begin call q() end.", "expects 1 argument"},
+		{"wrong arg count expr", "program p; var a; proc q(x); begin return x end; begin a := q(1, 2) end.", "expects 1 argument"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = Analyze(prog)
+			if err == nil {
+				t.Fatalf("Analyze(%q) should fail", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %q, want it to contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestSymbolKindString(t *testing.T) {
+	kinds := []SymbolKind{SymScalar, SymArray, SymParam, SymProc, SymbolKind(9)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty String", k)
+		}
+	}
+}
+
+func TestSemaErrorMessage(t *testing.T) {
+	e := &SemaError{Pos: Position{Line: 4, Col: 2}, Msg: "boom"}
+	if e.Error() != "4:2: boom" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}

@@ -1,0 +1,188 @@
+// Package hlr implements the high-level representation (HLR) substrate: a
+// small block-structured language ("MiniLang") in the ALGOL tradition the
+// paper uses as its reference point for HLRs (§2.2), together with a lexer,
+// parser, semantic analyser and a reference evaluator.
+//
+// MiniLang exhibits the HLR properties the paper relies on: block structure
+// with nested procedures (the contour model), names whose mapping to storage
+// is established by declarations in enclosing scopes, hierarchical expression
+// syntax, and symbolic names of unbounded length.  The compiler in
+// internal/compile removes exactly the features the paper says a DIR must
+// not have: it binds names to (depth, offset) machine addresses, flattens
+// the expression tree to a sequential form and discards symbolic names.
+//
+// Grammar (EBNF):
+//
+//	program   = "program" ident ";" block "." .
+//	block     = { varDecl } { procDecl } compound .
+//	varDecl   = "var" varItem { "," varItem } ";" .
+//	varItem   = ident [ "[" number "]" ] .
+//	procDecl  = "proc" ident "(" [ ident { "," ident } ] ")" ";" block ";" .
+//	compound  = "begin" stmt { ";" stmt } "end" .
+//	stmt      = assign | ifStmt | whileStmt | compound | callStmt
+//	          | printStmt | returnStmt | /* empty */ .
+//	assign    = ident [ "[" expr "]" ] ":=" expr .
+//	ifStmt    = "if" expr "then" stmt [ "else" stmt ] .
+//	whileStmt = "while" expr "do" stmt .
+//	callStmt  = "call" ident "(" [ expr { "," expr } ] ")" .
+//	printStmt = "print" expr .
+//	returnStmt= "return" [ expr ] .
+//	expr      = orExpr .
+//	orExpr    = andExpr { "or" andExpr } .
+//	andExpr   = relExpr { "and" relExpr } .
+//	relExpr   = addExpr [ ( "=" | "<>" | "<" | "<=" | ">" | ">=" ) addExpr ] .
+//	addExpr   = mulExpr { ( "+" | "-" ) mulExpr } .
+//	mulExpr   = unary { ( "*" | "/" | "mod" ) unary } .
+//	unary     = [ "-" | "not" ] primary .
+//	primary   = number | ident [ "[" expr "]" | "(" [ expr { "," expr } ] ")" ]
+//	          | "(" expr ")" .
+package hlr
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokProgram
+	TokVar
+	TokProc
+	TokBegin
+	TokEnd
+	TokIf
+	TokThen
+	TokElse
+	TokWhile
+	TokDo
+	TokCall
+	TokPrint
+	TokReturn
+	TokAnd
+	TokOr
+	TokNot
+	TokMod
+
+	// Punctuation and operators.
+	TokSemicolon
+	TokComma
+	TokPeriod
+	TokAssign // :=
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:       "end of input",
+	TokIdent:     "identifier",
+	TokNumber:    "number",
+	TokProgram:   "'program'",
+	TokVar:       "'var'",
+	TokProc:      "'proc'",
+	TokBegin:     "'begin'",
+	TokEnd:       "'end'",
+	TokIf:        "'if'",
+	TokThen:      "'then'",
+	TokElse:      "'else'",
+	TokWhile:     "'while'",
+	TokDo:        "'do'",
+	TokCall:      "'call'",
+	TokPrint:     "'print'",
+	TokReturn:    "'return'",
+	TokAnd:       "'and'",
+	TokOr:        "'or'",
+	TokNot:       "'not'",
+	TokMod:       "'mod'",
+	TokSemicolon: "';'",
+	TokComma:     "','",
+	TokPeriod:    "'.'",
+	TokAssign:    "':='",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokLBracket:  "'['",
+	TokRBracket:  "']'",
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokStar:      "'*'",
+	TokSlash:     "'/'",
+	TokEq:        "'='",
+	TokNe:        "'<>'",
+	TokLt:        "'<'",
+	TokLe:        "'<='",
+	TokGt:        "'>'",
+	TokGe:        "'>='",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"program": TokProgram,
+	"var":     TokVar,
+	"proc":    TokProc,
+	"begin":   TokBegin,
+	"end":     TokEnd,
+	"if":      TokIf,
+	"then":    TokThen,
+	"else":    TokElse,
+	"while":   TokWhile,
+	"do":      TokDo,
+	"call":    TokCall,
+	"print":   TokPrint,
+	"return":  TokReturn,
+	"and":     TokAnd,
+	"or":      TokOr,
+	"not":     TokNot,
+	"mod":     TokMod,
+}
+
+// Position is a source location.
+type Position struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Num  int64 // valid when Kind == TokNumber
+	Pos  Position
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number %d", t.Num)
+	default:
+		return t.Kind.String()
+	}
+}

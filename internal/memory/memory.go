@@ -1,0 +1,354 @@
+// Package memory models the two-level memory hierarchy the paper assumes: "a
+// small, fast first level memory along with a large and relatively slow
+// second level" (§3.1).  All times are expressed in level-1 access-time
+// units, exactly as in the Section 7 analysis where t1 = 1.
+//
+// The model provides:
+//
+//   - per-level access times and reference/time accounting,
+//   - named segments allocated within a level (the DIR program, the
+//     interpreter and semantic routines, the DTB buffer array, stacks),
+//   - word-granular and bit-granular views of a segment ("high memory
+//     resolution, i.e. the ability to view the memory space as a bit
+//     string", §6.1).
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Cycles is a duration expressed in level-1 access-time units.
+type Cycles int64
+
+// Level identifies a memory level.
+type Level int
+
+const (
+	// Level1 is the small, fast memory (control store / scratchpad).
+	Level1 Level = 1
+	// Level2 is the large, slow main memory.
+	Level2 Level = 2
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Level1:
+		return "level-1"
+	case Level2:
+		return "level-2"
+	default:
+		return fmt.Sprintf("level-%d", int(l))
+	}
+}
+
+// WordBytes is the width of a memory word in bytes.  The UHM is modelled with
+// 32-bit words; short-format (IU2) instructions occupy one word and
+// long-format (IU1) control words occupy two.
+const WordBytes = 4
+
+// Config describes a hierarchy.
+type Config struct {
+	Level1Size int    // capacity of level 1 in bytes
+	Level2Size int    // capacity of level 2 in bytes
+	Level1Time Cycles // access time of level 1 (the paper's t1, nominally 1)
+	Level2Time Cycles // access time of level 2 (the paper's t2, nominally 10)
+	BufferTime Cycles // access time of a DTB or cache array (the paper's tD, nominally 2*t1)
+}
+
+// DefaultConfig returns the parameterisation used throughout Section 7:
+// t1 = 1, t2 = 10, tD = 2, with a 64 KiB level 1 and an 8 MiB level 2.
+func DefaultConfig() Config {
+	return Config{
+		Level1Size: 64 << 10,
+		Level2Size: 8 << 20,
+		Level1Time: 1,
+		Level2Time: 10,
+		BufferTime: 2,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Level1Size <= 0 || c.Level2Size <= 0 {
+		return errors.New("memory: level sizes must be positive")
+	}
+	if c.Level1Time <= 0 || c.Level2Time <= 0 || c.BufferTime <= 0 {
+		return errors.New("memory: access times must be positive")
+	}
+	if c.Level2Time < c.Level1Time {
+		return errors.New("memory: level 2 must not be faster than level 1")
+	}
+	return nil
+}
+
+// Stats accumulates reference counts and time per level.
+type Stats struct {
+	Level1Refs int64
+	Level2Refs int64
+	BufferRefs int64
+	Level1Time Cycles
+	Level2Time Cycles
+	BufferTime Cycles
+}
+
+// TotalRefs returns the total number of memory references.
+func (s Stats) TotalRefs() int64 { return s.Level1Refs + s.Level2Refs + s.BufferRefs }
+
+// TotalTime returns the total time spent in memory references.
+func (s Stats) TotalTime() Cycles { return s.Level1Time + s.Level2Time + s.BufferTime }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Level1Refs += other.Level1Refs
+	s.Level2Refs += other.Level2Refs
+	s.BufferRefs += other.BufferRefs
+	s.Level1Time += other.Level1Time
+	s.Level2Time += other.Level2Time
+	s.BufferTime += other.BufferTime
+}
+
+// Hierarchy is a two-level memory with named segments.
+type Hierarchy struct {
+	cfg      Config
+	level1   []byte
+	level2   []byte
+	used     map[Level]int
+	segments map[string]*Segment
+	stats    Stats
+}
+
+// New creates a hierarchy.  It returns an error if the configuration is
+// invalid.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hierarchy{
+		cfg:      cfg,
+		level1:   make([]byte, cfg.Level1Size),
+		level2:   make([]byte, cfg.Level2Size),
+		used:     map[Level]int{Level1: 0, Level2: 0},
+		segments: make(map[string]*Segment),
+	}, nil
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns accumulated reference statistics.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats clears accumulated statistics without touching contents.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+// AccessTime returns the access time of a level.
+func (h *Hierarchy) AccessTime(l Level) Cycles {
+	if l == Level1 {
+		return h.cfg.Level1Time
+	}
+	return h.cfg.Level2Time
+}
+
+// ChargeBuffer records a DTB/cache array reference (the paper's tD) without
+// touching backing storage; the DTB keeps its own arrays but its timing is
+// accounted here so one Stats value covers the whole machine.
+func (h *Hierarchy) ChargeBuffer(refs int64) Cycles {
+	t := Cycles(refs) * h.cfg.BufferTime
+	h.stats.BufferRefs += refs
+	h.stats.BufferTime += t
+	return t
+}
+
+// Free returns the number of unallocated bytes remaining in a level.
+func (h *Hierarchy) Free(l Level) int {
+	switch l {
+	case Level1:
+		return h.cfg.Level1Size - h.used[Level1]
+	case Level2:
+		return h.cfg.Level2Size - h.used[Level2]
+	default:
+		return 0
+	}
+}
+
+// Segment is a named, contiguous region of one memory level.
+type Segment struct {
+	h     *Hierarchy
+	name  string
+	level Level
+	base  int
+	size  int
+}
+
+// ErrOutOfMemory is returned when a level cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("memory: level exhausted")
+
+// ErrBounds is returned by segment accesses outside the segment.
+var ErrBounds = errors.New("memory: access outside segment")
+
+// Allocate carves a segment of size bytes out of the given level.  Segment
+// names must be unique within the hierarchy.
+func (h *Hierarchy) Allocate(level Level, name string, size int) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("memory: non-positive segment size %d", size)
+	}
+	if level != Level1 && level != Level2 {
+		return nil, fmt.Errorf("memory: unknown level %d", level)
+	}
+	if _, dup := h.segments[name]; dup {
+		return nil, fmt.Errorf("memory: segment %q already allocated", name)
+	}
+	if h.Free(level) < size {
+		return nil, fmt.Errorf("%w: %s needs %d bytes, %d free in %s", ErrOutOfMemory, name, size, h.Free(level), level)
+	}
+	seg := &Segment{h: h, name: name, level: level, base: h.used[level], size: size}
+	h.used[level] += size
+	h.segments[name] = seg
+	return seg, nil
+}
+
+// Segment returns a previously allocated segment by name.
+func (h *Hierarchy) Segment(name string) (*Segment, bool) {
+	s, ok := h.segments[name]
+	return s, ok
+}
+
+// Segments returns the names of all allocated segments in sorted order.
+func (h *Hierarchy) Segments() []string {
+	names := make([]string, 0, len(h.segments))
+	for n := range h.segments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Name returns the segment's name.
+func (s *Segment) Name() string { return s.name }
+
+// Level returns the memory level the segment lives in.
+func (s *Segment) Level() Level { return s.level }
+
+// Size returns the segment size in bytes.
+func (s *Segment) Size() int { return s.size }
+
+// Words returns the segment size in words.
+func (s *Segment) Words() int { return s.size / WordBytes }
+
+func (s *Segment) backing() []byte {
+	if s.level == Level1 {
+		return s.h.level1[s.base : s.base+s.size]
+	}
+	return s.h.level2[s.base : s.base+s.size]
+}
+
+// Bytes returns the raw backing bytes of the segment without charging any
+// access time.  It is intended for loading programs and for tests.
+func (s *Segment) Bytes() []byte { return s.backing() }
+
+func (s *Segment) charge(refs int64) Cycles {
+	var t Cycles
+	if s.level == Level1 {
+		t = Cycles(refs) * s.h.cfg.Level1Time
+		s.h.stats.Level1Refs += refs
+		s.h.stats.Level1Time += t
+	} else {
+		t = Cycles(refs) * s.h.cfg.Level2Time
+		s.h.stats.Level2Refs += refs
+		s.h.stats.Level2Time += t
+	}
+	return t
+}
+
+// ReadWord reads the 32-bit word at word offset idx, charging one reference.
+func (s *Segment) ReadWord(idx int) (uint32, Cycles, error) {
+	off := idx * WordBytes
+	if idx < 0 || off+WordBytes > s.size {
+		return 0, 0, fmt.Errorf("%w: word %d of %q", ErrBounds, idx, s.name)
+	}
+	b := s.backing()
+	v := uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3])
+	return v, s.charge(1), nil
+}
+
+// WriteWord writes the 32-bit word at word offset idx, charging one reference.
+func (s *Segment) WriteWord(idx int, v uint32) (Cycles, error) {
+	off := idx * WordBytes
+	if idx < 0 || off+WordBytes > s.size {
+		return 0, fmt.Errorf("%w: word %d of %q", ErrBounds, idx, s.name)
+	}
+	b := s.backing()
+	b[off] = byte(v >> 24)
+	b[off+1] = byte(v >> 16)
+	b[off+2] = byte(v >> 8)
+	b[off+3] = byte(v)
+	return s.charge(1), nil
+}
+
+// ReadBits reads a width-bit field starting at absolute bit offset bitOff
+// within the segment (fields may span word boundaries).  The number of
+// references charged is the number of distinct words the field touches.
+func (s *Segment) ReadBits(bitOff, width int) (uint64, Cycles, error) {
+	if width < 0 || width > 64 {
+		return 0, 0, fmt.Errorf("memory: invalid field width %d", width)
+	}
+	if bitOff < 0 || bitOff+width > s.size*8 {
+		return 0, 0, fmt.Errorf("%w: bits [%d,%d) of %q", ErrBounds, bitOff, bitOff+width, s.name)
+	}
+	b := s.backing()
+	var v uint64
+	for i := 0; i < width; i++ {
+		pos := bitOff + i
+		bit := (b[pos/8] >> uint(7-pos%8)) & 1
+		v = v<<1 | uint64(bit)
+	}
+	refs := wordsTouched(bitOff, width)
+	return v, s.charge(refs), nil
+}
+
+// WriteBits writes the width least-significant bits of v at bit offset bitOff.
+func (s *Segment) WriteBits(bitOff int, v uint64, width int) (Cycles, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("memory: invalid field width %d", width)
+	}
+	if bitOff < 0 || bitOff+width > s.size*8 {
+		return 0, fmt.Errorf("%w: bits [%d,%d) of %q", ErrBounds, bitOff, bitOff+width, s.name)
+	}
+	b := s.backing()
+	for i := 0; i < width; i++ {
+		pos := bitOff + i
+		bit := (v >> uint(width-1-i)) & 1
+		mask := byte(1) << uint(7-pos%8)
+		if bit != 0 {
+			b[pos/8] |= mask
+		} else {
+			b[pos/8] &^= mask
+		}
+	}
+	refs := wordsTouched(bitOff, width)
+	return s.charge(refs), nil
+}
+
+// Load copies data into the segment starting at byte offset off without
+// charging access time (used to place compiled programs into memory before a
+// run begins, as a loader would).
+func (s *Segment) Load(off int, data []byte) error {
+	if off < 0 || off+len(data) > s.size {
+		return fmt.Errorf("%w: load of %d bytes at %d into %q", ErrBounds, len(data), off, s.name)
+	}
+	copy(s.backing()[off:], data)
+	return nil
+}
+
+// wordsTouched returns how many distinct words a bit field spans.
+func wordsTouched(bitOff, width int) int64 {
+	if width == 0 {
+		return 1
+	}
+	firstWord := bitOff / (WordBytes * 8)
+	lastWord := (bitOff + width - 1) / (WordBytes * 8)
+	return int64(lastWord - firstWord + 1)
+}

@@ -1,0 +1,310 @@
+package memory
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []Config{
+		{Level1Size: 0, Level2Size: 1, Level1Time: 1, Level2Time: 10, BufferTime: 2},
+		{Level1Size: 1, Level2Size: 0, Level1Time: 1, Level2Time: 10, BufferTime: 2},
+		{Level1Size: 1, Level2Size: 1, Level1Time: 0, Level2Time: 10, BufferTime: 2},
+		{Level1Size: 1, Level2Size: 1, Level1Time: 1, Level2Time: 0, BufferTime: 2},
+		{Level1Size: 1, Level2Size: 1, Level1Time: 1, Level2Time: 10, BufferTime: 0},
+		{Level1Size: 1, Level2Size: 1, Level1Time: 5, Level2Time: 2, BufferTime: 1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: New should fail for invalid config", i)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Level1.String() != "level-1" || Level2.String() != "level-2" {
+		t.Errorf("Level.String() = %q, %q", Level1.String(), Level2.String())
+	}
+	if Level(7).String() != "level-7" {
+		t.Errorf("unknown level string = %q", Level(7).String())
+	}
+}
+
+func TestAllocate(t *testing.T) {
+	h := mustNew(t)
+	seg, err := h.Allocate(Level1, "interp", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Name() != "interp" || seg.Level() != Level1 || seg.Size() != 4096 || seg.Words() != 1024 {
+		t.Errorf("segment = %q %v %d bytes %d words", seg.Name(), seg.Level(), seg.Size(), seg.Words())
+	}
+	if h.Free(Level1) != DefaultConfig().Level1Size-4096 {
+		t.Errorf("Free(Level1) = %d", h.Free(Level1))
+	}
+	if _, err := h.Allocate(Level1, "interp", 64); err == nil {
+		t.Error("duplicate segment name should fail")
+	}
+	if _, err := h.Allocate(Level1, "huge", 1<<30); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversize allocation err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := h.Allocate(Level1, "zero", 0); err == nil {
+		t.Error("zero-size allocation should fail")
+	}
+	if _, err := h.Allocate(Level(5), "x", 8); err == nil {
+		t.Error("unknown level should fail")
+	}
+	got, ok := h.Segment("interp")
+	if !ok || got != seg {
+		t.Error("Segment lookup failed")
+	}
+	if _, ok := h.Segment("nope"); ok {
+		t.Error("Segment lookup of unknown name should fail")
+	}
+	if names := h.Segments(); len(names) != 1 || names[0] != "interp" {
+		t.Errorf("Segments() = %v", names)
+	}
+	if h.Free(Level(9)) != 0 {
+		t.Errorf("Free of unknown level should be 0")
+	}
+}
+
+func TestWordReadWriteAndTiming(t *testing.T) {
+	h := mustNew(t)
+	l1, _ := h.Allocate(Level1, "fast", 64)
+	l2, _ := h.Allocate(Level2, "slow", 64)
+
+	if c, err := l1.WriteWord(3, 0xDEADBEEF); err != nil || c != 1 {
+		t.Fatalf("l1 write: cycles=%d err=%v", c, err)
+	}
+	v, c, err := l1.ReadWord(3)
+	if err != nil || v != 0xDEADBEEF || c != 1 {
+		t.Fatalf("l1 read: v=%x cycles=%d err=%v", v, c, err)
+	}
+	if c, err := l2.WriteWord(0, 42); err != nil || c != 10 {
+		t.Fatalf("l2 write: cycles=%d err=%v", c, err)
+	}
+	v, c, err = l2.ReadWord(0)
+	if err != nil || v != 42 || c != 10 {
+		t.Fatalf("l2 read: v=%d cycles=%d err=%v", v, c, err)
+	}
+
+	st := h.Stats()
+	if st.Level1Refs != 2 || st.Level2Refs != 2 {
+		t.Errorf("refs = %d,%d want 2,2", st.Level1Refs, st.Level2Refs)
+	}
+	if st.Level1Time != 2 || st.Level2Time != 20 {
+		t.Errorf("times = %d,%d want 2,20", st.Level1Time, st.Level2Time)
+	}
+	if st.TotalRefs() != 4 || st.TotalTime() != 22 {
+		t.Errorf("totals = %d refs %d time", st.TotalRefs(), st.TotalTime())
+	}
+
+	h.ResetStats()
+	if h.Stats().TotalRefs() != 0 {
+		t.Error("ResetStats did not clear stats")
+	}
+}
+
+func TestWordBounds(t *testing.T) {
+	h := mustNew(t)
+	seg, _ := h.Allocate(Level1, "s", 16)
+	if _, _, err := seg.ReadWord(4); !errors.Is(err, ErrBounds) {
+		t.Errorf("read past end err = %v", err)
+	}
+	if _, _, err := seg.ReadWord(-1); !errors.Is(err, ErrBounds) {
+		t.Errorf("negative read err = %v", err)
+	}
+	if _, err := seg.WriteWord(4, 1); !errors.Is(err, ErrBounds) {
+		t.Errorf("write past end err = %v", err)
+	}
+}
+
+func TestBitAccess(t *testing.T) {
+	h := mustNew(t)
+	seg, _ := h.Allocate(Level1, "bits", 16)
+	// Write a 13-bit field straddling a word boundary (bits 27..39).
+	if _, err := seg.WriteBits(27, 0x155A, 13); err != nil {
+		t.Fatal(err)
+	}
+	v, cycles, err := seg.ReadBits(27, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x155A {
+		t.Errorf("bit field = %x, want 0x155A", v)
+	}
+	// The field spans 2 words, so 2 references are charged.
+	if cycles != 2 {
+		t.Errorf("cycles = %d, want 2 (field spans two words)", cycles)
+	}
+	// A field within one word charges 1 reference.
+	_, cycles, err = seg.ReadBits(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1 {
+		t.Errorf("cycles = %d, want 1", cycles)
+	}
+}
+
+func TestBitAccessErrors(t *testing.T) {
+	h := mustNew(t)
+	seg, _ := h.Allocate(Level1, "bits", 4)
+	if _, _, err := seg.ReadBits(0, 65); err == nil {
+		t.Error("width 65 should fail")
+	}
+	if _, _, err := seg.ReadBits(30, 8); !errors.Is(err, ErrBounds) {
+		t.Error("read past segment end should fail")
+	}
+	if _, _, err := seg.ReadBits(-1, 4); !errors.Is(err, ErrBounds) {
+		t.Error("negative offset should fail")
+	}
+	if _, err := seg.WriteBits(0, 0, 65); err == nil {
+		t.Error("write width 65 should fail")
+	}
+	if _, err := seg.WriteBits(30, 0, 8); !errors.Is(err, ErrBounds) {
+		t.Error("write past segment end should fail")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	h := mustNew(t)
+	seg, _ := h.Allocate(Level2, "prog", 16)
+	if err := seg.Load(4, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().TotalRefs() != 0 {
+		t.Error("Load must not charge access time")
+	}
+	v, _, err := seg.ReadWord(1)
+	if err != nil || v != 0x01020304 {
+		t.Errorf("word after load = %x err=%v", v, err)
+	}
+	if err := seg.Load(14, []byte{1, 2, 3, 4}); !errors.Is(err, ErrBounds) {
+		t.Error("overlong load should fail")
+	}
+}
+
+func TestChargeBuffer(t *testing.T) {
+	h := mustNew(t)
+	c := h.ChargeBuffer(3)
+	if c != 6 {
+		t.Errorf("ChargeBuffer(3) = %d cycles, want 6", c)
+	}
+	st := h.Stats()
+	if st.BufferRefs != 3 || st.BufferTime != 6 {
+		t.Errorf("buffer stats = %d refs %d time", st.BufferRefs, st.BufferTime)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Level1Refs: 1, Level2Refs: 2, BufferRefs: 3, Level1Time: 4, Level2Time: 5, BufferTime: 6}
+	b := Stats{Level1Refs: 10, Level2Refs: 20, BufferRefs: 30, Level1Time: 40, Level2Time: 50, BufferTime: 60}
+	a.Add(b)
+	if a.Level1Refs != 11 || a.Level2Refs != 22 || a.BufferRefs != 33 ||
+		a.Level1Time != 44 || a.Level2Time != 55 || a.BufferTime != 66 {
+		t.Errorf("Add result = %+v", a)
+	}
+}
+
+func TestSegmentsIsolated(t *testing.T) {
+	h := mustNew(t)
+	a, _ := h.Allocate(Level1, "a", 16)
+	b, _ := h.Allocate(Level1, "b", 16)
+	_, _ = a.WriteWord(0, 0xAAAAAAAA)
+	_, _ = b.WriteWord(0, 0xBBBBBBBB)
+	va, _, _ := a.ReadWord(0)
+	vb, _, _ := b.ReadWord(0)
+	if va != 0xAAAAAAAA || vb != 0xBBBBBBBB {
+		t.Errorf("segments overlap: a=%x b=%x", va, vb)
+	}
+}
+
+// Property: word write/read round-trips for arbitrary values and offsets.
+func TestQuickWordRoundTrip(t *testing.T) {
+	h := mustNew(t)
+	seg, err := h.Allocate(Level1, "q", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(idx uint16, v uint32) bool {
+		i := int(idx) % seg.Words()
+		if _, err := seg.WriteWord(i, v); err != nil {
+			return false
+		}
+		got, _, err := seg.ReadWord(i)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bit write/read round-trips and never disturbs a disjoint field.
+func TestQuickBitFieldsIndependent(t *testing.T) {
+	h := mustNew(t)
+	seg, err := h.Allocate(Level1, "q", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		totalBits := seg.Size() * 8
+		// Two disjoint fields.
+		w1 := rng.Intn(32) + 1
+		w2 := rng.Intn(32) + 1
+		off1 := rng.Intn(totalBits - w1 - w2 - 1)
+		off2 := off1 + w1 + rng.Intn(totalBits-off1-w1-w2)
+		v1 := rng.Uint64() & ((1 << uint(w1)) - 1)
+		v2 := rng.Uint64() & ((1 << uint(w2)) - 1)
+		if _, err := seg.WriteBits(off1, v1, w1); err != nil {
+			return false
+		}
+		if _, err := seg.WriteBits(off2, v2, w2); err != nil {
+			return false
+		}
+		g1, _, err1 := seg.ReadBits(off1, w1)
+		g2, _, err2 := seg.ReadBits(off2, w2)
+		return err1 == nil && err2 == nil && g1 == v1 && g2 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkReadWordLevel1(b *testing.B) {
+	h, _ := New(DefaultConfig())
+	seg, _ := h.Allocate(Level1, "b", 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = seg.ReadWord(i % seg.Words())
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	h, _ := New(DefaultConfig())
+	seg, _ := h.Allocate(Level2, "b", 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = seg.ReadBits((i*13)%(seg.Size()*8-64), 13)
+	}
+}

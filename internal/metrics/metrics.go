@@ -1,0 +1,109 @@
+// Package metrics provides the small table/formatting helpers the benchmark
+// harness and command-line tools use to print experiment results in the same
+// row/column layout the paper's tables and figure captions use.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table with a title, column headers and rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; extra cells are dropped and missing cells are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = Float(x)
+		case float32:
+			cells[i] = Float(float64(x))
+		default:
+			cells[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Float formats a float with a sensible fixed precision for tables.
+func Float(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Percent formats a ratio in [0,1] as a percentage.
+func Percent(ratio float64) string { return fmt.Sprintf("%.1f%%", ratio*100) }
+
+// Ratio formats the ratio a/b, guarding against a zero denominator.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// Bits formats a bit count with a byte equivalent.
+func Bits(bits int) string {
+	return fmt.Sprintf("%d bits (%.1f bytes)", bits, float64(bits)/8)
+}

@@ -1,0 +1,210 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// published values transcribed from the paper's Tables 2 and 3.
+var publishedTable2 = map[[2]float64]float64{
+	{10, 5}: 37.65, {10, 10}: 29.09, {10, 15}: 23.7, {10, 20}: 20, {10, 25}: 17.3, {10, 30}: 15.24,
+	{20, 5}: 59.05, {20, 10}: 47.69, {20, 15}: 40, {20, 20}: 34.44, {20, 25}: 30.24, {20, 30}: 26.96,
+	{30, 5}: 73.6, {30, 10}: 61.33, {30, 15}: 52.57, {30, 20}: 46, {30, 25}: 40.89, {30, 30}: 36.8,
+}
+
+var publishedTable3 = map[[2]float64]float64{
+	{10, 5}: 78.82, {10, 10}: 60.91, {10, 15}: 49.63, {10, 20}: 41.88, {10, 25}: 36.22, {10, 30}: 31.90,
+	{20, 5}: 92.38, {20, 10}: 74.62, {20, 15}: 62.58, {20, 20}: 53.89, {20, 25}: 47.32, {20, 30}: 42.17,
+	{30, 5}: 101.6, {30, 10}: 84.67, {30, 15}: 72.57, {30, 20}: 63.5, {30, 25}: 56.44, {30, 30}: 50.8,
+}
+
+func TestTable2MatchesPublishedValues(t *testing.T) {
+	table := Table2()
+	for key, want := range publishedTable2 {
+		got, ok := table.Value(key[0], key[1])
+		if !ok {
+			t.Fatalf("missing cell d=%v x=%v", key[0], key[1])
+		}
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Table 2 (d=%v, x=%v) = %.2f, published %.2f", key[0], key[1], got, want)
+		}
+	}
+}
+
+func TestTable3MatchesPublishedValues(t *testing.T) {
+	table := Table3()
+	for key, want := range publishedTable3 {
+		got, ok := table.Value(key[0], key[1])
+		if !ok {
+			t.Fatalf("missing cell d=%v x=%v", key[0], key[1])
+		}
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Table 3 (d=%v, x=%v) = %.2f, published %.2f", key[0], key[1], got, want)
+		}
+	}
+}
+
+func TestClosedFormF2MatchesPrintedExpression(t *testing.T) {
+	// The paper prints F2 = (7.4 + 0.6d)/(8 + 0.4d + x) x 100 explicitly.
+	if got := ClosedFormF2(10, 5); math.Abs(got-(7.4+6)/(8+4+5)*100) > 1e-9 {
+		t.Errorf("closed form F2 mismatch: %v", got)
+	}
+}
+
+func TestTableValueMissing(t *testing.T) {
+	table := Table2()
+	if _, ok := table.Value(11, 5); ok {
+		t.Error("d=11 is not an axis value")
+	}
+	if _, ok := table.Value(10, 7); ok {
+		t.Error("x=7 is not an axis value")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	text := Table2().Render()
+	for _, want := range []string{"Table 2", "37.65", "73.60", "d \\ x"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(Table3().Render(), "101.60") {
+		t.Error("Table 3 render missing corner value")
+	}
+}
+
+func TestEvaluateSymbolicModel(t *testing.T) {
+	p := PaperParams(10, 5)
+	r, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 = s2 t2 + d + x = 10 + 10 + 5.
+	if math.Abs(r.T1-25) > 1e-9 {
+		t.Errorf("T1 = %v, want 25", r.T1)
+	}
+	// T2 = 6 + 2 + 0.2*(10+10) + 5 = 17 with g=d.
+	if math.Abs(r.T2-17) > 1e-9 {
+		t.Errorf("T2 = %v, want 17", r.T2)
+	}
+	// T3 = 0.9*2 + 0.1*10 + 15 = 17.8.
+	if math.Abs(r.T3-17.8) > 1e-9 {
+		t.Errorf("T3 = %v, want 17.8", r.T3)
+	}
+	if r.F2 <= 0 || r.F1 <= 0 {
+		t.Errorf("figures of merit should be positive with paper parameters: %+v", r)
+	}
+}
+
+func TestEvaluateOrderings(t *testing.T) {
+	// With the paper's parameters the DTB organisation is the fastest for
+	// every cell of the published grid.
+	for _, d := range TableDValues {
+		for _, x := range TableXValues {
+			r, err := Evaluate(PaperParams(d, x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(r.T2 < r.T3 && r.T3 < r.T1) {
+				t.Errorf("d=%v x=%v: expected T2 < T3 < T1, got %+v", d, x, r)
+			}
+		}
+	}
+}
+
+func TestDTBNotEffectiveWhenDecodingTrivial(t *testing.T) {
+	// "the DTB is not particularly effective if the task of decoding is
+	// trivial or if the time spent in the semantic routines is much greater
+	// than the time that would be spent in decoding."
+	trivial, err := Evaluate(PaperParams(1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Evaluate(PaperParams(30, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trivial.F2 >= heavy.F2 {
+		t.Errorf("F2 with trivial decode (%v) should be far below F2 with heavy decode (%v)",
+			trivial.F2, heavy.F2)
+	}
+	if trivial.F2 > 10 {
+		t.Errorf("F2 with trivial decode and heavy semantics = %v, expected < 10%%", trivial.F2)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{T1Access: 0, T2Access: 10, TDAccess: 2},
+		{T1Access: 1, T2Access: 10, TDAccess: 2, D: -1},
+		{T1Access: 1, T2Access: 10, TDAccess: 2, HC: 1.5},
+		{T1Access: 1, T2Access: 10, TDAccess: 2, HD: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := Evaluate(p); err == nil {
+			t.Errorf("case %d: Evaluate should reject invalid params", i)
+		}
+	}
+	if err := PaperParams(10, 10).Validate(); err != nil {
+		t.Errorf("paper params invalid: %v", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	cells, results, err := Sweep([]float64{10, 20}, []float64{5, 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 || len(results) != 4 {
+		t.Fatalf("sweep sizes = %d, %d", len(cells), len(results))
+	}
+	if cells[0].D != 10 || cells[0].X != 5 || cells[3].D != 20 || cells[3].X != 10 {
+		t.Errorf("sweep order = %+v", cells)
+	}
+	// A modifier that disables the DTB advantage (hit ratio 0) should lower F2.
+	_, worse, err := Sweep([]float64{10}, []float64{5}, func(p *Params) { p.HD = 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse[0].F2 >= results[0].F2 {
+		t.Errorf("F2 with hD=0 (%v) should be below F2 with hD=0.8 (%v)", worse[0].F2, results[0].F2)
+	}
+	if _, _, err := Sweep([]float64{10}, []float64{5}, func(p *Params) { p.HD = 2 }); err == nil {
+		t.Error("sweep should propagate validation errors")
+	}
+}
+
+// Property: F1 and F2 grow with the decode time d and shrink with the
+// semantic time x across the positive quadrant.
+func TestQuickMonotonicity(t *testing.T) {
+	f := func(dRaw, xRaw uint8) bool {
+		d := float64(dRaw%50) + 1
+		x := float64(xRaw%50) + 1
+		f1 := ClosedFormF1(d, x)
+		f2 := ClosedFormF2(d, x)
+		if f1 <= 0 || f2 <= 0 || f2 <= f1 {
+			return false
+		}
+		if ClosedFormF1(d+1, x) <= f1 || ClosedFormF2(d+1, x) <= f2 {
+			return false
+		}
+		if ClosedFormF1(d, x+1) >= f1 || ClosedFormF2(d, x+1) >= f2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Table2()
+	}
+}

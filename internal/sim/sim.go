@@ -1,0 +1,477 @@
+// Package sim glues the substrates into the whole-machine simulation that
+// Section 7 analyses: it runs a DIR program to completion under one of four
+// organisations and accounts every cost in level-1 cycle units,
+//
+//	Conventional — fetch the encoded DIR instruction from level-2 memory,
+//	    decode it, execute its semantics (the paper's T1);
+//	WithDTB      — fetch the PSDER translation from the dynamic translation
+//	    buffer; on a miss, fetch from level 2, decode, translate, install
+//	    (the paper's T2);
+//	WithCache    — fetch the encoded DIR instruction through a set-
+//	    associative instruction cache, then decode and execute every time
+//	    (the paper's T3);
+//	Expanded     — the program fully pre-translated to PSDER ("expanded
+//	    machine language") resident in level-2 memory: no decoding, but a
+//	    much larger static representation.
+//
+// All four strategies drive the same host.Machine and therefore produce the
+// same program output; only where instructions are fetched from and how much
+// binding work is repeated differs — which is exactly the paper's point.
+// Besides total cycles, the simulator reports the measured values of the
+// model parameters (d, g, x, s1, s2, hC, hD) so the analytic model of
+// internal/perfmodel can be cross-checked against live executions.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"uhm/internal/cache"
+	"uhm/internal/dir"
+	"uhm/internal/dtb"
+	"uhm/internal/host"
+	"uhm/internal/memory"
+	"uhm/internal/psder"
+	"uhm/internal/translate"
+)
+
+// Strategy selects the machine organisation.
+type Strategy int
+
+const (
+	// Conventional is the paper's organisation 1: no buffering at all.
+	Conventional Strategy = iota
+	// WithDTB is organisation 2: a dynamic translation buffer.
+	WithDTB
+	// WithCache is organisation 3: an instruction cache on level-2 memory.
+	WithCache
+	// Expanded is the §3.1 baseline: the program compiled all the way down
+	// to directly executable (PSDER) form and stored expanded in level 2.
+	Expanded
+
+	strategyCount
+)
+
+// Strategies lists every strategy.
+func Strategies() []Strategy { return []Strategy{Conventional, WithDTB, WithCache, Expanded} }
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Conventional:
+		return "conventional"
+	case WithDTB:
+		return "dtb"
+	case WithCache:
+		return "cache"
+	case Expanded:
+		return "expanded"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Valid reports whether the strategy is defined.
+func (s Strategy) Valid() bool { return s >= 0 && s < strategyCount }
+
+// Config parameterises a simulation.
+type Config struct {
+	Memory memory.Config
+	DTB    dtb.Config
+	Cache  cache.Config
+	// Degree is the encoding degree of the static DIR representation.
+	Degree dir.Degree
+	// MaxInstructions bounds the run (0 selects a default).
+	MaxInstructions int64
+	// MaxDepth bounds the activation stack (0 selects a default).
+	MaxDepth int
+}
+
+// DefaultConfig mirrors the paper's §7 reference point: t1=1, tD=2, t2=10, a
+// 4096-byte cache and a DTB with the same associative geometry, and a
+// Huffman-encoded static representation.
+func DefaultConfig() Config {
+	return Config{
+		Memory:          memory.DefaultConfig(),
+		DTB:             dtb.DefaultConfig(),
+		Cache:           cache.DefaultConfig(),
+		Degree:          dir.DegreeHuffman,
+		MaxInstructions: 20_000_000,
+		MaxDepth:        10_000,
+	}
+}
+
+// Measured are the §7 model parameters as actually observed during the run.
+type Measured struct {
+	D  float64 // average decode steps per decoded instruction
+	G  float64 // average generate-and-store cycles per translation
+	X  float64 // average semantic cycles per instruction interpreted
+	S1 float64 // average PSDER words per instruction (buffer references)
+	S2 float64 // average level-2 words per DIR instruction fetch
+	HD float64 // DTB hit ratio
+	HC float64 // cache hit ratio
+}
+
+// Report is the outcome of one simulated run.
+type Report struct {
+	Strategy Strategy
+	Degree   dir.Degree
+
+	// Output is the program's observable output (must agree across
+	// strategies).
+	Output []int64
+	// Instructions is the number of DIR instructions interpreted.
+	Instructions int64
+
+	// Cycle breakdown, in level-1 cycle units.
+	FetchCycles     memory.Cycles // instruction fetches from L2, cache and DTB
+	DecodeCycles    memory.Cycles // DIR field extraction and code-tree walks
+	TranslateCycles memory.Cycles // PSDER generation and installation (DTB only)
+	SemanticCycles  memory.Cycles // IU1 + IU2 execution of the semantics
+	TotalCycles     memory.Cycles
+
+	// PerInstruction is TotalCycles / Instructions — directly comparable to
+	// the paper's T values.
+	PerInstruction float64
+
+	// Structure sizes.
+	StaticBits       int // encoded DIR program size
+	CodebookBits     int // decoder tables (part of the interpreter)
+	InterpreterWords int // semantic routine library footprint (level 1)
+	ExpandedWords    int // full PSDER expansion (only for Expanded strategy)
+
+	Measured   Measured
+	DTBStats   dtb.Stats
+	CacheStats cache.Stats
+	Memory     memory.Stats
+}
+
+// Errors.
+var (
+	// ErrInstructionLimit is returned when the run exceeds MaxInstructions.
+	ErrInstructionLimit = errors.New("sim: instruction limit exceeded")
+	// ErrOutputMismatch is returned by RunAll when strategies disagree.
+	ErrOutputMismatch = errors.New("sim: strategies produced different output")
+)
+
+// Run executes the program under the given strategy.
+func Run(p *dir.Program, strategy Strategy, cfg Config) (*Report, error) {
+	if !strategy.Valid() {
+		return nil, fmt.Errorf("sim: invalid strategy %d", int(strategy))
+	}
+	if cfg.MaxInstructions <= 0 {
+		cfg.MaxInstructions = DefaultConfig().MaxInstructions
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = DefaultConfig().MaxDepth
+	}
+	r := &runner{cfg: cfg, strategy: strategy}
+	return r.run(p)
+}
+
+type runner struct {
+	cfg      Config
+	strategy Strategy
+}
+
+func (r *runner) run(p *dir.Program) (*Report, error) {
+	bin, err := dir.Encode(p, r.cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := memory.New(r.cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+
+	// Level-2 segment holding the static DIR representation, rounded up to a
+	// whole number of words so the final partially-filled word is readable.
+	dirBytes := (bin.SizeBytes() + memory.WordBytes - 1) / memory.WordBytes * memory.WordBytes
+	dirSeg, err := hier.Allocate(memory.Level2, "dir-program", maxInt(dirBytes, memory.WordBytes))
+	if err != nil {
+		return nil, err
+	}
+	if err := dirSeg.Load(0, bin.Bytes()); err != nil {
+		return nil, err
+	}
+	// Level-1 segment holding the interpreter: the semantic-routine library
+	// plus the decoder's tables.
+	interpBytes := psder.LibraryFootprintWords()*memory.WordBytes + (bin.CodebookBits()+7)/8
+	if _, err := hier.Allocate(memory.Level1, "interpreter", interpBytes); err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Strategy:         r.strategy,
+		Degree:           r.cfg.Degree,
+		StaticBits:       bin.SizeBits(),
+		CodebookBits:     bin.CodebookBits(),
+		InterpreterWords: psder.LibraryFootprintWords(),
+	}
+
+	var buf *dtb.DTB
+	var icache *cache.Cache
+	var expanded []psder.Sequence
+	switch r.strategy {
+	case WithDTB:
+		buf, err = dtb.New(r.cfg.DTB)
+		if err != nil {
+			return nil, err
+		}
+		// The buffer array occupies level-1 memory.
+		if _, err := hier.Allocate(memory.Level1, "dtb-buffer", r.cfg.DTB.CapacityBytes()); err != nil {
+			return nil, err
+		}
+	case WithCache:
+		icache, err = cache.New(r.cfg.Cache)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := hier.Allocate(memory.Level1, "cache-data", r.cfg.Cache.CapacityBytes); err != nil {
+			return nil, err
+		}
+	case Expanded:
+		expanded, err = translate.TranslateProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range expanded {
+			report.ExpandedWords += s.Words()
+		}
+	}
+
+	machine := host.New(p, host.Options{MaxDepth: r.cfg.MaxDepth})
+	decoder := bin.NewDecoder()
+	// Translation memo: avoids re-allocating sequences the conventional and
+	// cache strategies dispatch repeatedly.  Cost accounting is unaffected —
+	// decode and dispatch are charged on every execution regardless.
+	memo := make(map[int]psder.Sequence)
+
+	var decodeSteps, decodedInstrs int64
+	var translateOps, translations int64
+	var psderWordsFetched, l2Fetches int64
+
+	pc := p.Procs[0].Entry
+	for {
+		if report.Instructions >= r.cfg.MaxInstructions {
+			return nil, fmt.Errorf("%w (%d)", ErrInstructionLimit, r.cfg.MaxInstructions)
+		}
+		report.Instructions++
+
+		var seq psder.Sequence
+		switch r.strategy {
+		case Conventional:
+			words, err := r.fetchFromLevel2(dirSeg, bin, pc, nil)
+			if err != nil {
+				return nil, err
+			}
+			report.FetchCycles += words
+			l2Fetches++
+			steps, s, err := r.decodeAndDispatch(decoder, bin, memo, pc)
+			if err != nil {
+				return nil, err
+			}
+			decodeSteps += int64(steps)
+			decodedInstrs++
+			report.DecodeCycles += memory.Cycles(steps)
+			seq = s
+
+		case WithCache:
+			words, err := r.fetchFromLevel2(dirSeg, bin, pc, icache)
+			if err != nil {
+				return nil, err
+			}
+			report.FetchCycles += words
+			l2Fetches++
+			steps, s, err := r.decodeAndDispatch(decoder, bin, memo, pc)
+			if err != nil {
+				return nil, err
+			}
+			decodeSteps += int64(steps)
+			decodedInstrs++
+			report.DecodeCycles += memory.Cycles(steps)
+			seq = s
+
+		case WithDTB:
+			words, hit := buf.Lookup(uint64(pc))
+			if hit {
+				// Fetch the PSDER version from the buffer array (s1 refs at tD).
+				report.FetchCycles += hier.ChargeBuffer(int64(len(words)))
+				psderWordsFetched += int64(len(words))
+				s, err := psder.DecodeWords(words)
+				if err != nil {
+					return nil, err
+				}
+				seq = s
+			} else {
+				// Miss: trap through DTRPOINT to the dynamic translation
+				// routine (Figure 4): fetch the DIR instruction from level 2,
+				// decode it, generate the PSDER translation and store it in
+				// the DTB, then execute it.
+				w2, err := r.fetchFromLevel2(dirSeg, bin, pc, nil)
+				if err != nil {
+					return nil, err
+				}
+				report.FetchCycles += w2
+				l2Fetches++
+				steps, s, err := r.decodeAndDispatch(decoder, bin, memo, pc)
+				if err != nil {
+					return nil, err
+				}
+				decodeSteps += int64(steps)
+				decodedInstrs++
+				report.DecodeCycles += memory.Cycles(steps)
+				seq = s
+
+				encoded, err := s.Encode()
+				if err != nil {
+					return nil, err
+				}
+				// Generation: one cycle per emitted word; storing: one
+				// buffer-array write per word.
+				genCycles := memory.Cycles(len(encoded))
+				storeCycles := hier.ChargeBuffer(int64(len(encoded)))
+				report.TranslateCycles += genCycles + storeCycles
+				translateOps += int64(genCycles + storeCycles)
+				translations++
+				if _, err := buf.Install(uint64(pc), encoded); err != nil &&
+					!errors.Is(err, dtb.ErrTooLarge) && !errors.Is(err, dtb.ErrNoOverflow) {
+					return nil, err
+				}
+				// Fetch the freshly installed translation from the buffer
+				// array, as the INTERP hit path would.
+				report.FetchCycles += hier.ChargeBuffer(int64(len(encoded)))
+				psderWordsFetched += int64(len(encoded))
+			}
+
+		case Expanded:
+			seq = expanded[pc]
+			// The expanded representation lives in level 2: one reference
+			// per PSDER word.
+			report.FetchCycles += memory.Cycles(seq.Words()) * r.cfg.Memory.Level2Time
+			psderWordsFetched += int64(seq.Words())
+		}
+
+		res, err := machine.ExecSequence(seq)
+		if err != nil {
+			return nil, fmt.Errorf("sim: pc %d (%s): %w", pc, p.Instrs[pc], err)
+		}
+		report.SemanticCycles += memory.Cycles(res.SemanticCycles)
+		if res.Halted {
+			break
+		}
+		pc = res.NextPC
+	}
+
+	report.Output = machine.Output()
+	report.Memory = hier.Stats()
+	if buf != nil {
+		report.DTBStats = buf.Stats()
+		report.Measured.HD = buf.Stats().HitRatio()
+	}
+	if icache != nil {
+		report.CacheStats = icache.Stats()
+		report.Measured.HC = icache.Stats().HitRatio()
+	}
+	report.TotalCycles = report.FetchCycles + report.DecodeCycles + report.TranslateCycles + report.SemanticCycles
+	if report.Instructions > 0 {
+		report.PerInstruction = float64(report.TotalCycles) / float64(report.Instructions)
+		report.Measured.X = float64(report.SemanticCycles) / float64(report.Instructions)
+	}
+	if decodedInstrs > 0 {
+		report.Measured.D = float64(decodeSteps) / float64(decodedInstrs)
+	}
+	if translations > 0 {
+		report.Measured.G = float64(translateOps) / float64(translations)
+	}
+	if report.Instructions > 0 && psderWordsFetched > 0 {
+		report.Measured.S1 = float64(psderWordsFetched) / float64(report.Instructions)
+	}
+	// Every level-2 reference in this simulation is a DIR instruction word
+	// fetch, so S2 falls straight out of the memory statistics.
+	if l2Fetches > 0 {
+		report.Measured.S2 = float64(report.Memory.Level2Refs) / float64(l2Fetches)
+	}
+	return report, nil
+}
+
+// fetchFromLevel2 charges the cost of fetching the encoded DIR instruction at
+// index pc.  When icache is non-nil each touched word goes through the cache:
+// a hit costs a buffer access, a miss costs a level-2 access.  The returned
+// value is the cycles charged.
+func (r *runner) fetchFromLevel2(seg *memory.Segment, bin *dir.Binary, pc int, icache *cache.Cache) (memory.Cycles, error) {
+	offset, length, err := bin.InstrBitRange(pc)
+	if err != nil {
+		return 0, err
+	}
+	if length == 0 {
+		length = 1
+	}
+	firstWord := offset / (memory.WordBytes * 8)
+	lastWord := (offset + length - 1) / (memory.WordBytes * 8)
+	var total memory.Cycles
+	for w := firstWord; w <= lastWord; w++ {
+		if icache != nil {
+			addr := uint64(w * memory.WordBytes)
+			if icache.Access(addr) {
+				// Cache hit: served at buffer speed.
+				total += r.cfg.Memory.BufferTime
+				continue
+			}
+		}
+		_, cycles, err := seg.ReadWord(w)
+		if err != nil {
+			return total, err
+		}
+		total += cycles
+	}
+	return total, nil
+}
+
+// decodeAndDispatch decodes the DIR instruction at pc (counting decode steps)
+// and produces its PSDER dispatch sequence, memoised to avoid re-allocating
+// identical sequences.
+func (r *runner) decodeAndDispatch(dec *dir.Decoder, bin *dir.Binary, memo map[int]psder.Sequence, pc int) (int, psder.Sequence, error) {
+	in, cost, err := dec.Decode(pc)
+	if err != nil {
+		return 0, nil, err
+	}
+	if seq, ok := memo[pc]; ok {
+		return cost.Steps, seq, nil
+	}
+	seq, err := translate.Translate(in, pc)
+	if err != nil {
+		return cost.Steps, nil, err
+	}
+	memo[pc] = seq
+	return cost.Steps, seq, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunAll runs every strategy on the same program and verifies that all of
+// them produce identical output (they share the semantic-routine library, so
+// anything else is a bug).  Reports are returned in Strategies() order.
+func RunAll(p *dir.Program, cfg Config) ([]*Report, error) {
+	var reports []*Report
+	for _, s := range Strategies() {
+		rep, err := Run(p, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", s, err)
+		}
+		reports = append(reports, rep)
+	}
+	for _, rep := range reports[1:] {
+		if !reflect.DeepEqual(rep.Output, reports[0].Output) {
+			return reports, fmt.Errorf("%w: %v produced %v, %v produced %v",
+				ErrOutputMismatch, reports[0].Strategy, reports[0].Output, rep.Strategy, rep.Output)
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,277 @@
+// Package translate implements the dynamic translator of §4 and §6.2: the
+// routine that, on a DTB miss, "fetches the DIR instruction, decodes and
+// parses it, generates the PSDER translation which it then stores in the DTB
+// ... Lastly, it sets the ball rolling by transferring control to the first
+// instruction in the PSDER translation."
+//
+// Translation is a pure function from one decoded DIR instruction (plus its
+// position, for successor addresses) to a psder.Sequence.  The mapping is
+// "almost one-to-one" as the paper requires: each DIR field becomes a PUSH of
+// a parameter or a CALL of a semantic routine, and every sequence ends with
+// the INTERP instruction that names the next DIR instruction — immediately
+// when the successor is known statically, via the operand stack when it must
+// be computed (conditional branches, calls and returns).
+package translate
+
+import (
+	"fmt"
+
+	"uhm/internal/dir"
+	"uhm/internal/psder"
+)
+
+// immLimit is the largest magnitude an immediate PUSH argument can carry
+// directly (the short-format word has a 24-bit argument field); wider
+// constants are decomposed into chunkShift-bit chunks.
+const (
+	immLimit   = 1 << 23 // |arg| below this fits the 24-bit signed field
+	chunkShift = 20
+	chunkBase  = 1 << chunkShift
+)
+
+var arithRoutine = map[dir.Opcode]psder.RoutineID{
+	dir.OpAdd: psder.RoutineAdd, dir.OpSub: psder.RoutineSub, dir.OpMul: psder.RoutineMul,
+	dir.OpDiv: psder.RoutineDiv, dir.OpMod: psder.RoutineMod,
+	dir.OpEq: psder.RoutineEq, dir.OpNe: psder.RoutineNe, dir.OpLt: psder.RoutineLt,
+	dir.OpLe: psder.RoutineLe, dir.OpGt: psder.RoutineGt, dir.OpGe: psder.RoutineGe,
+	dir.OpAnd: psder.RoutineAnd, dir.OpOr: psder.RoutineOr,
+}
+
+var twoOpRoutine = map[dir.Opcode]psder.RoutineID{
+	dir.OpAdd2: psder.RoutineAdd, dir.OpSub2: psder.RoutineSub, dir.OpMul2: psder.RoutineMul,
+	dir.OpDiv2: psder.RoutineDiv, dir.OpMod2: psder.RoutineMod,
+}
+
+var threeOpRoutine = map[dir.Opcode]psder.RoutineID{
+	dir.OpAdd3: psder.RoutineAdd, dir.OpSub3: psder.RoutineSub, dir.OpMul3: psder.RoutineMul,
+	dir.OpDiv3: psder.RoutineDiv, dir.OpMod3: psder.RoutineMod,
+}
+
+var selectRoutine = map[dir.Opcode]psder.RoutineID{
+	dir.OpBrEq: psder.RoutineSelectEq, dir.OpBrNe: psder.RoutineSelectNe,
+	dir.OpBrLt: psder.RoutineSelectLt, dir.OpBrLe: psder.RoutineSelectLe,
+	dir.OpBrGt: psder.RoutineSelectGt, dir.OpBrGe: psder.RoutineSelectGe,
+}
+
+// hasRoutine reports whether the opcode has an entry in the routine map
+// (distinguishing "missing" from a mapping to routine 0).
+func hasRoutine(m map[dir.Opcode]psder.RoutineID, op dir.Opcode) bool {
+	_, ok := m[op]
+	return ok
+}
+
+// pushConst appends short-format instructions that leave the constant v on
+// the operand stack.  Values too wide for the 24-bit immediate field are
+// decomposed into 20-bit chunks combined with the ordinary multiply and add
+// routines, so arbitrary 64-bit constants remain expressible.
+func pushConst(seq psder.Sequence, v int64) psder.Sequence {
+	if v < immLimit && v > -immLimit {
+		return append(seq, psder.Push(int32(v)))
+	}
+	hi := v >> chunkShift
+	lo := v & (chunkBase - 1)
+	seq = pushConst(seq, hi)
+	seq = append(seq, psder.Push(int32(chunkBase)), psder.Call(psder.RoutineMul))
+	seq = append(seq, psder.Push(int32(lo)), psder.Call(psder.RoutineAdd))
+	return seq
+}
+
+// pushVarAddr appends the PUSHes that pass a lexical (depth, offset) address
+// to an addressing routine.
+func pushVarAddr(seq psder.Sequence, addr dir.VarAddr) psder.Sequence {
+	return append(seq, psder.Push(int32(addr.Depth)), psder.Push(int32(addr.Offset)))
+}
+
+// pushOperandValue appends instructions that leave the value of a DIR operand
+// (immediate or scalar variable) on the operand stack.
+func pushOperandValue(seq psder.Sequence, op dir.Operand) (psder.Sequence, error) {
+	switch op.Mode {
+	case dir.ModeImm:
+		return pushConst(seq, op.Imm), nil
+	case dir.ModeVar:
+		seq = pushVarAddr(seq, op.Addr)
+		return append(seq, psder.Call(psder.RoutineLoadVar)), nil
+	default:
+		return nil, fmt.Errorf("translate: unsupported operand mode %v", op.Mode)
+	}
+}
+
+// Translate generates the PSDER sequence for the DIR instruction at index pc.
+// The resulting sequence is self-contained: executed by IU2 (with IU1 running
+// the called semantic routines) it performs the instruction's semantics and
+// ends by naming the next DIR instruction through INTERP.
+func Translate(in dir.Instruction, pc int) (psder.Sequence, error) {
+	var seq psder.Sequence
+	next := psder.InterpImm(pc + 1)
+
+	switch op := in.Op; {
+	case op == dir.OpHalt:
+		return psder.Sequence{psder.Call(psder.RoutineHalt)}, nil
+
+	case op == dir.OpPushConst:
+		seq = pushConst(seq, in.Operands[0].Imm)
+		return append(seq, next), nil
+
+	case op == dir.OpPushVar:
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineLoadVar))
+		return append(seq, next), nil
+
+	case op == dir.OpPushIndexed:
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineLoadIndexed))
+		return append(seq, next), nil
+
+	case op == dir.OpStoreVar:
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineStoreVar))
+		return append(seq, next), nil
+
+	case op == dir.OpStoreIndexed:
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineStoreIndexed))
+		return append(seq, next), nil
+
+	case op == dir.OpPop:
+		return psder.Sequence{psder.Pop(), next}, nil
+
+	case hasRoutine(arithRoutine, op):
+		seq = append(seq, psder.Call(arithRoutine[op]))
+		return append(seq, next), nil
+
+	case op == dir.OpNeg:
+		return psder.Sequence{psder.Call(psder.RoutineNeg), next}, nil
+	case op == dir.OpNot:
+		return psder.Sequence{psder.Call(psder.RoutineNot), next}, nil
+
+	case op == dir.OpJump:
+		return psder.Sequence{psder.InterpImm(in.Target)}, nil
+
+	case op == dir.OpJumpZero:
+		seq = append(seq, psder.Push(int32(in.Target)), psder.Push(int32(pc+1)))
+		seq = append(seq, psder.Call(psder.RoutineSelectIfZero))
+		return append(seq, psder.InterpStack()), nil
+
+	case op == dir.OpCall:
+		seq = append(seq, psder.Push(int32(in.Proc)), psder.Push(int32(in.NArgs)), psder.Push(int32(pc+1)))
+		seq = append(seq, psder.Call(psder.RoutineCall))
+		return append(seq, psder.InterpStack()), nil
+
+	case op == dir.OpReturn:
+		return psder.Sequence{psder.Call(psder.RoutineReturn), psder.InterpStack()}, nil
+	case op == dir.OpReturnValue:
+		return psder.Sequence{psder.Call(psder.RoutineReturnValue), psder.InterpStack()}, nil
+
+	case op == dir.OpPrint:
+		return psder.Sequence{psder.Call(psder.RoutinePrint), next}, nil
+
+	case op == dir.OpPrintOperand:
+		var err error
+		seq, err = pushOperandValue(seq, in.Operands[0])
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, psder.Call(psder.RoutinePrint))
+		return append(seq, next), nil
+
+	case op == dir.OpMove:
+		var err error
+		seq, err = pushOperandValue(seq, in.Operands[1])
+		if err != nil {
+			return nil, err
+		}
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineStoreVar))
+		return append(seq, next), nil
+
+	case hasRoutine(twoOpRoutine, op):
+		var err error
+		// dst = dst op src: load dst, load src, apply, store dst.
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineLoadVar))
+		seq, err = pushOperandValue(seq, in.Operands[1])
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, psder.Call(twoOpRoutine[op]))
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineStoreVar))
+		return append(seq, next), nil
+
+	case hasRoutine(threeOpRoutine, op):
+		var err error
+		seq, err = pushOperandValue(seq, in.Operands[1])
+		if err != nil {
+			return nil, err
+		}
+		seq, err = pushOperandValue(seq, in.Operands[2])
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, psder.Call(threeOpRoutine[op]))
+		seq = pushVarAddr(seq, in.Operands[0].Addr)
+		seq = append(seq, psder.Call(psder.RoutineStoreVar))
+		return append(seq, next), nil
+
+	case hasRoutine(selectRoutine, op):
+		var err error
+		seq, err = pushOperandValue(seq, in.Operands[0])
+		if err != nil {
+			return nil, err
+		}
+		seq, err = pushOperandValue(seq, in.Operands[1])
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, psder.Push(int32(in.Target)), psder.Push(int32(pc+1)))
+		seq = append(seq, psder.Call(selectRoutine[op]))
+		return append(seq, psder.InterpStack()), nil
+	}
+
+	return nil, fmt.Errorf("translate: unsupported DIR opcode %v", in.Op)
+}
+
+// TranslateProgram translates every instruction of a program, returning one
+// sequence per DIR instruction.  It is used by the fully-expanded (DER)
+// execution strategy and by tests; the DTB strategy translates lazily, one
+// instruction at a time, on misses.
+func TranslateProgram(p *dir.Program) ([]psder.Sequence, error) {
+	out := make([]psder.Sequence, len(p.Instrs))
+	for i, in := range p.Instrs {
+		seq, err := Translate(in, i)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d (%s): %w", i, in, err)
+		}
+		if err := seq.Validate(); err != nil {
+			return nil, fmt.Errorf("instruction %d (%s): %w", i, in, err)
+		}
+		out[i] = seq
+	}
+	return out, nil
+}
+
+// StaticCost summarises the static properties of a translated program: the
+// average PSDER words per DIR instruction (the paper's s1) and the average
+// base semantic cost (a static estimate of x).
+type StaticCost struct {
+	AvgWords        float64
+	AvgSemanticCost float64
+	TotalWords      int
+}
+
+// Cost computes the static cost summary of a translated program.
+func Cost(seqs []psder.Sequence) StaticCost {
+	if len(seqs) == 0 {
+		return StaticCost{}
+	}
+	var words, sem int
+	for _, s := range seqs {
+		words += s.Words()
+		sem += s.BaseSemanticCost()
+	}
+	return StaticCost{
+		AvgWords:        float64(words) / float64(len(seqs)),
+		AvgSemanticCost: float64(sem) / float64(len(seqs)),
+		TotalWords:      words,
+	}
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"uhm/internal/compile"
+	"uhm/internal/dir"
+)
+
+func TestNamesAndSources(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 workloads, got %v", names)
+	}
+	for _, name := range names {
+		src, err := Source(name)
+		if err != nil || src == "" {
+			t.Errorf("Source(%q): %v", name, err)
+		}
+	}
+	if _, err := Source("nonexistent"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if _, err := Parse("nonexistent"); err == nil {
+		t.Error("Parse of unknown workload should fail")
+	}
+	if _, err := CompileAt("nonexistent", compile.LevelStack); err == nil {
+		t.Error("CompileAt of unknown workload should fail")
+	}
+	if _, err := ReferenceOutput("nonexistent"); err == nil {
+		t.Error("ReferenceOutput of unknown workload should fail")
+	}
+}
+
+func TestEveryWorkloadCompilesAndRunsAtEveryLevel(t *testing.T) {
+	for _, name := range Names() {
+		want, err := ReferenceOutput(name)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s: reference output is empty; every workload must print something", name)
+		}
+		for _, level := range compile.Levels() {
+			t.Run(name+"/"+level.String(), func(t *testing.T) {
+				dp, err := CompileAt(name, level)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := dir.Execute(dp, dir.ExecOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.Output, want) {
+					t.Errorf("output = %v, want %v", res.Output, want)
+				}
+			})
+		}
+	}
+}
+
+func TestKnownOutputs(t *testing.T) {
+	cases := map[string][]int64{
+		"fib":       {377},   // fib(14)
+		"sieve":     {31},    // primes below 128
+		"ackermann": {9, 61}, // ack(2,3), ack(3,3)
+	}
+	for name, want := range cases {
+		got, err := ReferenceOutput(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s output = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestMustCompileAt(t *testing.T) {
+	if p := MustCompileAt("fib", compile.LevelMem3); p == nil || len(p.Instrs) == 0 {
+		t.Error("MustCompileAt returned an empty program")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompileAt should panic for unknown workloads")
+		}
+	}()
+	MustCompileAt("nonexistent", compile.LevelStack)
+}
+
+func TestSyntheticTraceValidation(t *testing.T) {
+	if err := DefaultTraceConfig().Validate(); err != nil {
+		t.Fatalf("default trace config invalid: %v", err)
+	}
+	bad := []TraceConfig{
+		{Length: 0, AddressSpace: 10, WorkingSet: 5, PhaseLength: 10},
+		{Length: 10, AddressSpace: 0, WorkingSet: 5, PhaseLength: 10},
+		{Length: 10, AddressSpace: 10, WorkingSet: 20, PhaseLength: 10},
+		{Length: 10, AddressSpace: 10, WorkingSet: 5, PhaseLength: 0},
+		{Length: 10, AddressSpace: 10, WorkingSet: 5, PhaseLength: 10, JumpProb: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+		if _, err := SyntheticTrace(c); err == nil {
+			t.Errorf("case %d: SyntheticTrace should reject invalid config", i)
+		}
+	}
+}
+
+func TestSyntheticTraceProperties(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	trace, err := SyntheticTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != cfg.Length {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	for _, a := range trace {
+		if a >= uint64(cfg.AddressSpace) {
+			t.Fatalf("address %d outside address space", a)
+		}
+	}
+	// Determinism: same seed, same trace.
+	again, _ := SyntheticTrace(cfg)
+	if !reflect.DeepEqual(trace, again) {
+		t.Error("traces with the same seed should be identical")
+	}
+	other := cfg
+	other.Seed = 99
+	different, _ := SyntheticTrace(other)
+	if reflect.DeepEqual(trace, different) {
+		t.Error("traces with different seeds should differ")
+	}
+}
+
+func TestWorkingSetAnalysis(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	trace, err := SyntheticTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := WorkingSetSizes(trace, 1000)
+	if len(sizes) != cfg.Length/1000 {
+		t.Fatalf("working set windows = %d", len(sizes))
+	}
+	avg := AverageWorkingSet(trace, 1000)
+	// The working set must be far smaller than the address space (that is
+	// the locality the DTB exploits) but at least as large as a good chunk
+	// of the configured working set.
+	if avg >= float64(cfg.AddressSpace)/4 {
+		t.Errorf("average working set %v too close to the address space %d", avg, cfg.AddressSpace)
+	}
+	if avg < float64(cfg.WorkingSet)/2 {
+		t.Errorf("average working set %v suspiciously small for configured %d", avg, cfg.WorkingSet)
+	}
+	if WorkingSetSizes(nil, 100) != nil || WorkingSetSizes(trace, 0) != nil {
+		t.Error("degenerate working-set queries should return nil")
+	}
+	if AverageWorkingSet(nil, 100) != 0 {
+		t.Error("empty trace average should be 0")
+	}
+}
+
+func TestLowLocalityTraceHasLargerWorkingSet(t *testing.T) {
+	local := DefaultTraceConfig()
+	scattered := local
+	scattered.WorkingSet = scattered.AddressSpace
+	scattered.JumpProb = 1.0
+	lt, err := SyntheticTrace(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SyntheticTrace(scattered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AverageWorkingSet(st, 1000) <= AverageWorkingSet(lt, 1000) {
+		t.Error("a scattered trace should have a larger working set than a local one")
+	}
+}
+
+func BenchmarkSyntheticTrace(b *testing.B) {
+	cfg := DefaultTraceConfig()
+	cfg.Length = 10_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SyntheticTrace(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
