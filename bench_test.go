@@ -6,6 +6,7 @@
 package uhm
 
 import (
+	"context"
 	"testing"
 
 	"uhm/internal/compile"
@@ -13,7 +14,9 @@ import (
 	"uhm/internal/dir"
 	"uhm/internal/dtb"
 	"uhm/internal/perfmodel"
+	"uhm/internal/psder"
 	"uhm/internal/sim"
+	"uhm/internal/translate"
 	"uhm/internal/workload"
 )
 
@@ -222,6 +225,143 @@ func BenchmarkAblationModelHitRatio(b *testing.B) {
 			if len(results) != 1 {
 				b.Fatal("sweep shape")
 			}
+		}
+	}
+}
+
+// --- Engine and dispatch benchmarks (parallel sweep + predecoded fast path) -
+
+// BenchmarkEngineEmpirical compares the serial and parallel experiment
+// engines on the Section 7 workload × strategy grid.
+func BenchmarkEngineEmpirical(b *testing.B) {
+	cfg := benchConfig()
+	for _, bench := range []struct {
+		name   string
+		engine core.Engine
+	}{
+		{"serial", core.SerialEngine()},
+		{"parallel", core.ParallelEngine()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.engine.Empirical(context.Background(), nil, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFigure1 compares the serial and parallel engines on the
+// representation-space sweep.
+func BenchmarkEngineFigure1(b *testing.B) {
+	cfg := benchConfig()
+	for _, bench := range []struct {
+		name   string
+		engine core.Engine
+	}{
+		{"serial", core.SerialEngine()},
+		{"parallel", core.ParallelEngine()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.engine.Figure1(context.Background(), nil, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// dispatchRounds is how many passes over the static program the dispatch
+// benchmarks replay, standing in for a loop-dominated dynamic stream.
+const dispatchRounds = 50
+
+// BenchmarkDispatchMapMemo replicates the engine retired by the predecoded
+// fast path: every dispatched instruction re-decodes the DIR binary (field
+// extraction plus code-tree walks) and consults a freshly allocated per-run
+// map[int]psder.Sequence memo.
+func BenchmarkDispatchMapMemo(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	bin, err := dir.Encode(dp, dir.DegreeHuffman)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := bin.NumInstrs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		dec := bin.NewDecoder()
+		memo := make(map[int]psder.Sequence)
+		for round := 0; round < dispatchRounds; round++ {
+			for pc := 0; pc < n; pc++ {
+				in, cost, err := dec.Decode(pc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				seq, ok := memo[pc]
+				if !ok {
+					seq, err = translate.Translate(in, pc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					memo[pc] = seq
+				}
+				sink += cost.Steps + seq.Words()
+			}
+		}
+	}
+	if sink == 0 {
+		b.Fatal("no dispatch work performed")
+	}
+}
+
+// BenchmarkDispatchPredecoded is the same dispatch stream over the shared
+// predecoded program: a slice index per instruction, decode and translation
+// paid once per run.  The binary is encoded outside the timer, exactly as
+// the map-memo benchmark does, so the two time only dispatch-path work.
+func BenchmarkDispatchPredecoded(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	bin, err := dir.Encode(dp, dir.DegreeHuffman)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		pp, err := sim.PredecodeBinary(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := pp.NumInstrs()
+		for round := 0; round < dispatchRounds; round++ {
+			for pc := 0; pc < n; pc++ {
+				sink += pp.DecodeCost(pc).Steps + pp.Sequence(pc).Words()
+			}
+		}
+	}
+	if sink == 0 {
+		b.Fatal("no dispatch work performed")
+	}
+}
+
+// BenchmarkRunSharedPredecode measures a full simulated DTB run when the
+// predecoded program is built once and reused, the shape of every sweep in
+// the experiment engine.
+func BenchmarkRunSharedPredecode(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := benchConfig()
+	pp, err := sim.Predecode(dp, cfg.Degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunPredecoded(pp, sim.WithDTB, cfg); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

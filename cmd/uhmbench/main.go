@@ -3,17 +3,24 @@
 // format comparison, and the measured counterparts of Figures 1–4 plus the
 // empirical Section 7 cross-check and the §3.2 compaction study.
 //
+// The grid experiments run on the parallel engine by default (one worker per
+// CPU); -parallel=false selects the serial engine, which produces the same
+// bytes cell for cell.  An interrupt (Ctrl-C) cancels the sweep.
+//
 // Usage:
 //
 //	uhmbench -exp all
 //	uhmbench -exp table2
 //	uhmbench -exp figure2 -workload sieve
+//	uhmbench -exp empirical -parallel=false
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"uhm/internal/core"
@@ -22,22 +29,31 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, figure1, figure2, figure3, figure4, empirical, compaction, all")
 	workloadName := flag.String("workload", "", "workload for the figure experiments (default chosen per experiment)")
+	parallel := flag.Bool("parallel", true, "run experiment grids on the parallel engine")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel engine (0 = one per CPU)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	engine := core.Engine{Workers: *workers}
+	if !*parallel {
+		engine = core.SerialEngine()
+	}
 	cfg := core.DefaultConfig()
-	if err := run(*exp, *workloadName, cfg); err != nil {
+	if err := run(ctx, engine, *exp, *workloadName, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "uhmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, workloadName string, cfg core.Config) error {
+func run(ctx context.Context, engine core.Engine, exp, workloadName string, cfg core.Config) error {
 	experiments := strings.Split(exp, ",")
 	if exp == "all" {
 		experiments = []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "empirical", "compaction"}
 	}
 	for _, e := range experiments {
-		if err := runOne(strings.TrimSpace(e), workloadName, cfg); err != nil {
+		if err := runOne(ctx, engine, strings.TrimSpace(e), workloadName, cfg); err != nil {
 			return fmt.Errorf("%s: %w", e, err)
 		}
 		fmt.Println()
@@ -45,26 +61,34 @@ func run(exp, workloadName string, cfg core.Config) error {
 	return nil
 }
 
-func runOne(exp, workloadName string, cfg core.Config) error {
+func runOne(ctx context.Context, engine core.Engine, exp, workloadName string, cfg core.Config) error {
 	switch exp {
 	case "table1":
 		fmt.Print(core.Table1Report())
 	case "table2":
-		fmt.Print(core.Table2().Render())
+		t, err := engine.Table2(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
 	case "table3":
-		fmt.Print(core.Table3().Render())
+		t, err := engine.Table3(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
 	case "figure1":
 		var workloads []string
 		if workloadName != "" {
 			workloads = []string{workloadName}
 		}
-		rows, err := core.Figure1(workloads, cfg)
+		rows, err := engine.Figure1(ctx, workloads, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.RenderFigure1(rows))
 	case "figure2":
-		org, rows, err := core.Figure2(workloadName, cfg)
+		org, rows, err := engine.Figure2(ctx, workloadName, cfg)
 		if err != nil {
 			return err
 		}
@@ -86,7 +110,7 @@ func runOne(exp, workloadName string, cfg core.Config) error {
 		if workloadName != "" {
 			workloads = []string{workloadName}
 		}
-		rows, err := core.Empirical(workloads, cfg)
+		rows, err := engine.Empirical(ctx, workloads, cfg)
 		if err != nil {
 			return err
 		}
@@ -96,7 +120,7 @@ func runOne(exp, workloadName string, cfg core.Config) error {
 		if workloadName != "" {
 			workloads = []string{workloadName}
 		}
-		rows, err := core.Compaction(workloads, core.LevelStack)
+		rows, err := engine.Compaction(ctx, workloads, core.LevelStack)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module uhm
+
+go 1.24

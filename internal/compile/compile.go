@@ -140,7 +140,7 @@ func (c *compiler) compile(prog *hlr.Program) (*dir.Program, error) {
 			Name:       proc.Name,
 			Entry:      entries[idx],
 			NumParams:  proc.NumParams,
-			FrameSlots: maxInt(proc.FrameSlots, proc.NumParams),
+			FrameSlots: max(proc.FrameSlots, proc.NumParams),
 			Depth:      proc.Depth,
 		})
 		out.Contours = append(out.Contours, c.contourFor(proc))
@@ -172,16 +172,9 @@ func (c *compiler) contourFor(proc *hlr.ProcInfo) dir.Contour {
 	return contour
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // frameSlotsOK guards against procedures whose frame is empty; dir.Validate
-// requires FrameSlots >= NumParams which maxInt ensures, but a zero-slot
-// frame is legal.
+// requires FrameSlots >= NumParams which the max above ensures, but a
+// zero-slot frame is legal.
 
 func varOperand(sym *hlr.Symbol) dir.Operand {
 	return dir.VarOperand(sym.Depth, sym.Offset)

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"uhm/internal/compile"
 	"uhm/internal/dir"
@@ -68,12 +69,46 @@ func Strategies() []Strategy { return sim.Strategies() }
 func Workloads() []string { return workload.Names() }
 
 // Artifact is a program carried through the pipeline: the parsed HLR, the
-// compiled DIR and the semantic level it was compiled at.
+// compiled DIR and the semantic level it was compiled at.  An Artifact also
+// caches the predecoded form of its DIR at each encoding degree, so sweeps
+// that revisit the artifact — every strategy of a comparison, every capacity
+// of a DTB sweep, repeated benchmark iterations — decode and translate it
+// exactly once.  The cache is safe for concurrent use.
 type Artifact struct {
 	Name  string
 	Level Level
 	HLR   *hlr.Program
 	DIR   *dir.Program
+
+	preMu sync.Mutex
+	pre   map[Degree]*predecodeEntry
+}
+
+// predecodeEntry dedups predecoding per degree while letting different
+// degrees of the same artifact predecode concurrently.
+type predecodeEntry struct {
+	once sync.Once
+	pp   *sim.PredecodedProgram
+	err  error
+}
+
+// Predecoded returns the artifact's shared predecoded program at the given
+// encoding degree, encoding, decoding and translating it on first use.  The
+// returned program is immutable and shared: it may back any number of
+// concurrent simulation runs.
+func (a *Artifact) Predecoded(degree Degree) (*sim.PredecodedProgram, error) {
+	a.preMu.Lock()
+	if a.pre == nil {
+		a.pre = make(map[Degree]*predecodeEntry)
+	}
+	e, ok := a.pre[degree]
+	if !ok {
+		e = &predecodeEntry{}
+		a.pre[degree] = e
+	}
+	a.preMu.Unlock()
+	e.once.Do(func() { e.pp, e.err = sim.Predecode(a.DIR, degree) })
+	return e.pp, e.err
 }
 
 // BuildSource parses, analyses and compiles MiniLang source text.
@@ -116,13 +151,23 @@ func (a *Artifact) Encode(degree Degree) (*dir.Binary, error) {
 // Disassemble returns the DIR program listing.
 func (a *Artifact) Disassemble() string { return a.DIR.Disassemble() }
 
-// Run simulates the artifact under one machine organisation.
+// Run simulates the artifact under one machine organisation, sharing the
+// artifact's cached predecoded program.
 func Run(a *Artifact, strategy Strategy, cfg Config) (*Report, error) {
-	return sim.Run(a.DIR, strategy, cfg)
+	pp, err := a.Predecoded(cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunPredecoded(pp, strategy, cfg)
 }
 
 // Compare simulates the artifact under every organisation and verifies that
-// all of them produce the same output.
+// all of them produce the same output.  Every organisation shares the
+// artifact's cached predecoded program.
 func Compare(a *Artifact, cfg Config) ([]*Report, error) {
-	return sim.RunAll(a.DIR, cfg)
+	pp, err := a.Predecoded(cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunAllPredecoded(pp, cfg)
 }

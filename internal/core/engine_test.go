@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func engineTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 5_000_000
+	return cfg
+}
+
+// TestParallelEngineMatchesSerial renders every grid experiment under both
+// engines and requires byte-identical reports.
+func TestParallelEngineMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	cfg := engineTestConfig()
+	serial, parallel := SerialEngine(), Engine{Workers: 8}
+
+	render := func(e Engine) map[string]string {
+		out := make(map[string]string)
+		t2, err := e.Table2(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["table2"] = t2.Render()
+		t3, err := e.Table3(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["table3"] = t3.Render()
+		f1, err := e.Figure1(ctx, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["figure1"] = RenderFigure1(f1)
+		org, f2, err := e.Figure2(ctx, "", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["figure2"] = RenderFigure2(org, f2)
+		emp, err := e.Empirical(ctx, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["empirical"] = RenderEmpirical(emp)
+		comp, err := e.Compaction(ctx, nil, LevelStack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["compaction"] = RenderCompaction(comp)
+		return out
+	}
+
+	want, got := render(serial), render(parallel)
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", name, w, got[name])
+		}
+	}
+}
+
+// TestEngineConcurrentUse drives the engine and the package-level table
+// entry points from many goroutines at once — the race-detector coverage for
+// the shared predecoded programs and the worker pool — and asserts every
+// goroutine sees identical cells.
+func TestEngineConcurrentUse(t *testing.T) {
+	ctx := context.Background()
+	cfg := engineTestConfig()
+	wantT2, wantT3 := SerialEngine(), SerialEngine()
+	t2, err := wantT2.Table2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := wantT3.Table3(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEmp, err := SerialEngine().Empirical(ctx, []string{"loopsum", "fib"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRendered := RenderEmpirical(wantEmp)
+
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if cells := Table2().Cells; !reflect.DeepEqual(cells, t2.Cells) {
+				errc <- fmt.Errorf("goroutine %d: Table2 cells diverged", g)
+				return
+			}
+			if cells := Table3().Cells; !reflect.DeepEqual(cells, t3.Cells) {
+				errc <- fmt.Errorf("goroutine %d: Table3 cells diverged", g)
+				return
+			}
+			rows, err := ParallelEngine().Empirical(ctx, []string{"loopsum", "fib"}, cfg)
+			if err != nil {
+				errc <- fmt.Errorf("goroutine %d: %w", g, err)
+				return
+			}
+			if rendered := RenderEmpirical(rows); rendered != wantRendered {
+				errc <- fmt.Errorf("goroutine %d: empirical report diverged", g)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestEngineCancellation stops the sweep when the context is cancelled.
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParallelEngine().Figure1(ctx, nil, engineTestConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Figure1 on cancelled context: %v", err)
+	}
+	if _, err := ParallelEngine().Table2(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Table2 on cancelled context: %v", err)
+	}
+}
+
+// TestEngineErrorMatchesSerial requires the parallel engine to surface the
+// same first error the serial engine would.
+func TestEngineErrorMatchesSerial(t *testing.T) {
+	ctx := context.Background()
+	cfg := engineTestConfig()
+	workloads := []string{"loopsum", "no-such-workload", "fib"}
+	_, serialErr := SerialEngine().Empirical(ctx, workloads, cfg)
+	_, parallelErr := Engine{Workers: 8}.Empirical(ctx, workloads, cfg)
+	if serialErr == nil || parallelErr == nil {
+		t.Fatalf("expected errors, got serial=%v parallel=%v", serialErr, parallelErr)
+	}
+	if serialErr.Error() != parallelErr.Error() {
+		t.Errorf("error mismatch:\nserial:   %v\nparallel: %v", serialErr, parallelErr)
+	}
+}

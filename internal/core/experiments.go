@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"uhm/internal/dir"
-	"uhm/internal/dtb"
 	"uhm/internal/host"
 	"uhm/internal/metrics"
 	"uhm/internal/perfmodel"
@@ -38,11 +38,19 @@ func Table1Report() string {
 
 // --- Tables 2 and 3 ------------------------------------------------------
 
-// Table2 regenerates the paper's Table 2 (analytic model).
-func Table2() *perfmodel.Table { return perfmodel.Table2() }
+// Table2 regenerates the paper's Table 2 (analytic model) on the default
+// parallel engine.
+func Table2() *perfmodel.Table {
+	t, _ := defaultEngine.Table2(context.Background()) // only fails on ctx cancellation
+	return t
+}
 
-// Table3 regenerates the paper's Table 3 (analytic model).
-func Table3() *perfmodel.Table { return perfmodel.Table3() }
+// Table3 regenerates the paper's Table 3 (analytic model) on the default
+// parallel engine.
+func Table3() *perfmodel.Table {
+	t, _ := defaultEngine.Table3(context.Background()) // only fails on ctx cancellation
+	return t
+}
 
 // --- Figure 1: the space of program representations ----------------------
 
@@ -62,40 +70,9 @@ type Figure1Row struct {
 	MeasuredDecode float64
 }
 
-// Figure1 sweeps the representation space.
+// Figure1 sweeps the representation space on the default parallel engine.
 func Figure1(workloads []string, cfg Config) ([]Figure1Row, error) {
-	if len(workloads) == 0 {
-		workloads = DefaultExperimentWorkloads()
-	}
-	var rows []Figure1Row
-	for _, name := range workloads {
-		for _, level := range Levels() {
-			art, err := BuildWorkload(name, level)
-			if err != nil {
-				return nil, err
-			}
-			for _, degree := range Degrees() {
-				runCfg := cfg
-				runCfg.Degree = degree
-				rep, err := Run(art, Conventional, runCfg)
-				if err != nil {
-					return nil, fmt.Errorf("figure1 %s/%v/%v: %w", name, level, degree, err)
-				}
-				rows = append(rows, Figure1Row{
-					Workload:       name,
-					Level:          level,
-					Degree:         degree,
-					StaticBits:     rep.StaticBits,
-					CodebookBits:   rep.CodebookBits,
-					Instructions:   rep.Instructions,
-					TotalCycles:    int64(rep.TotalCycles),
-					PerInstruction: rep.PerInstruction,
-					MeasuredDecode: rep.Measured.D,
-				})
-			}
-		}
-	}
-	return rows, nil
+	return defaultEngine.Figure1(context.Background(), workloads, cfg)
 }
 
 // RenderFigure1 formats the sweep in the layout of Figure 1's two axes.
@@ -123,45 +100,9 @@ type Figure2Row struct {
 }
 
 // Figure2 describes the DTB organisation (Figure 2's arrays) and measures
-// its hit ratio across a range of capacities on the given workload.
+// its hit ratio across a range of capacities on the default parallel engine.
 func Figure2(workloadName string, cfg Config) (string, []Figure2Row, error) {
-	if workloadName == "" {
-		workloadName = "sieve"
-	}
-	art, err := BuildWorkload(workloadName, LevelStack)
-	if err != nil {
-		return "", nil, err
-	}
-	var rows []Figure2Row
-	for _, entries := range []int{8, 16, 32, 64, 128, 256} {
-		runCfg := cfg
-		runCfg.DTB = dtb.Config{
-			Entries: entries, Assoc: 4, UnitWords: cfg.DTB.UnitWords,
-			Policy: dtb.VariableOverflow, OverflowUnits: entries / 4,
-		}
-		if runCfg.DTB.UnitWords == 0 {
-			runCfg.DTB.UnitWords = 4
-		}
-		rep, err := Run(art, WithDTB, runCfg)
-		if err != nil {
-			return "", nil, err
-		}
-		rows = append(rows, Figure2Row{
-			Entries:       entries,
-			CapacityBytes: runCfg.DTB.CapacityBytes(),
-			HitRatio:      rep.Measured.HD,
-			Evictions:     rep.DTBStats.Evictions,
-			Overflows:     rep.DTBStats.Overflows,
-		})
-	}
-	d, err := dtb.New(cfg.DTB)
-	if err != nil {
-		return "", nil, err
-	}
-	organisation := fmt.Sprintf(
-		"DTB organisation (Figure 2): associative tag array + address array + replacement array over %d sets of %d, buffer array of %d-word units (%s allocation): %s",
-		d.Sets(), cfg.DTB.Assoc, cfg.DTB.UnitWords, cfg.DTB.Policy, d.String())
-	return organisation, rows, nil
+	return defaultEngine.Figure2(context.Background(), workloadName, cfg)
 }
 
 // RenderFigure2 formats the capacity sweep.
@@ -382,24 +323,9 @@ type EmpiricalRow struct {
 }
 
 // Empirical runs every organisation on every workload at the configured
-// encoding degree.
+// encoding degree, on the default parallel engine.
 func Empirical(workloads []string, cfg Config) ([]EmpiricalRow, error) {
-	if len(workloads) == 0 {
-		workloads = DefaultExperimentWorkloads()
-	}
-	var rows []EmpiricalRow
-	for _, name := range workloads {
-		art, err := BuildWorkload(name, LevelStack)
-		if err != nil {
-			return nil, err
-		}
-		reports, err := Compare(art, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("empirical %s: %w", name, err)
-		}
-		rows = append(rows, EmpiricalRow{Workload: name, Reports: reports})
-	}
-	return rows, nil
+	return defaultEngine.Empirical(context.Background(), workloads, cfg)
 }
 
 // RenderEmpirical formats the comparison, including the measured counterparts
@@ -448,48 +374,9 @@ type CompactionRow struct {
 }
 
 // Compaction measures the §3.2 claim that encoding reduces program size by
-// 25–75 percent.
+// 25–75 percent, on the default parallel engine.
 func Compaction(workloads []string, level Level) ([]CompactionRow, error) {
-	if len(workloads) == 0 {
-		workloads = DefaultExperimentWorkloads()
-	}
-	var rows []CompactionRow
-	for _, name := range workloads {
-		art, err := BuildWorkload(name, level)
-		if err != nil {
-			return nil, err
-		}
-		row := CompactionRow{
-			Workload:   name,
-			Level:      level,
-			Bits:       make(map[Degree]int),
-			Reduction:  make(map[Degree]float64),
-			Interprets: make(map[Degree]int),
-		}
-		seqs, err := translate.TranslateProgram(art.DIR)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range seqs {
-			row.Expanded += s.Words() * 32
-		}
-		for _, degree := range Degrees() {
-			bin, err := art.Encode(degree)
-			if err != nil {
-				return nil, err
-			}
-			row.Bits[degree] = bin.SizeBits()
-			row.Interprets[degree] = bin.CodebookBits()
-		}
-		packed := row.Bits[DegreePacked]
-		for _, degree := range Degrees() {
-			if packed > 0 {
-				row.Reduction[degree] = 1 - float64(row.Bits[degree])/float64(packed)
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return defaultEngine.Compaction(context.Background(), workloads, level)
 }
 
 // RenderCompaction formats the compaction study.

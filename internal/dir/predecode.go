@@ -1,0 +1,50 @@
+package dir
+
+import "fmt"
+
+// Predecoded is the result of decoding every instruction of a Binary exactly
+// once: the decoded instructions and their measured decode costs, indexed
+// densely by instruction index (pc).
+//
+// Decoding a DIR instruction always produces the same result and the same
+// cost for a given pc — the pair-frequency degree conditions each opcode on
+// its static predecessor, which Decode reconstructs from the program — so the
+// per-execution decode work of an interpreter can be hoisted into this one
+// pass.  A Predecoded is immutable after construction and safe to share
+// between goroutines.
+type Predecoded struct {
+	Binary *Binary
+	Instrs []Instruction
+	Costs  []DecodeCost
+}
+
+// Predecode decodes every instruction of the binary once, in instruction
+// order, recording the decoded form and the decode cost of each.
+func (b *Binary) Predecode() (*Predecoded, error) {
+	n := b.NumInstrs()
+	pd := &Predecoded{
+		Binary: b,
+		Instrs: make([]Instruction, n),
+		Costs:  make([]DecodeCost, n),
+	}
+	dec := b.NewDecoder()
+	for i := 0; i < n; i++ {
+		in, cost, err := dec.Decode(i)
+		if err != nil {
+			return nil, fmt.Errorf("dir: predecode instruction %d: %w", i, err)
+		}
+		pd.Instrs[i] = in
+		pd.Costs[i] = cost
+	}
+	return pd, nil
+}
+
+// TotalSteps sums the decode steps over the static program — the cost of one
+// full predecode pass, for comparison against dynamic decode counts.
+func (pd *Predecoded) TotalSteps() int64 {
+	var steps int64
+	for _, c := range pd.Costs {
+		steps += int64(c.Steps)
+	}
+	return steps
+}

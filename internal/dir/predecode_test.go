@@ -1,0 +1,43 @@
+package dir
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPredecodeRoundTrips decodes the whole binary once and checks every
+// instruction and cost against a fresh sequential decoder.
+func TestPredecodeRoundTrips(t *testing.T) {
+	p := testProgram()
+	for _, degree := range Degrees() {
+		bin, err := Encode(p, degree)
+		if err != nil {
+			t.Fatalf("%v: %v", degree, err)
+		}
+		pd, err := bin.Predecode()
+		if err != nil {
+			t.Fatalf("%v: %v", degree, err)
+		}
+		if len(pd.Instrs) != len(p.Instrs) || len(pd.Costs) != len(p.Instrs) {
+			t.Fatalf("%v: predecoded %d/%d entries, want %d", degree, len(pd.Instrs), len(pd.Costs), len(p.Instrs))
+		}
+		dec := bin.NewDecoder()
+		var wantSteps int64
+		for i := range p.Instrs {
+			in, cost, err := dec.Decode(i)
+			if err != nil {
+				t.Fatalf("%v instr %d: %v", degree, i, err)
+			}
+			if !reflect.DeepEqual(pd.Instrs[i], in) {
+				t.Errorf("%v instr %d: %v, want %v", degree, i, pd.Instrs[i], in)
+			}
+			if pd.Costs[i] != cost {
+				t.Errorf("%v instr %d: cost %+v, want %+v", degree, i, pd.Costs[i], cost)
+			}
+			wantSteps += int64(cost.Steps)
+		}
+		if pd.TotalSteps() != wantSteps {
+			t.Errorf("%v: TotalSteps = %d, want %d", degree, pd.TotalSteps(), wantSteps)
+		}
+	}
+}

@@ -205,11 +205,10 @@ func (d *DTB) setOf(dirAddr uint64) int {
 	return int(dirAddr % uint64(d.nsets))
 }
 
-// Lookup presents a DIR instruction address to the associative address array.
-// On a hit it returns the PSDER translation and true.  On a miss it returns
-// nil and false; the caller (the INTERP trap path) is then expected to run
-// the dynamic translator and Install the result.
-func (d *DTB) Lookup(dirAddr uint64) ([]uint32, bool) {
+// lookup presents a DIR instruction address to the associative address array,
+// advancing the clock and recording the hit or miss.  On a hit the entry's
+// recency is refreshed and the entry returned.
+func (d *DTB) lookup(dirAddr uint64) *entry {
 	d.clock++
 	d.stats.Lookups++
 	set := d.sets[d.setOf(dirAddr)]
@@ -217,11 +216,35 @@ func (d *DTB) Lookup(dirAddr uint64) ([]uint32, bool) {
 		if set[i].valid && set[i].tag == dirAddr {
 			set[i].lastUse = d.clock
 			d.stats.Hits++
-			return d.read(&set[i]), true
+			return &set[i]
 		}
 	}
 	d.stats.Misses++
+	return nil
+}
+
+// Lookup presents a DIR instruction address to the associative address array.
+// On a hit it returns the PSDER translation and true.  On a miss it returns
+// nil and false; the caller (the INTERP trap path) is then expected to run
+// the dynamic translator and Install the result.
+func (d *DTB) Lookup(dirAddr uint64) ([]uint32, bool) {
+	if e := d.lookup(dirAddr); e != nil {
+		return d.read(e), true
+	}
 	return nil, false
+}
+
+// LookupLen behaves exactly like Lookup — same statistics, same recency
+// update — but returns only the length in words of the resident translation
+// instead of copying it out of the buffer array.  Callers that already hold
+// the translation in a shared predecoded form (sim.PredecodedProgram) use
+// this to charge the buffer-array references of the hit path without
+// allocating.
+func (d *DTB) LookupLen(dirAddr uint64) (int, bool) {
+	if e := d.lookup(dirAddr); e != nil {
+		return e.length, true
+	}
+	return 0, false
 }
 
 // Contains reports residency without touching statistics or recency.

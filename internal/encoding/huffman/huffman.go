@@ -160,7 +160,7 @@ func build(freq FreqTable, maxLen int) (*Code, error) {
 	}
 	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
 
-	if maxLen > 0 && len(syms) > (1<<uint(minInt(maxLen, 62))) {
+	if maxLen > 0 && len(syms) > (1<<uint(min(maxLen, 62))) {
 		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d-bit codes", len(syms), maxLen)
 	}
 
@@ -413,11 +413,4 @@ func (d *decoder) decode(r *bitio.Reader) (Symbol, int, error) {
 		}
 	}
 	return 0, steps, ErrBadCode
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,95 @@
+// The predecoded-program fast path: a DIR binary decoded and translated once,
+// shared immutably by every strategy and goroutine that runs it.  The
+// interpretive overhead the DIR/DTB design exists to eliminate — repeated
+// field extraction, code-tree walks and translation — is paid a single time
+// here; the simulator then charges the recorded per-pc costs on every
+// execution, so reports are identical to decoding afresh each time, while the
+// host pays only a slice index per dispatched instruction.
+package sim
+
+import (
+	"fmt"
+
+	"uhm/internal/dir"
+	"uhm/internal/psder"
+	"uhm/internal/translate"
+)
+
+// PredecodedProgram is a DIR program encoded at one degree, decoded and
+// translated exactly once.  It is immutable after construction: the same
+// instance can back any number of concurrent Run calls under any strategy.
+type PredecodedProgram struct {
+	// Program is the in-memory DIR program.
+	Program *dir.Program
+	// Binary is the encoded static representation the costs were measured on.
+	Binary *dir.Binary
+
+	seqs          []psder.Sequence // PSDER translation of each instruction
+	costs         []dir.DecodeCost // decode cost of each instruction
+	encoded       [][]uint32       // buffer-array image of each translation
+	expandedWords int              // total PSDER words of the full expansion
+}
+
+// Predecode encodes the program at the given degree and predecodes the
+// result.
+func Predecode(p *dir.Program, degree dir.Degree) (*PredecodedProgram, error) {
+	bin, err := dir.Encode(p, degree)
+	if err != nil {
+		return nil, err
+	}
+	return PredecodeBinary(bin)
+}
+
+// PredecodeBinary decodes every instruction of the binary once and generates
+// its PSDER translation and buffer-array encoding.
+func PredecodeBinary(bin *dir.Binary) (*PredecodedProgram, error) {
+	pd, err := bin.Predecode()
+	if err != nil {
+		return nil, err
+	}
+	pp := &PredecodedProgram{
+		Program: bin.Program,
+		Binary:  bin,
+		seqs:    make([]psder.Sequence, len(pd.Instrs)),
+		costs:   pd.Costs,
+		encoded: make([][]uint32, len(pd.Instrs)),
+	}
+	for pc, in := range pd.Instrs {
+		seq, err := translate.Translate(in, pc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: predecode instruction %d (%s): %w", pc, in, err)
+		}
+		enc, err := seq.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("sim: predecode instruction %d (%s): %w", pc, in, err)
+		}
+		pp.seqs[pc] = seq
+		pp.encoded[pc] = enc
+		pp.expandedWords += seq.Words()
+	}
+	return pp, nil
+}
+
+// Degree returns the encoding degree of the predecoded binary.
+func (pp *PredecodedProgram) Degree() dir.Degree { return pp.Binary.Degree }
+
+// NumInstrs returns the number of DIR instructions.
+func (pp *PredecodedProgram) NumInstrs() int { return len(pp.seqs) }
+
+// Sequence returns the PSDER translation of the instruction at pc.  The
+// returned sequence is shared: callers must not modify it.
+func (pp *PredecodedProgram) Sequence(pc int) psder.Sequence { return pp.seqs[pc] }
+
+// DecodeCost returns the measured cost of decoding the instruction at pc from
+// the binary, as an interpreter without this fast path would pay it on every
+// execution.
+func (pp *PredecodedProgram) DecodeCost(pc int) dir.DecodeCost { return pp.costs[pc] }
+
+// EncodedWords returns the buffer-array image of the translation at pc — what
+// the dynamic translator stores in the DTB.  The returned slice is shared:
+// callers must not modify it.
+func (pp *PredecodedProgram) EncodedWords(pc int) []uint32 { return pp.encoded[pc] }
+
+// ExpandedWords returns the total size in words of the fully expanded PSDER
+// program (the §3.1 "expanded machine language" baseline).
+func (pp *PredecodedProgram) ExpandedWords() int { return pp.expandedWords }

@@ -25,7 +25,7 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"reflect"
+	"slices"
 
 	"uhm/internal/cache"
 	"uhm/internal/dir"
@@ -33,7 +33,6 @@ import (
 	"uhm/internal/host"
 	"uhm/internal/memory"
 	"uhm/internal/psder"
-	"uhm/internal/translate"
 )
 
 // Strategy selects the machine organisation.
@@ -155,10 +154,32 @@ var (
 	ErrOutputMismatch = errors.New("sim: strategies produced different output")
 )
 
-// Run executes the program under the given strategy.
+// Run executes the program under the given strategy.  It predecodes the
+// program first; callers running several strategies or sweeps over the same
+// program should Predecode once themselves and use RunPredecoded.
 func Run(p *dir.Program, strategy Strategy, cfg Config) (*Report, error) {
 	if !strategy.Valid() {
 		return nil, fmt.Errorf("sim: invalid strategy %d", int(strategy))
+	}
+	pp, err := Predecode(p, cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	return RunPredecoded(pp, strategy, cfg)
+}
+
+// RunPredecoded executes a predecoded program under the given strategy.  The
+// predecoded program is only read, so any number of RunPredecoded calls may
+// share one instance concurrently.  cfg.Degree must match the degree the
+// program was predecoded at, since the reported costs were measured on that
+// binary.
+func RunPredecoded(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Report, error) {
+	if !strategy.Valid() {
+		return nil, fmt.Errorf("sim: invalid strategy %d", int(strategy))
+	}
+	if cfg.Degree != pp.Degree() {
+		return nil, fmt.Errorf("sim: config degree %v does not match predecoded degree %v",
+			cfg.Degree, pp.Degree())
 	}
 	if cfg.MaxInstructions <= 0 {
 		cfg.MaxInstructions = DefaultConfig().MaxInstructions
@@ -166,20 +187,18 @@ func Run(p *dir.Program, strategy Strategy, cfg Config) (*Report, error) {
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = DefaultConfig().MaxDepth
 	}
-	r := &runner{cfg: cfg, strategy: strategy}
-	return r.run(p)
+	r := &runner{cfg: cfg, strategy: strategy, pp: pp}
+	return r.run()
 }
 
 type runner struct {
 	cfg      Config
 	strategy Strategy
+	pp       *PredecodedProgram
 }
 
-func (r *runner) run(p *dir.Program) (*Report, error) {
-	bin, err := dir.Encode(p, r.cfg.Degree)
-	if err != nil {
-		return nil, err
-	}
+func (r *runner) run() (*Report, error) {
+	p, bin := r.pp.Program, r.pp.Binary
 	hier, err := memory.New(r.cfg.Memory)
 	if err != nil {
 		return nil, err
@@ -188,7 +207,7 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 	// Level-2 segment holding the static DIR representation, rounded up to a
 	// whole number of words so the final partially-filled word is readable.
 	dirBytes := (bin.SizeBytes() + memory.WordBytes - 1) / memory.WordBytes * memory.WordBytes
-	dirSeg, err := hier.Allocate(memory.Level2, "dir-program", maxInt(dirBytes, memory.WordBytes))
+	dirSeg, err := hier.Allocate(memory.Level2, "dir-program", max(dirBytes, memory.WordBytes))
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +231,6 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 
 	var buf *dtb.DTB
 	var icache *cache.Cache
-	var expanded []psder.Sequence
 	switch r.strategy {
 	case WithDTB:
 		buf, err = dtb.New(r.cfg.DTB)
@@ -232,21 +250,10 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 			return nil, err
 		}
 	case Expanded:
-		expanded, err = translate.TranslateProgram(p)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range expanded {
-			report.ExpandedWords += s.Words()
-		}
+		report.ExpandedWords = r.pp.ExpandedWords()
 	}
 
 	machine := host.New(p, host.Options{MaxDepth: r.cfg.MaxDepth})
-	decoder := bin.NewDecoder()
-	// Translation memo: avoids re-allocating sequences the conventional and
-	// cache strategies dispatch repeatedly.  Cost accounting is unaffected —
-	// decode and dispatch are charged on every execution regardless.
-	memo := make(map[int]psder.Sequence)
 
 	var decodeSteps, decodedInstrs int64
 	var translateOps, translations int64
@@ -259,7 +266,7 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 		}
 		report.Instructions++
 
-		var seq psder.Sequence
+		seq := r.pp.Sequence(pc)
 		switch r.strategy {
 		case Conventional:
 			words, err := r.fetchFromLevel2(dirSeg, bin, pc, nil)
@@ -268,14 +275,12 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 			}
 			report.FetchCycles += words
 			l2Fetches++
-			steps, s, err := r.decodeAndDispatch(decoder, bin, memo, pc)
-			if err != nil {
-				return nil, err
-			}
+			// Decode and dispatch: the predecoded cost of this pc, charged on
+			// every execution as the interpreter would pay it.
+			steps := r.pp.DecodeCost(pc).Steps
 			decodeSteps += int64(steps)
 			decodedInstrs++
 			report.DecodeCycles += memory.Cycles(steps)
-			seq = s
 
 		case WithCache:
 			words, err := r.fetchFromLevel2(dirSeg, bin, pc, icache)
@@ -284,26 +289,19 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 			}
 			report.FetchCycles += words
 			l2Fetches++
-			steps, s, err := r.decodeAndDispatch(decoder, bin, memo, pc)
-			if err != nil {
-				return nil, err
-			}
+			steps := r.pp.DecodeCost(pc).Steps
 			decodeSteps += int64(steps)
 			decodedInstrs++
 			report.DecodeCycles += memory.Cycles(steps)
-			seq = s
 
 		case WithDTB:
-			words, hit := buf.Lookup(uint64(pc))
+			words, hit := buf.LookupLen(uint64(pc))
 			if hit {
-				// Fetch the PSDER version from the buffer array (s1 refs at tD).
-				report.FetchCycles += hier.ChargeBuffer(int64(len(words)))
-				psderWordsFetched += int64(len(words))
-				s, err := psder.DecodeWords(words)
-				if err != nil {
-					return nil, err
-				}
-				seq = s
+				// Fetch the PSDER version from the buffer array (s1 refs at
+				// tD).  The resident words are this pc's translation, so the
+				// shared predecoded sequence is dispatched directly.
+				report.FetchCycles += hier.ChargeBuffer(int64(words))
+				psderWordsFetched += int64(words)
 			} else {
 				// Miss: trap through DTRPOINT to the dynamic translation
 				// routine (Figure 4): fetch the DIR instruction from level 2,
@@ -315,19 +313,12 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 				}
 				report.FetchCycles += w2
 				l2Fetches++
-				steps, s, err := r.decodeAndDispatch(decoder, bin, memo, pc)
-				if err != nil {
-					return nil, err
-				}
+				steps := r.pp.DecodeCost(pc).Steps
 				decodeSteps += int64(steps)
 				decodedInstrs++
 				report.DecodeCycles += memory.Cycles(steps)
-				seq = s
 
-				encoded, err := s.Encode()
-				if err != nil {
-					return nil, err
-				}
+				encoded := r.pp.EncodedWords(pc)
 				// Generation: one cycle per emitted word; storing: one
 				// buffer-array write per word.
 				genCycles := memory.Cycles(len(encoded))
@@ -346,7 +337,6 @@ func (r *runner) run(p *dir.Program) (*Report, error) {
 			}
 
 		case Expanded:
-			seq = expanded[pc]
 			// The expanded representation lives in level 2: one reference
 			// per PSDER word.
 			report.FetchCycles += memory.Cycles(seq.Words()) * r.cfg.Memory.Level2Time
@@ -429,49 +419,47 @@ func (r *runner) fetchFromLevel2(seg *memory.Segment, bin *dir.Binary, pc int, i
 	return total, nil
 }
 
-// decodeAndDispatch decodes the DIR instruction at pc (counting decode steps)
-// and produces its PSDER dispatch sequence, memoised to avoid re-allocating
-// identical sequences.
-func (r *runner) decodeAndDispatch(dec *dir.Decoder, bin *dir.Binary, memo map[int]psder.Sequence, pc int) (int, psder.Sequence, error) {
-	in, cost, err := dec.Decode(pc)
-	if err != nil {
-		return 0, nil, err
-	}
-	if seq, ok := memo[pc]; ok {
-		return cost.Steps, seq, nil
-	}
-	seq, err := translate.Translate(in, pc)
-	if err != nil {
-		return cost.Steps, nil, err
-	}
-	memo[pc] = seq
-	return cost.Steps, seq, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // RunAll runs every strategy on the same program and verifies that all of
 // them produce identical output (they share the semantic-routine library, so
-// anything else is a bug).  Reports are returned in Strategies() order.
+// anything else is a bug).  Reports are returned in Strategies() order.  The
+// program is predecoded once and shared by every strategy.
 func RunAll(p *dir.Program, cfg Config) ([]*Report, error) {
+	pp, err := Predecode(p, cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	return RunAllPredecoded(pp, cfg)
+}
+
+// RunAllPredecoded runs every strategy on one shared predecoded program and
+// verifies that all of them produce identical output.  Reports are returned
+// in Strategies() order.
+func RunAllPredecoded(pp *PredecodedProgram, cfg Config) ([]*Report, error) {
 	var reports []*Report
 	for _, s := range Strategies() {
-		rep, err := Run(p, s, cfg)
+		rep, err := RunPredecoded(pp, s, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", s, err)
 		}
 		reports = append(reports, rep)
 	}
+	if err := VerifyOutputs(reports); err != nil {
+		return reports, err
+	}
+	return reports, nil
+}
+
+// VerifyOutputs checks that every report produced the same program output as
+// the first, returning ErrOutputMismatch otherwise.
+func VerifyOutputs(reports []*Report) error {
+	if len(reports) == 0 {
+		return nil
+	}
 	for _, rep := range reports[1:] {
-		if !reflect.DeepEqual(rep.Output, reports[0].Output) {
-			return reports, fmt.Errorf("%w: %v produced %v, %v produced %v",
+		if !slices.Equal(rep.Output, reports[0].Output) {
+			return fmt.Errorf("%w: %v produced %v, %v produced %v",
 				ErrOutputMismatch, reports[0].Strategy, reports[0].Output, rep.Strategy, rep.Output)
 		}
 	}
-	return reports, nil
+	return nil
 }
