@@ -273,6 +273,46 @@ func BenchmarkEngineFigure1(b *testing.B) {
 	}
 }
 
+// --- Encode / predecode microbenchmarks (bit-level substrate) -------------
+
+// BenchmarkEncode measures dir.Encode throughput at every encoding degree:
+// the cost of producing the static representation, dominated by the bitio
+// writer and the entropy coders.
+func BenchmarkEncode(b *testing.B) {
+	dp := workload.MustCompileAt("matmul", compile.LevelStack)
+	for _, degree := range dir.Degrees() {
+		b.Run(degree.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dir.Encode(dp, degree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredecode measures Binary.Predecode throughput at every encoding
+// degree: the cost of one full decode pass over the static representation,
+// dominated by the bitio reader and the Huffman decoders.
+func BenchmarkPredecode(b *testing.B) {
+	dp := workload.MustCompileAt("matmul", compile.LevelStack)
+	for _, degree := range dir.Degrees() {
+		bin, err := dir.Encode(dp, degree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(degree.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bin.Predecode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // dispatchRounds is how many passes over the static program the dispatch
 // benchmarks replay, standing in for a loop-dominated dynamic stream.
 const dispatchRounds = 50
@@ -344,6 +384,36 @@ func BenchmarkDispatchPredecoded(b *testing.B) {
 	}
 	if sink == 0 {
 		b.Fatal("no dispatch work performed")
+	}
+}
+
+// BenchmarkReplaySteadyState measures the zero-allocation replay loop: one
+// sim.Replayer per strategy, set up and warmed outside the timer, replaying
+// the whole program per iteration.  The expected report is 0 allocs/op.
+func BenchmarkReplaySteadyState(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := benchConfig()
+	pp, err := sim.Predecode(dp, cfg.Degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strategy := range sim.Strategies() {
+		b.Run(strategy.String(), func(b *testing.B) {
+			rep, err := sim.NewReplayer(pp, strategy, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rep.Replay(); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rep.Replay(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,12 @@
 //	uhmbench -exp table2
 //	uhmbench -exp figure2 -workload sieve
 //	uhmbench -exp empirical -parallel=false
+//
+// The -cpuprofile and -memprofile flags write pprof profiles of the run, so
+// performance work on the experiment engine can be driven by evidence:
+//
+//	uhmbench -exp empirical -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -21,30 +27,78 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"uhm/internal/core"
 )
 
 func main() {
+	// All error paths return through realMain so deferred cleanups — above
+	// all flushing the CPU profile — run before the process exits; os.Exit
+	// would skip them and leave a truncated profile exactly on the failing
+	// or interrupted runs one most wants to inspect.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, figure1, figure2, figure3, figure4, empirical, compaction, all")
 	workloadName := flag.String("workload", "", "workload for the figure experiments (default chosen per experiment)")
 	parallel := flag.Bool("parallel", true, "run experiment grids on the parallel engine")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel engine (0 = one per CPU)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uhmbench: -cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "uhmbench: -cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	engine := core.Engine{Workers: *workers}
 	if !*parallel {
 		engine = core.SerialEngine()
 	}
 	cfg := core.DefaultConfig()
-	if err := run(ctx, engine, *exp, *workloadName, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "uhmbench:", err)
-		os.Exit(1)
+	err := run(ctx, engine, *exp, *workloadName, cfg)
+
+	// Report a memprofile failure without eclipsing the run's own error —
+	// the run outcome is the primary signal.
+	status := 0
+	if *memProfile != "" {
+		if merr := writeMemProfile(*memProfile); merr != nil {
+			fmt.Fprintln(os.Stderr, "uhmbench: -memprofile:", merr)
+			status = 1
+		}
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uhmbench:", err)
+		status = 1
+	}
+	return status
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // flush recent frees so the profile reflects live heap
+	return pprof.WriteHeapProfile(f)
 }
 
 func run(ctx context.Context, engine core.Engine, exp, workloadName string, cfg core.Config) error {

@@ -11,11 +11,19 @@
 // the bit at absolute position 0 is the top bit of the first byte.  This
 // matches the field diagrams of the era (opcode field leftmost) and makes the
 // dumps produced by cmd/uhmasm readable against the paper's Table 1.
+//
+// The reader and writer operate word-at-a-time: a field is gathered or
+// scattered through a 64-bit accumulator over the byte buffer instead of one
+// bit per iteration.  reference.go retains the original bit-at-a-time
+// implementation, which the differential tests in this package hold the fast
+// paths to, bit for bit.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // MaxFieldWidth is the widest single field that can be read or written in one
@@ -28,6 +36,14 @@ var ErrFieldTooWide = errors.New("bitio: field wider than 64 bits")
 // ErrShortBuffer is returned by Reader when a read would run past the end of
 // the underlying buffer.
 var ErrShortBuffer = errors.New("bitio: read past end of buffer")
+
+// maskOf returns a mask of width low bits.  width must be in [0, 64].
+func maskOf(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}
 
 // Writer accumulates a bit string.  The zero value is ready to use.
 type Writer struct {
@@ -70,19 +86,36 @@ func (w *Writer) WriteBits(v uint64, width int) error {
 	if width > MaxFieldWidth {
 		return ErrFieldTooWide
 	}
-	if width < 64 {
-		v &= (1 << uint(width)) - 1
+	if width == 0 {
+		return nil
 	}
-	for i := width - 1; i >= 0; i-- {
-		bit := byte((v >> uint(i)) & 1)
-		byteIdx := w.nbit / 8
-		if byteIdx == len(w.buf) {
-			w.buf = append(w.buf, 0)
-		}
-		if bit != 0 {
-			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
-		}
-		w.nbit++
+	v &= maskOf(width)
+	pos := w.nbit
+	w.nbit += width
+	// Appending zero bytes (rather than reslicing spare capacity) keeps bytes
+	// recycled by Reset zeroed, which the partial-byte ORs below rely on.
+	for need := (w.nbit + 7) >> 3; len(w.buf) < need; {
+		w.buf = append(w.buf, 0)
+	}
+	rem := width
+	// Head: fill the partially used byte up to its boundary.
+	if off := pos & 7; off != 0 {
+		free := 8 - off
+		n := min(free, rem)
+		chunk := byte(v>>uint(rem-n)) & byte(maskOf(n))
+		w.buf[pos>>3] |= chunk << uint(free-n)
+		pos += n
+		rem -= n
+	}
+	// Body: whole bytes.
+	for rem >= 8 {
+		w.buf[pos>>3] = byte(v >> uint(rem-8))
+		pos += 8
+		rem -= 8
+	}
+	// Tail: leftover high bits of the last byte.
+	if rem > 0 {
+		w.buf[pos>>3] |= byte(v&maskOf(rem)) << uint(8-rem)
 	}
 	return nil
 }
@@ -103,11 +136,12 @@ func (w *Writer) WriteUnary(n int) error {
 	if n < 0 {
 		panic("bitio: negative unary value")
 	}
-	for i := 0; i < n; i++ {
-		w.WriteBit(true)
+	for n >= 64 {
+		_ = w.WriteBits(^uint64(0), 64)
+		n -= 64
 	}
-	w.WriteBit(false)
-	return nil
+	// n ones and the terminating zero fit in one field of n+1 <= 64 bits.
+	return w.WriteBits(maskOf(n)<<1, n+1)
 }
 
 // Align pads the bit string with zero bits until its length is a multiple of
@@ -116,8 +150,11 @@ func (w *Writer) Align(unit int) {
 	if unit <= 0 {
 		panic("bitio: non-positive alignment unit")
 	}
-	for w.nbit%unit != 0 {
-		w.WriteBit(false)
+	if pad := w.nbit % unit; pad != 0 {
+		for pad = unit - pad; pad > 64; pad -= 64 {
+			_ = w.WriteBits(0, 64)
+		}
+		_ = w.WriteBits(0, pad)
 	}
 }
 
@@ -152,6 +189,38 @@ func (r *Reader) Seek(pos int) error {
 	return nil
 }
 
+// peekAt gathers a width-bit field starting at absolute bit position pos.
+// The caller must have bounds-checked pos+width against nbit.
+func (r *Reader) peekAt(pos, width int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	first := pos >> 3
+	off := pos & 7
+	n := off + width // bits spanned from the start of the first byte; <= 71
+	buf := r.buf
+	if n <= 64 {
+		if len(buf)-first >= 8 {
+			// Common case: one 64-bit load covers the whole field.
+			acc := binary.BigEndian.Uint64(buf[first:])
+			return acc << uint(off) >> uint(64-width)
+		}
+		// Near the end of the buffer: gather just the touched bytes.
+		nbytes := (n + 7) >> 3
+		var acc uint64
+		for _, b := range buf[first : first+nbytes] {
+			acc = acc<<8 | uint64(b)
+		}
+		return acc >> uint(nbytes*8-n) & maskOf(width)
+	}
+	// The field spans nine bytes (off > 0 and width > 56).  The bounds check
+	// guarantees the ninth byte exists.
+	acc := binary.BigEndian.Uint64(buf[first:])
+	have := 64 - off
+	need := width - have
+	return (acc&maskOf(have))<<uint(need) | uint64(buf[first+8]>>uint(8-need))
+}
+
 // ReadBits reads a width-bit field, most significant bit first.
 func (r *Reader) ReadBits(width int) (uint64, error) {
 	if width < 0 {
@@ -163,14 +232,38 @@ func (r *Reader) ReadBits(width int) (uint64, error) {
 	if r.pos+width > r.nbit {
 		return 0, ErrShortBuffer
 	}
-	var v uint64
-	for i := 0; i < width; i++ {
-		byteIdx := r.pos / 8
-		bit := (r.buf[byteIdx] >> uint(7-r.pos%8)) & 1
-		v = v<<1 | uint64(bit)
-		r.pos++
-	}
+	v := r.peekAt(r.pos, width)
+	r.pos += width
 	return v, nil
+}
+
+// PeekBits returns the next width bits without advancing the read position.
+// It fails with ErrShortBuffer when fewer than width bits remain; decoders
+// that may sit near the end of the stream should clamp width to Remaining.
+func (r *Reader) PeekBits(width int) (uint64, error) {
+	if width < 0 {
+		panic(fmt.Sprintf("bitio: negative field width %d", width))
+	}
+	if width > MaxFieldWidth {
+		return 0, ErrFieldTooWide
+	}
+	if r.pos+width > r.nbit {
+		return 0, ErrShortBuffer
+	}
+	return r.peekAt(r.pos, width), nil
+}
+
+// SkipBits advances the read position by width bits (typically bits already
+// examined through PeekBits).  Width may exceed MaxFieldWidth.
+func (r *Reader) SkipBits(width int) error {
+	if width < 0 {
+		panic(fmt.Sprintf("bitio: negative field width %d", width))
+	}
+	if r.pos+width > r.nbit {
+		return ErrShortBuffer
+	}
+	r.pos += width
+	return nil
 }
 
 // ReadBit reads a single bit.
@@ -183,14 +276,21 @@ func (r *Reader) ReadBit() (bool, error) {
 func (r *Reader) ReadUnary() (int, error) {
 	n := 0
 	for {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+		k := min(r.nbit-r.pos, 64)
+		if k == 0 {
+			return 0, ErrShortBuffer
 		}
-		if !b {
-			return n, nil
+		v := r.peekAt(r.pos, k)
+		inv := ^v & maskOf(k)
+		if inv == 0 {
+			// All k bits are ones: consume them and keep scanning.
+			r.pos += k
+			n += k
+			continue
 		}
-		n++
+		ones := k - bits.Len64(inv)
+		r.pos += ones + 1 // the ones plus the terminating zero
+		return n + ones, nil
 	}
 }
 
@@ -199,10 +299,13 @@ func (r *Reader) Align(unit int) error {
 	if unit <= 0 {
 		panic("bitio: non-positive alignment unit")
 	}
-	for r.pos%unit != 0 {
-		if _, err := r.ReadBit(); err != nil {
-			return err
+	if pad := r.pos % unit; pad != 0 {
+		pad = unit - pad
+		if pad > r.nbit-r.pos {
+			r.pos = r.nbit
+			return ErrShortBuffer
 		}
+		r.pos += pad
 	}
 	return nil
 }

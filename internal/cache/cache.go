@@ -108,6 +108,15 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears statistics but keeps contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset returns the cache to its freshly constructed state: contents flushed,
+// statistics zeroed, clock rewound.  No allocation is released, so a replayed
+// run behaves exactly like a run against a new cache.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.stats = Stats{}
+	c.clock = 0
+}
+
 // Flush invalidates every line.
 func (c *Cache) Flush() {
 	for i := range c.sets {

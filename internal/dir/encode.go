@@ -111,6 +111,15 @@ type Binary struct {
 	offsets []int // bit offset of each instruction
 
 	book *codebook
+
+	// Per-contour visibility caches, filled for contextual degrees: the
+	// interpreter's contour table, consulted by encoder and decoder instead
+	// of re-deriving the visible-variable list on every operand.
+	visVars  [][]ContourVar
+	visWidth []int
+
+	// contourOf[i] caches Program.ContourOf(i) for every instruction.
+	contourOf []int32
 }
 
 // codebook holds whatever tables the decoder needs for a given degree.  In a
@@ -184,13 +193,13 @@ func (b *Binary) CodebookBits() int {
 				continue
 			}
 			// Each codebook entry needs roughly symbol + length + codeword.
-			bits += len(code.Alphabet()) * (16 + 8 + code.MaxLen())
+			bits += code.Size() * (16 + 8 + code.MaxLen())
 		}
 		if book.opPair != nil {
 			// One decode tree per predecessor context, sized like the opcode
 			// tree.
 			if opCode := book.huff[fcOpcode]; opCode != nil {
-				perTree := len(opCode.Alphabet()) * (16 + 8 + opCode.MaxLen())
+				perTree := opCode.Size() * (16 + 8 + opCode.MaxLen())
 				bits += (book.opPair.Trees() - 1) * perTree
 			}
 		}
@@ -203,11 +212,39 @@ func (b *Binary) CodebookBits() int {
 // program error).
 var ErrNotVisible = errors.New("dir: operand not visible in instruction contour")
 
-// instrFields enumerates the (class, value) pairs of an instruction in the
-// canonical field order shared by every encoder and decoder.
-func instrFields(p *Program, idx int, in Instruction, contextual bool) ([]fieldClass, []uint64, error) {
-	var classes []fieldClass
-	var values []uint64
+// buildVisCaches derives the per-contour visible-variable lists and operand
+// field widths once per binary.
+func buildVisCaches(p *Program) (vars [][]ContourVar, widths []int) {
+	n := len(p.Contours)
+	vars = make([][]ContourVar, n)
+	widths = make([]int, n)
+	for c := 0; c < n; c++ {
+		vars[c] = p.VisibleVars(c)
+		nv := len(vars[c])
+		if nv <= 1 {
+			widths[c] = 1
+		} else {
+			widths[c] = widthFor(uint64(nv - 1))
+		}
+	}
+	return vars, widths
+}
+
+// visibleIndex locates addr in the cached visible-variable list of contour c.
+func (b *Binary) visibleIndex(c int, addr VarAddr) int {
+	for i, v := range b.visVars[c] {
+		if v.Addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendInstrFields appends the (class, value) pairs of an instruction in the
+// canonical field order shared by every encoder and decoder.  The caller
+// provides the slices so a whole-program pass reuses one pair of buffers.
+func appendInstrFields(b *Binary, idx int, in Instruction, contextual bool,
+	classes []fieldClass, values []uint64) ([]fieldClass, []uint64, error) {
 	add := func(c fieldClass, v uint64) {
 		classes = append(classes, c)
 		values = append(values, v)
@@ -220,9 +257,9 @@ func instrFields(p *Program, idx int, in Instruction, contextual bool) ([]fieldC
 			add(fcImm, zigzag(op.Imm))
 		case ModeVar:
 			if contextual {
-				vi := p.VisibleIndex(in.Contour, op.Addr)
+				vi := b.visibleIndex(in.Contour, op.Addr)
 				if vi < 0 {
-					return nil, nil, fmt.Errorf("%w: instruction %d operand %v contour %d",
+					return classes, values, fmt.Errorf("%w: instruction %d operand %v contour %d",
 						ErrNotVisible, idx, op.Addr, in.Contour)
 				}
 				add(fcVisIndex, uint64(vi))
@@ -242,36 +279,63 @@ func instrFields(p *Program, idx int, in Instruction, contextual bool) ([]fieldC
 	return classes, values, nil
 }
 
-// collectStats gathers per-class frequency tables and maxima over the static
-// program.
-type classStats struct {
-	freq [fieldClassCount]huffman.FreqTable
-	max  [fieldClassCount]uint64
-	ops  []pairfreq.Symbol // opcode stream for pair statistics
+// fieldStream is the whole static program flattened to its field sequence,
+// together with the per-class statistics the codebooks are built from.  It is
+// produced in one pass and consumed by the write pass, so each instruction's
+// fields are enumerated exactly once per Encode.
+type fieldStream struct {
+	classes []fieldClass
+	values  []uint64
+	start   []int32 // start[i] is the first field of instruction i; len n+1
+
+	// counts[class] accumulates per-class symbol frequencies densely (one
+	// map insertion per distinct symbol at code-build time instead of one
+	// per field occurrence).
+	counts [fieldClassCount]huffman.Counter
+	max    [fieldClassCount]uint64
+	ops    []pairfreq.Symbol // opcode stream for pair statistics
 }
 
-func collectStats(p *Program, contextual bool) (*classStats, error) {
-	st := &classStats{}
-	for c := 0; c < int(fieldClassCount); c++ {
-		st.freq[c] = make(huffman.FreqTable)
+// collectFields flattens the program's field sequence and accumulates the
+// statistics the requested degree actually needs: widths always, frequency
+// tables only for the frequency-coded degrees, the opcode stream only for the
+// pair degree.
+func collectFields(b *Binary, contextual bool) (*fieldStream, error) {
+	p := b.Program
+	needFreq := b.Degree == DegreeHuffman || b.Degree == DegreePair
+	needOps := b.Degree == DegreePair
+	st := &fieldStream{
+		classes: make([]fieldClass, 0, len(p.Instrs)*4),
+		values:  make([]uint64, 0, len(p.Instrs)*4),
+		start:   make([]int32, len(p.Instrs)+1),
+	}
+	if needOps {
+		st.ops = make([]pairfreq.Symbol, 0, len(p.Instrs))
 	}
 	for idx, in := range p.Instrs {
-		classes, values, err := instrFields(p, idx, in, contextual)
+		st.start[idx] = int32(len(st.classes))
+		var err error
+		st.classes, st.values, err = appendInstrFields(b, idx, in, contextual, st.classes, st.values)
 		if err != nil {
 			return nil, err
 		}
-		for i, c := range classes {
-			v := values[i]
+		for i := int(st.start[idx]); i < len(st.classes); i++ {
+			c, v := st.classes[i], st.values[i]
 			if v > (1 << 31) {
 				return nil, fmt.Errorf("dir: field %s value %d too large to encode", c, v)
 			}
-			st.freq[c].Add(huffman.Symbol(v), 1)
+			if needFreq {
+				st.counts[c].Add(huffman.Symbol(v))
+			}
 			if v > st.max[c] {
 				st.max[c] = v
 			}
 		}
-		st.ops = append(st.ops, pairfreq.Symbol(in.Op))
+		if needOps {
+			st.ops = append(st.ops, pairfreq.Symbol(in.Op))
+		}
 	}
+	st.start[len(p.Instrs)] = int32(len(st.classes))
 	return st, nil
 }
 
@@ -284,15 +348,6 @@ func widthFor(max uint64) int {
 	return w
 }
 
-// contourWidth returns the contextual operand-field width of a contour.
-func contourWidth(p *Program, contour int) int {
-	n := len(p.VisibleVars(contour))
-	if n <= 1 {
-		return 1
-	}
-	return widthFor(uint64(n - 1))
-}
-
 // Encode emits the program at the given encoding degree.
 func Encode(p *Program, degree Degree) (*Binary, error) {
 	if !degree.Valid() {
@@ -302,7 +357,15 @@ func Encode(p *Program, degree Degree) (*Binary, error) {
 		return nil, err
 	}
 	contextual := degree != DegreePacked
-	stats, err := collectStats(p, contextual)
+	bin := &Binary{Program: p, Degree: degree}
+	if contextual {
+		bin.visVars, bin.visWidth = buildVisCaches(p)
+	}
+	bin.contourOf = make([]int32, len(p.Instrs))
+	for i := range p.Instrs {
+		bin.contourOf[i] = int32(p.ContourOf(i))
+	}
+	stats, err := collectFields(bin, contextual)
 	if err != nil {
 		return nil, err
 	}
@@ -313,10 +376,10 @@ func Encode(p *Program, degree Degree) (*Binary, error) {
 	}
 	if degree == DegreeHuffman || degree == DegreePair {
 		for c := 0; c < int(fieldClassCount); c++ {
-			if len(stats.freq[c]) == 0 {
+			if stats.counts[c].Empty() {
 				continue
 			}
-			code, err := huffman.New(stats.freq[c])
+			code, err := stats.counts[c].Code()
 			if err != nil {
 				return nil, fmt.Errorf("dir: building %s code: %w", fieldClass(c), err)
 			}
@@ -332,6 +395,7 @@ func Encode(p *Program, degree Degree) (*Binary, error) {
 		}
 		book.opPair = coder
 	}
+	bin.book = book
 
 	w := bitio.NewWriter(len(p.Instrs) * 32)
 	offsets := make([]int, len(p.Instrs))
@@ -341,34 +405,27 @@ func Encode(p *Program, degree Degree) (*Binary, error) {
 	}
 	for idx, in := range p.Instrs {
 		offsets[idx] = w.Len()
-		classes, values, err := instrFields(p, idx, in, contextual)
-		if err != nil {
-			return nil, err
-		}
-		for i, c := range classes {
-			v := values[i]
-			if err := encodeField(w, book, p, in.Contour, c, v, pairEnc); err != nil {
+		for i := stats.start[idx]; i < stats.start[idx+1]; i++ {
+			c, v := stats.classes[i], stats.values[i]
+			if err := encodeField(w, bin, in.Contour, c, v, pairEnc); err != nil {
 				return nil, fmt.Errorf("dir: instruction %d field %s: %w", idx, c, err)
 			}
 		}
 	}
-	return &Binary{
-		Program: p,
-		Degree:  degree,
-		data:    append([]byte(nil), w.Bytes()...),
-		bitLen:  w.Len(),
-		offsets: offsets,
-		book:    book,
-	}, nil
+	bin.data = append([]byte(nil), w.Bytes()...)
+	bin.bitLen = w.Len()
+	bin.offsets = offsets
+	return bin, nil
 }
 
-func encodeField(w *bitio.Writer, book *codebook, p *Program, contour int, c fieldClass, v uint64, pairEnc *pairfreq.Encoder) error {
+func encodeField(w *bitio.Writer, bin *Binary, contour int, c fieldClass, v uint64, pairEnc *pairfreq.Encoder) error {
+	book := bin.book
 	switch book.degree {
 	case DegreePacked:
 		return w.WriteBits(v, book.packedWidths[c])
 	case DegreeContour:
 		if c == fcVisIndex {
-			return w.WriteBits(v, contourWidth(p, contour))
+			return w.WriteBits(v, bin.visWidth[contour])
 		}
 		return w.WriteBits(v, book.packedWidths[c])
 	case DegreeHuffman, DegreePair:
@@ -388,131 +445,178 @@ func encodeField(w *bitio.Writer, book *codebook, p *Program, contour int, c fie
 // Decoder decodes instructions from a Binary, counting decode steps.  A
 // Decoder carries the predecessor state needed by the pair-frequency degree,
 // so a fresh Decoder should be used per independent decode stream; the
-// sequential Decode method below is the common entry point.
+// sequential Decode method below is the common entry point.  A Decoder
+// allocates nothing per decoded instruction beyond the instruction's own
+// operand storage.
 type Decoder struct {
-	bin *Binary
-	r   *bitio.Reader
+	bin     *Binary
+	r       *bitio.Reader
+	pairDec *pairfreq.Decoder // reused across Decode calls at DegreePair
+	cost    DecodeCost        // accumulator for the current Decode call
+	contour int               // contour of the instruction being decoded
+
+	// arena, when non-nil, provides operand storage for decoded
+	// instructions from one contiguous allocation (see SetOperandArena).
+	arena []Operand
+}
+
+// SetOperandArena hands the decoder a contiguous buffer to carve decoded
+// instructions' operand slices from, so a whole-program decode pass (such as
+// Binary.Predecode) performs one operand allocation instead of one per
+// instruction.  The instructions decoded afterwards alias the arena and share
+// its lifetime.
+func (d *Decoder) SetOperandArena(capacity int) {
+	d.arena = make([]Operand, 0, capacity)
 }
 
 // NewDecoder returns a decoder over the binary.
 func (b *Binary) NewDecoder() *Decoder {
-	return &Decoder{bin: b, r: bitio.NewReader(b.data, b.bitLen)}
+	d := &Decoder{bin: b, r: bitio.NewReader(b.data, b.bitLen)}
+	if b.book.opPair != nil {
+		d.pairDec = b.book.opPair.NewDecoder()
+	}
+	return d
+}
+
+// readField decodes one field of the current instruction, charging its
+// decode cost.
+func (d *Decoder) readField(c fieldClass) (uint64, error) {
+	book := d.bin.book
+	switch book.degree {
+	case DegreePacked:
+		v, err := d.r.ReadBits(book.packedWidths[c])
+		d.cost.Steps++
+		d.cost.BitsRead += book.packedWidths[c]
+		return v, err
+	case DegreeContour:
+		width := book.packedWidths[c]
+		if c == fcVisIndex {
+			width = d.bin.visWidth[d.contour]
+			// One extra step to consult the current contour's width.
+			d.cost.Steps++
+		}
+		v, err := d.r.ReadBits(width)
+		d.cost.Steps++
+		d.cost.BitsRead += width
+		return v, err
+	case DegreeHuffman, DegreePair:
+		if c == fcOpcode && d.pairDec != nil {
+			before := d.r.Pos()
+			sym, steps, err := d.pairDec.Decode(d.r)
+			d.cost.Steps += steps
+			d.cost.BitsRead += d.r.Pos() - before
+			return uint64(sym), err
+		}
+		code := book.huff[c]
+		if code == nil {
+			return 0, fmt.Errorf("dir: no code for field class %s", c)
+		}
+		before := d.r.Pos()
+		sym, steps, err := code.Decode(d.r)
+		d.cost.Steps += steps
+		d.cost.BitsRead += d.r.Pos() - before
+		return uint64(sym), err
+	default:
+		return 0, fmt.Errorf("dir: unknown degree %v", book.degree)
+	}
 }
 
 // Decode decodes instruction i and reports the measured decode cost.  The
 // instruction's Contour field is reconstructed from the program's procedure
 // table, as a real interpreter would know it from the current block context.
 func (d *Decoder) Decode(i int) (Instruction, DecodeCost, error) {
-	var cost DecodeCost
-	start, _, err := d.bin.InstrBitRange(i)
+	var in Instruction
+	cost, err := d.DecodeInto(&in, i)
 	if err != nil {
 		return Instruction{}, cost, err
 	}
-	if err := d.r.Seek(start); err != nil {
-		return Instruction{}, cost, err
+	return in, cost, nil
+}
+
+// DecodeInto decodes instruction i directly into *in, sparing whole-program
+// passes (Binary.Predecode) an intermediate copy per instruction.  On error
+// *in holds a partial decode and must not be used.
+func (d *Decoder) DecodeInto(in *Instruction, i int) (DecodeCost, error) {
+	d.cost = DecodeCost{}
+	start, _, err := d.bin.InstrBitRange(i)
+	if err != nil {
+		return d.cost, err
 	}
-	contour := d.bin.Program.ContourOf(i)
-	book := d.bin.book
+	if err := d.r.Seek(start); err != nil {
+		return d.cost, err
+	}
+	d.contour = int(d.bin.contourOf[i])
 
 	// The pair-frequency degree conditions each opcode on its predecessor;
 	// decoding instruction i therefore needs the predecessor opcode, which
 	// the interpreter knows because it decoded it last time.  Here it is
 	// reconstructed from the program (the decode-step cost of that lookup is
 	// not charged, matching an interpreter that keeps it in a register).
-	var pairDec *pairfreq.Decoder
-	if book.opPair != nil {
-		pairDec = book.opPair.NewDecoder()
+	if d.pairDec != nil {
 		if i > 0 {
-			pairDec.Prime(pairfreq.Symbol(d.bin.Program.Instrs[i-1].Op))
+			d.pairDec.Prime(pairfreq.Symbol(d.bin.Program.Instrs[i-1].Op))
+		} else {
+			d.pairDec.Reset()
 		}
 	}
 
-	readField := func(c fieldClass) (uint64, error) {
-		switch book.degree {
-		case DegreePacked:
-			v, err := d.r.ReadBits(book.packedWidths[c])
-			cost.Steps++
-			cost.BitsRead += book.packedWidths[c]
-			return v, err
-		case DegreeContour:
-			width := book.packedWidths[c]
-			if c == fcVisIndex {
-				width = contourWidth(d.bin.Program, contour)
-				// One extra step to consult the current contour's width.
-				cost.Steps++
-			}
-			v, err := d.r.ReadBits(width)
-			cost.Steps++
-			cost.BitsRead += width
-			return v, err
-		case DegreeHuffman, DegreePair:
-			if c == fcOpcode && pairDec != nil {
-				before := d.r.Pos()
-				sym, steps, err := pairDec.Decode(d.r)
-				cost.Steps += steps
-				cost.BitsRead += d.r.Pos() - before
-				return uint64(sym), err
-			}
-			code := book.huff[c]
-			if code == nil {
-				return 0, fmt.Errorf("dir: no code for field class %s", c)
-			}
-			before := d.r.Pos()
-			sym, steps, err := code.Decode(d.r)
-			cost.Steps += steps
-			cost.BitsRead += d.r.Pos() - before
-			return uint64(sym), err
-		default:
-			return 0, fmt.Errorf("dir: unknown degree %v", book.degree)
-		}
-	}
-
-	opv, err := readField(fcOpcode)
+	opv, err := d.readField(fcOpcode)
 	if err != nil {
-		return Instruction{}, cost, err
+		return d.cost, err
 	}
-	in := Instruction{Op: Opcode(opv), Contour: contour}
+	*in = Instruction{Op: Opcode(opv), Contour: d.contour}
 	if !in.Op.Valid() {
-		return Instruction{}, cost, fmt.Errorf("dir: decoded invalid opcode %d at instruction %d", opv, i)
+		return d.cost, fmt.Errorf("dir: decoded invalid opcode %d at instruction %d", opv, i)
 	}
-	contextual := book.degree != DegreePacked
-	for k := 0; k < in.Op.NumOperands(); k++ {
-		mv, err := readField(fcMode)
+	contextual := d.bin.book.degree != DegreePacked
+	numOps := in.Op.NumOperands()
+	if numOps > 0 {
+		if base := len(d.arena); cap(d.arena)-base >= numOps {
+			// Carve the operand slice out of the arena; the three-index
+			// expression caps it at numOps so later carvings cannot overlap.
+			in.Operands = d.arena[base : base : base+numOps]
+			d.arena = d.arena[:base+numOps]
+		} else {
+			in.Operands = make([]Operand, 0, numOps)
+		}
+	}
+	for k := 0; k < numOps; k++ {
+		mv, err := d.readField(fcMode)
 		if err != nil {
-			return Instruction{}, cost, err
+			return d.cost, err
 		}
 		mode := AddrMode(mv)
 		if !mode.Valid() {
-			return Instruction{}, cost, fmt.Errorf("dir: decoded invalid mode %d at instruction %d", mv, i)
+			return d.cost, fmt.Errorf("dir: decoded invalid mode %d at instruction %d", mv, i)
 		}
 		var op Operand
 		op.Mode = mode
 		switch mode {
 		case ModeImm:
-			v, err := readField(fcImm)
+			v, err := d.readField(fcImm)
 			if err != nil {
-				return Instruction{}, cost, err
+				return d.cost, err
 			}
 			op.Imm = unzigzag(v)
 		case ModeVar:
 			if contextual {
-				v, err := readField(fcVisIndex)
+				v, err := d.readField(fcVisIndex)
 				if err != nil {
-					return Instruction{}, cost, err
+					return d.cost, err
 				}
-				vis := d.bin.Program.VisibleVars(contour)
+				vis := d.bin.visVars[d.contour]
 				if int(v) >= len(vis) {
-					return Instruction{}, cost, fmt.Errorf("dir: visible index %d out of range at instruction %d", v, i)
+					return d.cost, fmt.Errorf("dir: visible index %d out of range at instruction %d", v, i)
 				}
 				op.Addr = vis[v].Addr
 			} else {
-				dv, err := readField(fcDepth)
+				dv, err := d.readField(fcDepth)
 				if err != nil {
-					return Instruction{}, cost, err
+					return d.cost, err
 				}
-				ov, err := readField(fcOffset)
+				ov, err := d.readField(fcOffset)
 				if err != nil {
-					return Instruction{}, cost, err
+					return d.cost, err
 				}
 				op.Addr = VarAddr{Depth: int(dv), Offset: int(ov)}
 			}
@@ -520,25 +624,25 @@ func (d *Decoder) Decode(i int) (Instruction, DecodeCost, error) {
 		in.Operands = append(in.Operands, op)
 	}
 	if in.Op.HasTarget() {
-		v, err := readField(fcTarget)
+		v, err := d.readField(fcTarget)
 		if err != nil {
-			return Instruction{}, cost, err
+			return d.cost, err
 		}
 		in.Target = i + int(unzigzag(v))
 	}
 	if in.Op.IsCall() {
-		pv, err := readField(fcProc)
+		pv, err := d.readField(fcProc)
 		if err != nil {
-			return Instruction{}, cost, err
+			return d.cost, err
 		}
-		nv, err := readField(fcNArgs)
+		nv, err := d.readField(fcNArgs)
 		if err != nil {
-			return Instruction{}, cost, err
+			return d.cost, err
 		}
 		in.Proc = int(pv)
 		in.NArgs = int(nv)
 	}
-	return in, cost, nil
+	return d.cost, nil
 }
 
 // ContourOf returns the contour (procedure) index containing instruction i,

@@ -113,6 +113,7 @@ type MachineState struct {
 	current *Frame
 	frames  int
 	output  []int64
+	pool    []*Frame // recycled activation records (see newFrame)
 }
 
 // NewMachineState creates run-time state positioned at the start of the main
@@ -120,6 +121,43 @@ type MachineState struct {
 func NewMachineState(p *Program) *MachineState {
 	main := &Frame{Proc: 0, Slots: make([]int64, p.Procs[0].FrameSlots), RetAddr: -1}
 	return &MachineState{prog: p, current: main, frames: 1}
+}
+
+// newFrame produces a zeroed activation record for proc, recycling a frame
+// from the pool when one is available.  Frames are stack-disciplined (a
+// returning activation can no longer be referenced by any live static link),
+// so recycling is safe; pooling makes the steady-state execution loop
+// allocation free once the peak call depth has been reached.
+func (m *MachineState) newFrame(proc, slots int) *Frame {
+	if n := len(m.pool); n > 0 {
+		f := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		if cap(f.Slots) >= slots {
+			f.Slots = f.Slots[:slots]
+			for i := range f.Slots {
+				f.Slots[i] = 0
+			}
+		} else {
+			f.Slots = make([]int64, slots)
+		}
+		*f = Frame{Proc: proc, Slots: f.Slots}
+		return f
+	}
+	return &Frame{Proc: proc, Slots: make([]int64, slots)}
+}
+
+// Reset returns the state to the start of the program, retaining every
+// allocation (operand stack, output buffer, recycled frames) so a replayed
+// run performs no steady-state allocation.
+func (m *MachineState) Reset() {
+	for f := m.current; f != nil; f = f.caller {
+		m.pool = append(m.pool, f)
+	}
+	m.current = m.newFrame(0, m.prog.Procs[0].FrameSlots)
+	m.current.RetAddr = -1
+	m.frames = 1
+	m.stack = m.stack[:0]
+	m.output = m.output[:0]
 }
 
 // Output returns the values printed so far.
@@ -219,13 +257,10 @@ func (m *MachineState) Call(proc, nargs, retAddr, maxDepth int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	frame := &Frame{
-		Proc:    proc,
-		Slots:   make([]int64, info.FrameSlots),
-		Static:  static,
-		RetAddr: retAddr,
-		depth:   m.current.depth + 1,
-	}
+	frame := m.newFrame(proc, info.FrameSlots)
+	frame.Static = static
+	frame.RetAddr = retAddr
+	frame.depth = m.current.depth + 1
 	for i := nargs - 1; i >= 0; i-- {
 		v, err := m.Pop()
 		if err != nil {
@@ -247,9 +282,11 @@ func (m *MachineState) Return(value int64) (int, bool) {
 	if m.current.caller == nil {
 		return 0, false
 	}
-	ret := m.current.RetAddr
-	m.current = m.current.caller
+	done := m.current
+	ret := done.RetAddr
+	m.current = done.caller
 	m.frames--
+	m.pool = append(m.pool, done)
 	m.Push(value)
 	return ret, true
 }

@@ -28,12 +28,18 @@ func (b *Binary) Predecode() (*Predecoded, error) {
 		Costs:  make([]DecodeCost, n),
 	}
 	dec := b.NewDecoder()
+	// One contiguous operand arena for the whole pass instead of one
+	// allocation per decoded instruction.
+	operands := 0
+	for _, in := range b.Program.Instrs {
+		operands += in.Op.NumOperands()
+	}
+	dec.SetOperandArena(operands)
 	for i := 0; i < n; i++ {
-		in, cost, err := dec.Decode(i)
+		cost, err := dec.DecodeInto(&pd.Instrs[i], i)
 		if err != nil {
 			return nil, fmt.Errorf("dir: predecode instruction %d: %w", i, err)
 		}
-		pd.Instrs[i] = in
 		pd.Costs[i] = cost
 	}
 	return pd, nil

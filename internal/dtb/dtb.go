@@ -198,6 +198,22 @@ func (d *DTB) Stats() Stats { return d.stats }
 // ResetStats clears statistics without flushing contents.
 func (d *DTB) ResetStats() { d.stats = Stats{} }
 
+// Reset returns the DTB to its freshly constructed state — contents flushed,
+// statistics zeroed, clock rewound, overflow free list rebuilt in canonical
+// order — without releasing any allocation, so a replayed run behaves
+// exactly like a run against a new DTB.
+func (d *DTB) Reset() {
+	d.Flush()
+	d.stats = Stats{}
+	d.clock = 0
+	if d.cfg.Policy == VariableOverflow {
+		d.free = d.free[:0]
+		for i := 0; i < d.cfg.OverflowUnits; i++ {
+			d.free = append(d.free, d.cfg.Entries+i)
+		}
+	}
+}
+
 // setOf hashes a DIR address to its set.
 func (d *DTB) setOf(dirAddr uint64) int {
 	// Simple modulo hashing of the DIR instruction address, as in Figure 2
@@ -334,11 +350,15 @@ func (d *DTB) Install(dirAddr uint64, words []uint32) (int, error) {
 			d.stats.RejectedSize++
 			return 0, fmt.Errorf("%w: need %d blocks, %d free", ErrNoOverflow, overflowNeeded, len(d.free))
 		}
-		e.overflow = append([]int(nil), d.free[:overflowNeeded]...)
-		d.free = d.free[overflowNeeded:]
+		// Pop from the end of the free list and reuse the entry's overflow
+		// slice: neither side allocates in the steady state, and slicing
+		// from the back (unlike the front) keeps the free list's capacity.
+		take := d.free[len(d.free)-overflowNeeded:]
+		e.overflow = append(e.overflow[:0], take...)
+		d.free = d.free[:len(d.free)-overflowNeeded]
 		d.stats.Overflows++
 	} else {
-		e.overflow = nil
+		e.overflow = e.overflow[:0]
 	}
 
 	e.valid = true
@@ -364,11 +384,12 @@ func (d *DTB) Install(dirAddr uint64, words []uint32) (int, error) {
 	return written, nil
 }
 
-// releaseOverflow returns an entry's overflow blocks to the free list.
+// releaseOverflow returns an entry's overflow blocks to the free list.  The
+// entry keeps its overflow slice's capacity for reuse by a later Install.
 func (d *DTB) releaseOverflow(e *entry) {
 	if len(e.overflow) > 0 {
 		d.free = append(d.free, e.overflow...)
-		e.overflow = nil
+		e.overflow = e.overflow[:0]
 	}
 }
 

@@ -46,11 +46,18 @@ type Info struct {
 	Parent  ID  // parent contour; Global's parent is Global
 	Local   int // number of objects declared directly in this contour
 	Visible int // number of objects visible (locals plus enclosing scopes)
+
+	// width caches FieldWidth for the decode hot path; Table computes it at
+	// Declare time (a width is never 0, so 0 means "not yet computed").
+	width int
 }
 
 // FieldWidth returns the number of bits needed to select among the visible
 // objects of the contour.
 func (i Info) FieldWidth() int {
+	if i.width != 0 {
+		return i.width
+	}
 	return widthFor(i.Visible)
 }
 
@@ -79,7 +86,8 @@ func NewTable(globalObjects int) *Table {
 		globalObjects = 0
 	}
 	t := &Table{infos: make(map[ID]Info), next: 1}
-	t.infos[Global] = Info{ID: Global, Parent: Global, Local: globalObjects, Visible: globalObjects}
+	t.infos[Global] = Info{ID: Global, Parent: Global, Local: globalObjects, Visible: globalObjects,
+		width: widthFor(globalObjects)}
 	return t
 }
 
@@ -96,7 +104,8 @@ func (t *Table) Declare(parent ID, locals int) (ID, error) {
 	}
 	id := t.next
 	t.next++
-	t.infos[id] = Info{ID: id, Parent: parent, Local: locals, Visible: p.Visible + locals}
+	t.infos[id] = Info{ID: id, Parent: parent, Local: locals, Visible: p.Visible + locals,
+		width: widthFor(p.Visible + locals)}
 	return id, nil
 }
 

@@ -1,0 +1,87 @@
+package huffman
+
+// denseCounterCap bounds the dense array of a Counter; symbols at or above
+// it spill into a map.
+const denseCounterCap = 4096
+
+// Counter accumulates symbol frequencies with no per-increment map work for
+// small symbols — a dense array indexed by symbol value, with a map spill
+// above the cap.  It is the statistics-gathering front end shared by the DIR
+// encoder's per-field-class tables and the pair-frequency coder's
+// predecessor contexts.  The zero value is ready to use.
+type Counter struct {
+	dense []uint64
+	spill FreqTable
+}
+
+// Add records one occurrence of sym.
+func (c *Counter) Add(sym Symbol) {
+	if sym < denseCounterCap {
+		if int(sym) >= len(c.dense) {
+			grow := int(sym) + 1 - len(c.dense)
+			if grow < len(c.dense) {
+				grow = len(c.dense) // at least double, amortising regrowth
+			}
+			c.dense = append(c.dense, make([]uint64, grow)...)[:int(sym)+1]
+		}
+		c.dense[sym]++
+		return
+	}
+	if c.spill == nil {
+		c.spill = make(FreqTable)
+	}
+	c.spill.Add(sym, 1)
+}
+
+// Empty reports whether nothing has been recorded.
+func (c *Counter) Empty() bool {
+	if len(c.spill) > 0 {
+		return false
+	}
+	for _, n := range c.dense {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fold returns the accumulated counts as a FreqTable — one map insertion per
+// distinct symbol, not per occurrence.  It returns nil when empty; the
+// result is freshly allocated and safe for the caller to mutate.
+func (c *Counter) Fold() FreqTable {
+	var t FreqTable
+	for v, n := range c.dense {
+		if n == 0 {
+			continue
+		}
+		if t == nil {
+			t = make(FreqTable)
+		}
+		t[Symbol(v)] = n
+	}
+	for v, n := range c.spill {
+		if t == nil {
+			t = make(FreqTable)
+		}
+		t[v] = n
+	}
+	return t
+}
+
+// Code builds the optimal canonical code for the accumulated counts, taking
+// the count-slice fast path (no map at all) when no symbol spilled.
+func (c *Counter) Code() (*Code, error) {
+	if c.spill == nil {
+		return NewFromCounts(c.dense)
+	}
+	return New(c.Fold())
+}
+
+// CodeRestricted is Code with a codeword-length limit.
+func (c *Counter) CodeRestricted(maxLen int) (*Code, error) {
+	if c.spill == nil {
+		return NewRestrictedFromCounts(c.dense, maxLen)
+	}
+	return NewRestricted(c.Fold(), maxLen)
+}

@@ -1,0 +1,346 @@
+package huffman
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"uhm/internal/bitio"
+)
+
+// The tests in this file hold the table-driven decoder to the retained
+// level-walk reference (refDecoder): identical symbols, identical decode-step
+// counts, identical errors and identical stream positions — over random
+// codes, restricted-length codes, single-symbol codes, arbitrary bit offsets,
+// truncated streams and garbage input.  The step counts are the paper's
+// decode-cost parameter d, so any divergence here would corrupt every
+// simulated report.
+
+// decodeBoth runs the fast and reference decoders from the same position of
+// the same stream and asserts every observable matches; it returns the fast
+// decoder's results.
+func decodeBoth(t *testing.T, c *Code, data []byte, nbit, pos int) (Symbol, int, error) {
+	t.Helper()
+	fast := bitio.NewReader(data, nbit)
+	ref := bitio.NewReader(data, nbit)
+	if err := fast.Seek(pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Seek(pos); err != nil {
+		t.Fatal(err)
+	}
+	s1, n1, e1 := c.decoder.decode(fast)
+	s2, n2, e2 := c.decoder.ref().decode(ref)
+	if e1 != nil || e2 != nil {
+		// Errors must agree in kind; on error the symbol is meaningless.
+		if !errors.Is(e1, errKind(e2)) {
+			t.Fatalf("pos %d: err %v, reference err %v", pos, e1, e2)
+		}
+	} else if s1 != s2 {
+		t.Fatalf("pos %d: symbol %d, reference %d", pos, s1, s2)
+	}
+	if n1 != n2 {
+		t.Fatalf("pos %d: steps %d, reference %d", pos, n1, n2)
+	}
+	if fast.Pos() != ref.Pos() {
+		t.Fatalf("pos %d: stream at %d, reference at %d", pos, fast.Pos(), ref.Pos())
+	}
+	return s1, n1, e1
+}
+
+func errKind(err error) error {
+	switch {
+	case errors.Is(err, ErrBadCode):
+		return ErrBadCode
+	case errors.Is(err, bitio.ErrShortBuffer):
+		return bitio.ErrShortBuffer
+	default:
+		return err
+	}
+}
+
+// randomCode builds a code from a random frequency table; skew > 0 makes the
+// distribution exponentially skewed to force long codewords.
+func randomCode(t *testing.T, rng *rand.Rand, count, skew, lenLimit int) *Code {
+	t.Helper()
+	freq := make(FreqTable)
+	for i := 0; i < count; i++ {
+		w := uint64(rng.Intn(1000) + 1)
+		if skew > 0 {
+			w = 1 << uint(min(i*skew, 60))
+		}
+		freq.Add(Symbol(i*7%count), w) // collide some symbols for irregular alphabets
+		freq.Add(Symbol(i), w)
+	}
+	var c *Code
+	var err error
+	if lenLimit > 0 {
+		c, err = NewRestricted(freq, lenLimit)
+	} else {
+		c, err = New(freq)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDifferentialDecodeValidStreams decodes valid messages through both
+// decoders, at every starting offset a real stream can have.
+func TestDifferentialDecodeValidStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		count := rng.Intn(60) + 1
+		skew := 0
+		if trial%4 == 3 {
+			skew = 1 + rng.Intn(2) // force long codes: exercises two-level and fallback paths
+		}
+		limit := 0
+		if trial%5 == 4 {
+			limit = 10 // restricted-length variant
+		}
+		c := randomCode(t, rng, count, skew, limit)
+
+		// Encode a message preceded by a random misalignment.
+		lead := rng.Intn(13)
+		w := bitio.NewWriter(0)
+		_ = w.WriteBits(rng.Uint64(), lead)
+		var msg []Symbol
+		offsets := []int{}
+		for i := 0; i < 100; i++ {
+			s := c.syms[rng.Intn(len(c.syms))]
+			offsets = append(offsets, w.Len())
+			if err := c.Encode(w, s); err != nil {
+				t.Fatal(err)
+			}
+			msg = append(msg, s)
+		}
+		for i, want := range msg {
+			got, steps, err := decodeBoth(t, c, w.Bytes(), w.Len(), offsets[i])
+			if err != nil {
+				t.Fatalf("trial %d sym %d: %v", trial, i, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d sym %d: decoded %d want %d", trial, i, got, want)
+			}
+			cw, _ := c.Codeword(want)
+			if steps != cw.Len {
+				t.Fatalf("trial %d sym %d: steps %d want codeword length %d", trial, i, steps, cw.Len)
+			}
+		}
+	}
+}
+
+// TestDifferentialDecodeGarbage feeds random bytes at random offsets to both
+// decoders: symbols, steps, errors and positions must still agree.
+func TestDifferentialDecodeGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		count := rng.Intn(50) + 1
+		skew := 0
+		if trial%3 == 2 {
+			skew = 1
+		}
+		c := randomCode(t, rng, count, skew, 0)
+		data := make([]byte, 1+rng.Intn(30))
+		rng.Read(data)
+		nbit := rng.Intn(len(data)*8 + 1)
+		for pos := 0; pos <= nbit; pos++ {
+			decodeBoth(t, c, data, nbit, pos)
+		}
+	}
+}
+
+// TestDifferentialTruncatedStreams cuts valid streams at every length so the
+// final codeword is truncated; both decoders must fail identically and leave
+// the reader at the same place.
+func TestDifferentialTruncatedStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCode(t, rng, rng.Intn(30)+2, trial%2, 0)
+		w := bitio.NewWriter(0)
+		for i := 0; i < 20; i++ {
+			_ = c.Encode(w, c.syms[rng.Intn(len(c.syms))])
+		}
+		for cut := 0; cut <= w.Len(); cut++ {
+			r := bitio.NewReader(w.Bytes(), cut)
+			rr := bitio.NewReader(w.Bytes(), cut)
+			for {
+				_, n1, e1 := c.decoder.decode(r)
+				_, n2, e2 := c.decoder.ref().decode(rr)
+				if n1 != n2 || r.Pos() != rr.Pos() || (e1 == nil) != (e2 == nil) {
+					t.Fatalf("trial %d cut %d: fast %d@%d err=%v, ref %d@%d err=%v",
+						trial, cut, n1, r.Pos(), e1, n2, rr.Pos(), e2)
+				}
+				if e1 != nil {
+					if !errors.Is(e1, errKind(e2)) {
+						t.Fatalf("trial %d cut %d: err %v vs %v", trial, cut, e1, e2)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSingleSymbolAndRestrictedEdge covers the degenerate codes the grid
+// sweeps generate: one-symbol alphabets (coded in 1 bit) and codes whose
+// alphabet exactly fills the restricted length.
+func TestSingleSymbolAndRestrictedEdge(t *testing.T) {
+	// Single symbol: bit 0 decodes, bit 1 is a bad code.
+	c, err := New(FreqTable{42: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(0)
+	_ = w.WriteBits(0b01, 2)
+	if s, steps, err := decodeBoth(t, c, w.Bytes(), 2, 0); err != nil || s != 42 || steps != 1 {
+		t.Fatalf("single-symbol decode = %d,%d,%v", s, steps, err)
+	}
+	if _, _, err := decodeBoth(t, c, w.Bytes(), 2, 1); !errors.Is(err, ErrBadCode) {
+		t.Fatalf("single-symbol bad bit err = %v", err)
+	}
+
+	// Exactly full restricted code: 16 symbols in 4 bits — every pattern is
+	// a codeword, so garbage always decodes, never errors.
+	freq := make(FreqTable)
+	for i := 0; i < 16; i++ {
+		freq.Add(Symbol(i), uint64(i+1))
+	}
+	rc, err := NewRestricted(freq, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{0xd3, 0x1c}
+	for pos := 0; pos+4 <= 16; pos++ {
+		if _, _, err := decodeBoth(t, rc, data, 16, pos); err != nil {
+			t.Fatalf("full code pos %d: %v", pos, err)
+		}
+	}
+}
+
+// TestFallbackDecoderEngaged asserts the pathological-length fallback really
+// is exercised: a Fibonacci-weighted alphabet long enough to exceed
+// maxTableLen must still decode correctly through the reference path.
+func TestFallbackDecoderEngaged(t *testing.T) {
+	freq := make(FreqTable)
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < 40; i++ {
+		freq.Add(Symbol(i), a)
+		a, b = b, a+b
+	}
+	c, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxLen() <= maxTableLen {
+		t.Fatalf("test premise broken: maxLen %d does not exceed table limit", c.MaxLen())
+	}
+	w := bitio.NewWriter(0)
+	var msg []Symbol
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		s := Symbol(rng.Intn(40))
+		msg = append(msg, s)
+		if err := c.Encode(w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	for i, want := range msg {
+		got, steps, err := c.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("fallback decode %d = %d,%v want %d", i, got, err, want)
+		}
+		cw, _ := c.Codeword(want)
+		if steps != cw.Len {
+			t.Fatalf("fallback steps %d want %d", steps, cw.Len)
+		}
+	}
+	if c.decoder.root != nil {
+		t.Fatal("decoder built a table despite over-long codes")
+	}
+}
+
+// TestTwoLevelTableEngaged asserts codes between rootBits and maxTableLen use
+// the two-level table and decode correctly through it.
+func TestTwoLevelTableEngaged(t *testing.T) {
+	freq := make(FreqTable)
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < 24; i++ {
+		freq.Add(Symbol(i), a)
+		a, b = b, a+b
+	}
+	c, err := New(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxLen() <= tableRootBits || c.MaxLen() > maxTableLen {
+		t.Fatalf("test premise broken: maxLen %d not in two-level range", c.MaxLen())
+	}
+	w := bitio.NewWriter(0)
+	var msg []Symbol
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		s := Symbol(rng.Intn(24))
+		msg = append(msg, s)
+		_ = c.Encode(w, s)
+	}
+	offsets := 0
+	r := bitio.NewReader(w.Bytes(), w.Len())
+	for i, want := range msg {
+		got, steps, err := decodeBoth(t, c, w.Bytes(), w.Len(), offsets)
+		if err != nil || got != want {
+			t.Fatalf("two-level decode %d = %d,%v want %d", i, got, err, want)
+		}
+		offsets += steps
+	}
+	_ = r
+	if c.decoder.root == nil || len(c.decoder.sub) == 0 {
+		t.Fatal("two-level table not built")
+	}
+}
+
+// FuzzDecodeDifferential fuzzes arbitrary byte streams against both decoders
+// under a fixed mixed-length code.
+func FuzzDecodeDifferential(f *testing.F) {
+	freq := make(FreqTable)
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < 18; i++ {
+		freq.Add(Symbol(i), a)
+		a, b = b, a+b
+	}
+	code, err := New(freq)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{0x00}, 0)
+	f.Add([]byte{0xff, 0xff, 0xff}, 5)
+	f.Add([]byte{0xa5, 0x5a, 0xc3}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, pos int) {
+		if pos < 0 || pos > len(data)*8 {
+			t.Skip()
+		}
+		fast := bitio.NewReader(data, -1)
+		ref := bitio.NewReader(data, -1)
+		_ = fast.Seek(pos)
+		_ = ref.Seek(pos)
+		for {
+			s1, n1, e1 := code.decoder.decode(fast)
+			s2, n2, e2 := code.decoder.ref().decode(ref)
+			if n1 != n2 || fast.Pos() != ref.Pos() || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("diverged: fast %d,%d@%d err=%v ref %d,%d@%d err=%v",
+					s1, n1, fast.Pos(), e1, s2, n2, ref.Pos(), e2)
+			}
+			if e1 != nil {
+				if !errors.Is(e1, errKind(e2)) {
+					t.Fatalf("error kinds differ: %v vs %v", e1, e2)
+				}
+				return
+			}
+			if s1 != s2 {
+				t.Fatalf("symbols differ: %d vs %d", s1, s2)
+			}
+		}
+	})
+}

@@ -6,17 +6,20 @@
 // efficiency" (the Burroughs B1700 approach the paper cites via Wilner).
 //
 // Codes are canonical: within a code length, symbols are assigned codewords
-// in increasing symbol order.  Canonical codes make the decoder a small table
-// walk, which is exactly what the paper's decode-cost parameter d models
-// ("traversing a decoding tree guided by an examination of the encoded
-// field").
+// in increasing symbol order.  Canonical codes make the decoder a flat table
+// lookup (see table.go): one peek of maxLen bits indexes directly to
+// {symbol, code length, decode steps}, with a two-level table for longer
+// codes.  The reported step counts still model the paper's decode-cost
+// parameter d ("traversing a decoding tree guided by an examination of the
+// encoded field") and are identical to those of the retained level-walk
+// reference decoder.
 package huffman
 
 import (
-	"container/heap"
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"uhm/internal/bitio"
 )
@@ -48,7 +51,7 @@ func (t FreqTable) Symbols() []Symbol {
 	for s := range t {
 		syms = append(syms, s)
 	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	slices.Sort(syms)
 	return syms
 }
 
@@ -58,9 +61,14 @@ type Codeword struct {
 	Len  int    // code length in bits; 0 means the symbol is not coded
 }
 
-// Code is a complete prefix code over an alphabet.
+// Code is a complete prefix code over an alphabet.  The codewords are held in
+// a dense slice indexed by symbol value whenever the alphabet is reasonably
+// compact, so the encode hot path is an array index rather than a map lookup;
+// sparse alphabets fall back to a map.
 type Code struct {
-	words   map[Symbol]Codeword
+	syms    []Symbol   // the alphabet in increasing symbol order
+	dense   []Codeword // indexed by symbol value; Len==0 marks absent symbols
+	sparse  map[Symbol]Codeword
 	decoder *decoder
 	maxLen  int
 }
@@ -92,6 +100,23 @@ func NewRestricted(freq FreqTable, maxLen int) (*Code, error) {
 	return build(freq, maxLen)
 }
 
+// NewFromCounts builds an optimal canonical code from a dense count slice
+// indexed by symbol value (counts[v] occurrences of Symbol(v); zero counts
+// are excluded).  It is equivalent to New on the corresponding FreqTable but
+// skips the map entirely — the fast path for callers that accumulate
+// statistics densely.
+func NewFromCounts(counts []uint64) (*Code, error) {
+	return buildCounts(counts, 0)
+}
+
+// NewRestrictedFromCounts is NewRestricted for a dense count slice.
+func NewRestrictedFromCounts(counts []uint64, maxLen int) (*Code, error) {
+	if maxLen <= 0 {
+		return nil, fmt.Errorf("huffman: non-positive length limit %d", maxLen)
+	}
+	return buildCounts(counts, maxLen)
+}
+
 // NewFixed builds a degenerate "code" in which every symbol is given the same
 // fixed width (the packed-field, zero-encoding baseline of Figure 1).  The
 // width is the minimum number of bits needed to distinguish the symbols.
@@ -99,14 +124,21 @@ func NewFixed(symbols []Symbol) (*Code, error) {
 	if len(symbols) == 0 {
 		return nil, ErrEmptyAlphabet
 	}
-	width := bitsFor(len(symbols))
 	sorted := append([]Symbol(nil), symbols...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	words := make(map[Symbol]Codeword, len(sorted))
-	for i, s := range sorted {
-		words[s] = Codeword{Bits: uint64(i), Len: width}
+	slices.Sort(sorted)
+	// Drop duplicates so each symbol receives exactly one codeword.
+	uniq := sorted[:1]
+	for _, s := range sorted[1:] {
+		if s != uniq[len(uniq)-1] {
+			uniq = append(uniq, s)
+		}
 	}
-	return finish(words)
+	width := bitsFor(len(uniq))
+	cws := make([]Codeword, len(uniq))
+	for i := range uniq {
+		cws[i] = Codeword{Bits: uint64(i), Len: width}
+	}
+	return newCode(uniq, cws)
 }
 
 // bitsFor returns the number of bits needed to represent n distinct values.
@@ -121,33 +153,6 @@ func bitsFor(n int) int {
 	return w
 }
 
-type hNode struct {
-	weight uint64
-	sym    Symbol
-	order  int // tie-break to keep the construction deterministic
-	left   *hNode
-	right  *hNode
-}
-
-type hHeap []*hNode
-
-func (h hHeap) Len() int { return len(h) }
-func (h hHeap) Less(i, j int) bool {
-	if h[i].weight != h[j].weight {
-		return h[i].weight < h[j].weight
-	}
-	return h[i].order < h[j].order
-}
-func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
-func (h *hHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 func build(freq FreqTable, maxLen int) (*Code, error) {
 	syms := make([]Symbol, 0, len(freq))
 	for s, c := range freq {
@@ -155,77 +160,176 @@ func build(freq FreqTable, maxLen int) (*Code, error) {
 			syms = append(syms, s)
 		}
 	}
+	slices.Sort(syms)
+	weights := make([]uint64, len(syms))
+	for i, s := range syms {
+		weights[i] = freq[s]
+	}
+	return buildLists(syms, weights, maxLen)
+}
+
+func buildCounts(counts []uint64, maxLen int) (*Code, error) {
+	n := 0
+	for _, c := range counts {
+		if c > 0 {
+			n++
+		}
+	}
+	syms := make([]Symbol, 0, n)
+	weights := make([]uint64, 0, n)
+	for v, c := range counts {
+		if c > 0 {
+			syms = append(syms, Symbol(v))
+			weights = append(weights, c)
+		}
+	}
+	return buildLists(syms, weights, maxLen)
+}
+
+// buildLists is the common construction path: syms in increasing symbol
+// order with index-aligned positive weights.
+func buildLists(syms []Symbol, weights []uint64, maxLen int) (*Code, error) {
 	if len(syms) == 0 {
 		return nil, ErrEmptyAlphabet
 	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-
 	if maxLen > 0 && len(syms) > (1<<uint(min(maxLen, 62))) {
 		return nil, fmt.Errorf("huffman: %d symbols cannot fit in %d-bit codes", len(syms), maxLen)
 	}
 
 	if len(syms) == 1 {
-		words := map[Symbol]Codeword{syms[0]: {Bits: 0, Len: 1}}
-		return finish(words)
+		return newCode(syms, []Codeword{{Bits: 0, Len: 1}})
 	}
 
-	lengths := huffmanLengths(syms, freq)
+	lengths := huffmanLengths(weights)
 	if maxLen > 0 {
-		limitLengths(syms, lengths, maxLen)
+		limitLengths(lengths, maxLen)
 	}
 
-	words := canonicalAssign(syms, lengths)
-	return finish(words)
+	return newCode(syms, canonicalAssign(syms, lengths))
 }
 
-// huffmanLengths computes optimal code lengths per symbol with the standard
-// two-queue/heap construction.
-func huffmanLengths(syms []Symbol, freq FreqTable) map[Symbol]int {
-	h := make(hHeap, 0, len(syms))
-	for i, s := range syms {
-		h = append(h, &hNode{weight: freq[s], sym: s, order: i})
+// hnode is one node of the Huffman construction, held in a flat slice: the
+// first len(syms) entries are the leaves in symbol order, internal nodes are
+// appended as they are created.
+type hnode struct {
+	weight      uint64
+	order       int32 // tie-break to keep the construction deterministic
+	left, right int32 // child node indices; -1 for leaves
+}
+
+// huffmanLengths computes optimal code lengths per symbol (index-aligned with
+// the caller's symbol slice) using a binary heap of node indices — no
+// per-node allocation and no any-boxing through container/heap.
+func huffmanLengths(weights []uint64) []int {
+	n := len(weights)
+	nodes := make([]hnode, n, 2*n-1)
+	for i, w := range weights {
+		nodes[i] = hnode{weight: w, order: int32(i), left: -1, right: -1}
 	}
-	heap.Init(&h)
-	order := len(syms)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(*hNode)
-		b := heap.Pop(&h).(*hNode)
-		heap.Push(&h, &hNode{weight: a.weight + b.weight, order: order, left: a, right: b})
+
+	// Min-heap of node indices ordered by (weight, order).  The (weight,
+	// order) pairs are unique, so the pop sequence — and therefore the tree
+	// shape — is identical to any other heap implementation with the same
+	// ordering, including the pointer heap this replaced.
+	h := make([]int32, n)
+	for i := range h {
+		h[i] = int32(i)
+	}
+	less := func(a, b int32) bool {
+		if nodes[a].weight != nodes[b].weight {
+			return nodes[a].weight < nodes[b].weight
+		}
+		return nodes[a].order < nodes[b].order
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(h) && less(h[l], h[smallest]) {
+				smallest = l
+			}
+			if r < len(h) && less(h[r], h[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			h[i], h[smallest] = h[smallest], h[i]
+			i = smallest
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	pop := func() int32 {
+		top := h[0]
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		down(0)
+		return top
+	}
+	push := func(idx int32) {
+		h = append(h, idx)
+		for i := len(h) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !less(h[i], h[parent]) {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+
+	order := int32(n)
+	for len(h) > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, hnode{weight: nodes[a].weight + nodes[b].weight, order: order, left: a, right: b})
+		push(int32(len(nodes) - 1))
 		order++
 	}
-	root := h[0]
-	lengths := make(map[Symbol]int, len(syms))
-	var walk func(n *hNode, depth int)
-	walk = func(n *hNode, depth int) {
-		if n.left == nil && n.right == nil {
+
+	// Walk the tree iteratively; leaf node index == syms index.
+	lengths := make([]int, n)
+	type item struct {
+		idx   int32
+		depth int
+	}
+	stack := make([]item, 0, 64)
+	stack = append(stack, item{h[0], 0})
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[it.idx]
+		if nd.left < 0 && nd.right < 0 {
+			depth := it.depth
 			if depth == 0 {
 				depth = 1
 			}
-			lengths[n.sym] = depth
-			return
+			lengths[it.idx] = depth
+			continue
 		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+		stack = append(stack, item{nd.left, it.depth + 1}, item{nd.right, it.depth + 1})
 	}
-	walk(root, 0)
 	return lengths
 }
 
-// limitLengths clamps code lengths to maxLen and repairs the Kraft inequality
-// using the standard heuristic: overlong codes are truncated, then lengths of
-// the most frequent over-budget codewords are increased/decreased until
-// sum(2^-len) <= 1, preferring to lengthen rare symbols.
-func limitLengths(syms []Symbol, lengths map[Symbol]int, maxLen int) {
-	for _, s := range syms {
-		if lengths[s] > maxLen {
-			lengths[s] = maxLen
+// limitLengths clamps code lengths (index-aligned with the symbol slice) to
+// maxLen and repairs the Kraft inequality using the standard heuristic:
+// overlong codes are truncated, then lengths of the most frequent over-budget
+// codewords are increased/decreased until sum(2^-len) <= 1, preferring to
+// lengthen rare symbols.
+func limitLengths(lengths []int, maxLen int) {
+	for i := range lengths {
+		if lengths[i] > maxLen {
+			lengths[i] = maxLen
 		}
 	}
 	// Kraft sum measured in units of 2^-maxLen.
 	kraft := func() uint64 {
 		var k uint64
-		for _, s := range syms {
-			k += 1 << uint(maxLen-lengths[s])
+		for i := range lengths {
+			k += 1 << uint(maxLen-lengths[i])
 		}
 		return k
 	}
@@ -235,65 +339,74 @@ func limitLengths(syms []Symbol, lengths map[Symbol]int, maxLen int) {
 	// after canonical sorting by the caller's construction).
 	for kraft() > budget {
 		best := -1
-		for i, s := range syms {
-			if lengths[s] < maxLen {
-				if best == -1 || lengths[s] < lengths[syms[best]] {
+		for i := range lengths {
+			if lengths[i] < maxLen {
+				if best == -1 || lengths[i] < lengths[best] {
 					best = i
 				}
 			}
 		}
 		if best == -1 {
 			// Cannot repair: fall back to fixed width maxLen for all.
-			for _, s := range syms {
-				lengths[s] = maxLen
+			for i := range lengths {
+				lengths[i] = maxLen
 			}
 			return
 		}
-		lengths[syms[best]]++
+		lengths[best]++
 	}
 }
 
-// canonicalAssign assigns canonical codewords given per-symbol lengths.
-func canonicalAssign(syms []Symbol, lengths map[Symbol]int) map[Symbol]Codeword {
-	type entry struct {
-		sym Symbol
-		len int
+// canonicalAssign assigns canonical codewords given per-symbol lengths
+// (index-aligned with syms); the result is likewise index-aligned.
+func canonicalAssign(syms []Symbol, lengths []int) []Codeword {
+	idx := make([]int32, len(syms))
+	for i := range idx {
+		idx[i] = int32(i)
 	}
-	entries := make([]entry, 0, len(syms))
-	maxLen := 0
-	for _, s := range syms {
-		entries = append(entries, entry{s, lengths[s]})
-		if lengths[s] > maxLen {
-			maxLen = lengths[s]
+	slices.SortFunc(idx, func(i, j int32) int {
+		if lengths[i] != lengths[j] {
+			return cmp.Compare(lengths[i], lengths[j])
 		}
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].len != entries[j].len {
-			return entries[i].len < entries[j].len
-		}
-		return entries[i].sym < entries[j].sym
+		return cmp.Compare(syms[i], syms[j])
 	})
-	words := make(map[Symbol]Codeword, len(entries))
+	cws := make([]Codeword, len(syms))
 	var code uint64
 	prevLen := 0
-	for _, e := range entries {
+	for _, i := range idx {
+		l := lengths[i]
 		if prevLen != 0 {
-			code = (code + 1) << uint(e.len-prevLen)
+			code = (code + 1) << uint(l-prevLen)
 		}
-		words[e.sym] = Codeword{Bits: code, Len: e.len}
-		prevLen = e.len
+		cws[i] = Codeword{Bits: code, Len: l}
+		prevLen = l
 	}
-	return words
+	return cws
 }
 
-func finish(words map[Symbol]Codeword) (*Code, error) {
-	c := &Code{words: words}
-	for _, w := range words {
+// newCode assembles a Code from an alphabet in increasing symbol order and
+// its index-aligned codewords.
+func newCode(syms []Symbol, cws []Codeword) (*Code, error) {
+	c := &Code{syms: syms}
+	for _, w := range cws {
 		if w.Len > c.maxLen {
 			c.maxLen = w.Len
 		}
 	}
-	dec, err := newDecoder(words)
+	// Dense symbol-indexed codeword array when the alphabet is compact
+	// (bounded waste); map fallback otherwise.
+	if maxSym := int(syms[len(syms)-1]); maxSym <= 4*len(syms)+64 {
+		c.dense = make([]Codeword, maxSym+1)
+		for i, s := range syms {
+			c.dense[s] = cws[i]
+		}
+	} else {
+		c.sparse = make(map[Symbol]Codeword, len(syms))
+		for i, s := range syms {
+			c.sparse[s] = cws[i]
+		}
+	}
+	dec, err := newDecoder(syms, cws)
 	if err != nil {
 		return nil, err
 	}
@@ -303,26 +416,30 @@ func finish(words map[Symbol]Codeword) (*Code, error) {
 
 // Codeword returns the codeword for s.
 func (c *Code) Codeword(s Symbol) (Codeword, bool) {
-	w, ok := c.words[s]
+	if c.dense != nil {
+		if int(s) < len(c.dense) && c.dense[s].Len != 0 {
+			return c.dense[s], true
+		}
+		return Codeword{}, false
+	}
+	w, ok := c.sparse[s]
 	return w, ok
 }
 
 // MaxLen returns the length in bits of the longest codeword.
 func (c *Code) MaxLen() int { return c.maxLen }
 
+// Size returns the number of coded symbols.
+func (c *Code) Size() int { return len(c.syms) }
+
 // Alphabet returns the coded symbols in increasing order.
 func (c *Code) Alphabet() []Symbol {
-	syms := make([]Symbol, 0, len(c.words))
-	for s := range c.words {
-		syms = append(syms, s)
-	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-	return syms
+	return append([]Symbol(nil), c.syms...)
 }
 
 // Encode appends the codeword for s to w.
 func (c *Code) Encode(w *bitio.Writer, s Symbol) error {
-	cw, ok := c.words[s]
+	cw, ok := c.Codeword(s)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSymbol, s)
 	}
@@ -343,7 +460,7 @@ func (c *Code) Decode(r *bitio.Reader) (Symbol, int, error) {
 func (c *Code) EncodedSize(freq FreqTable) uint64 {
 	var bits uint64
 	for s, n := range freq {
-		if w, ok := c.words[s]; ok {
+		if w, ok := c.Codeword(s); ok {
 			bits += n * uint64(w.Len)
 		}
 	}
@@ -357,60 +474,4 @@ func (c *Code) AverageLength(freq FreqTable) float64 {
 		return 0
 	}
 	return float64(c.EncodedSize(freq)) / float64(total)
-}
-
-// decoder is a canonical-code decoder driven level by level, one bit at a
-// time, counting the levels traversed.
-type decoder struct {
-	// byLen[l] maps the numeric value of an l-bit prefix to a symbol, for
-	// codeword lengths l that are actually used.
-	byLen  map[int]map[uint64]Symbol
-	maxLen int
-}
-
-func newDecoder(words map[Symbol]Codeword) (*decoder, error) {
-	d := &decoder{byLen: make(map[int]map[uint64]Symbol)}
-	seen := make(map[string]Symbol)
-	for s, w := range words {
-		if w.Len <= 0 || w.Len > bitio.MaxFieldWidth {
-			return nil, fmt.Errorf("huffman: symbol %d has invalid code length %d", s, w.Len)
-		}
-		key := fmt.Sprintf("%d/%d", w.Len, w.Bits)
-		if other, dup := seen[key]; dup {
-			return nil, fmt.Errorf("huffman: symbols %d and %d share codeword", other, s)
-		}
-		seen[key] = s
-		m := d.byLen[w.Len]
-		if m == nil {
-			m = make(map[uint64]Symbol)
-			d.byLen[w.Len] = m
-		}
-		m[w.Bits] = s
-		if w.Len > d.maxLen {
-			d.maxLen = w.Len
-		}
-	}
-	return d, nil
-}
-
-func (d *decoder) decode(r *bitio.Reader) (Symbol, int, error) {
-	var acc uint64
-	steps := 0
-	for l := 1; l <= d.maxLen; l++ {
-		bit, err := r.ReadBit()
-		if err != nil {
-			return 0, steps, err
-		}
-		acc = acc << 1
-		if bit {
-			acc |= 1
-		}
-		steps++
-		if m, ok := d.byLen[l]; ok {
-			if s, hit := m[acc]; hit {
-				return s, steps, nil
-			}
-		}
-	}
-	return 0, steps, ErrBadCode
 }

@@ -1,0 +1,261 @@
+package huffman
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sync"
+
+	"uhm/internal/bitio"
+)
+
+// This file implements the canonical-code decoder as a flat lookup table: one
+// PeekBits(maxLen) and a single table index resolve the symbol, its code
+// length and the decode-step count in O(1), instead of walking the code tree
+// one bit (and two map lookups) per level.  Codes longer than tableRootBits
+// use a two-level table: the root entry for a long code's 12-bit prefix
+// points at a sub-table indexed by the remaining bits.
+//
+// The tables are built lazily on first decode, so encode-only uses of a Code
+// (size measurement, the conditional trees of the pair-frequency encoder) pay
+// nothing for them.  Codeword validation stays eager in newDecoder.
+//
+// The decode-step counts are, by construction, identical to the retained
+// level-walk reference decoder (refDecoder below): the level walk examines
+// one tree level per codeword bit, so steps == code length, which each table
+// entry stores explicitly.  Error behaviour is preserved exactly as well,
+// including how many bits an unmatched or truncated decode consumes — the
+// differential tests in this package assert all of it.
+
+const (
+	// tableRootBits is the index width of the first-level table.
+	tableRootBits = 12
+	// maxTableLen bounds the code length the two-level table supports (root
+	// prefix plus sub-table index).  Codes longer than this — possible only
+	// for pathologically skewed frequency tables — use the reference level
+	// walk, keeping table memory bounded at 2^tableRootBits entries per
+	// level.
+	maxTableLen = 2 * tableRootBits
+)
+
+// decodeEntry is one slot of the decode table.
+type decodeEntry struct {
+	sym     Symbol
+	len     uint8  // codeword length; 0 marks an entry with no codeword
+	steps   uint8  // decode steps reported for this codeword (== len)
+	subBits uint8  // root entries only: >0 points at a sub-table
+	subOff  uint32 // root entries only: offset of the sub-table in sub
+}
+
+// codeKey identifies a codeword by (length, bits) — the duplicate-detection
+// key (formerly a fmt.Sprintf string) and the lookup key of the reference
+// level-walk decoder.
+type codeKey struct {
+	len  int
+	bits uint64
+}
+
+// decoder decodes one codeword per call, counting decode steps.
+type decoder struct {
+	syms   []Symbol // construction inputs, retained for the lazy builds
+	cws    []Codeword
+	maxLen int
+
+	tableOnce sync.Once
+	rootBits  int
+	root      []decodeEntry // nil when maxLen > maxTableLen
+	sub       []decodeEntry
+
+	refOnce sync.Once
+	refDec  *refDecoder
+}
+
+// newDecoder validates the codewords (index-aligned with syms): every length
+// must be in (0, MaxFieldWidth] and no two symbols may share a codeword.
+func newDecoder(syms []Symbol, cws []Codeword) (*decoder, error) {
+	maxLen := 0
+	for i, w := range cws {
+		if w.Len <= 0 || w.Len > bitio.MaxFieldWidth {
+			return nil, fmt.Errorf("huffman: symbol %d has invalid code length %d", syms[i], w.Len)
+		}
+		if w.Len > maxLen {
+			maxLen = w.Len
+		}
+	}
+	// Duplicate detection by sorting (length, bits, symbol) triples: a
+	// duplicate codeword becomes an adjacent pair.
+	type triple struct {
+		key codeKey
+		sym Symbol
+	}
+	ts := make([]triple, len(cws))
+	for i, w := range cws {
+		ts[i] = triple{codeKey{w.Len, w.Bits}, syms[i]}
+	}
+	slices.SortFunc(ts, func(a, b triple) int {
+		if a.key.len != b.key.len {
+			return cmp.Compare(a.key.len, b.key.len)
+		}
+		if a.key.bits != b.key.bits {
+			return cmp.Compare(a.key.bits, b.key.bits)
+		}
+		return cmp.Compare(a.sym, b.sym)
+	})
+	for i := 1; i < len(ts); i++ {
+		if ts[i].key == ts[i-1].key {
+			return nil, fmt.Errorf("huffman: symbols %d and %d share codeword", ts[i-1].sym, ts[i].sym)
+		}
+	}
+	return &decoder{syms: syms, cws: cws, maxLen: maxLen}, nil
+}
+
+// ref returns the retained level-walk reference decoder, building its lookup
+// map on first use.
+func (d *decoder) ref() *refDecoder {
+	d.refOnce.Do(func() {
+		byCode := make(map[codeKey]Symbol, len(d.cws))
+		for i, w := range d.cws {
+			byCode[codeKey{w.Len, w.Bits}] = d.syms[i]
+		}
+		d.refDec = &refDecoder{byCode: byCode, maxLen: d.maxLen}
+	})
+	return d.refDec
+}
+
+// buildTables constructs the one- or two-level lookup table.
+func (d *decoder) buildTables() {
+	d.rootBits = min(d.maxLen, tableRootBits)
+	d.root = make([]decodeEntry, 1<<uint(d.rootBits))
+
+	// Direct entries: every root slot whose top bits are the codeword.
+	for i, w := range d.cws {
+		if w.Len > d.rootBits {
+			continue
+		}
+		e := decodeEntry{sym: d.syms[i], len: uint8(w.Len), steps: uint8(w.Len)}
+		base := w.Bits << uint(d.rootBits-w.Len)
+		for j := uint64(0); j < 1<<uint(d.rootBits-w.Len); j++ {
+			d.root[base+j] = e
+		}
+	}
+	if d.maxLen <= d.rootBits {
+		return
+	}
+
+	// Two-level: group codes longer than rootBits by their root prefix and
+	// give each prefix a sub-table wide enough for its longest member.
+	subBits := make(map[uint64]int)
+	for _, w := range d.cws {
+		if w.Len <= d.rootBits {
+			continue
+		}
+		prefix := w.Bits >> uint(w.Len-d.rootBits)
+		if n := w.Len - d.rootBits; n > subBits[prefix] {
+			subBits[prefix] = n
+		}
+	}
+	for i, w := range d.cws {
+		if w.Len <= d.rootBits {
+			continue
+		}
+		prefix := w.Bits >> uint(w.Len-d.rootBits)
+		nbits := subBits[prefix]
+		re := &d.root[prefix]
+		if re.subBits == 0 {
+			re.subBits = uint8(nbits)
+			re.subOff = uint32(len(d.sub))
+			d.sub = append(d.sub, make([]decodeEntry, 1<<uint(nbits))...)
+		}
+		e := decodeEntry{sym: d.syms[i], len: uint8(w.Len), steps: uint8(w.Len)}
+		low := w.Bits & (1<<uint(w.Len-d.rootBits) - 1)
+		base := uint64(re.subOff) + low<<uint(nbits-(w.Len-d.rootBits))
+		for j := uint64(0); j < 1<<uint(nbits-(w.Len-d.rootBits)); j++ {
+			d.sub[base+j] = e
+		}
+	}
+}
+
+// lookup resolves the table entry for a value padded to maxLen bits.
+func (d *decoder) lookup(pv uint64) decodeEntry {
+	e := d.root[pv>>uint(d.maxLen-d.rootBits)]
+	if e.subBits > 0 {
+		shift := uint(d.maxLen - d.rootBits - int(e.subBits))
+		idx := pv >> shift & (1<<e.subBits - 1)
+		e = d.sub[uint64(e.subOff)+idx]
+	}
+	return e
+}
+
+// decode reads one codeword.  Its observable behaviour — symbol, step count,
+// error value, and the stream position afterwards — is identical to
+// refDecoder.decode in every case, including truncated and invalid input.
+func (d *decoder) decode(r *bitio.Reader) (Symbol, int, error) {
+	if d.maxLen > maxTableLen {
+		return d.ref().decode(r)
+	}
+	d.tableOnce.Do(d.buildTables)
+	k := r.Remaining()
+	if k >= d.maxLen {
+		v, err := r.PeekBits(d.maxLen)
+		if err != nil {
+			return 0, 0, err
+		}
+		e := d.lookup(v)
+		if e.len > 0 {
+			_ = r.SkipBits(int(e.len))
+			return e.sym, int(e.steps), nil
+		}
+		// No codeword matches: the level walk would examine (and consume)
+		// all maxLen levels before giving up.
+		_ = r.SkipBits(d.maxLen)
+		return 0, d.maxLen, ErrBadCode
+	}
+	if k == 0 {
+		return 0, 0, bitio.ErrShortBuffer
+	}
+	// Fewer than maxLen bits remain: pad with zeros.  The code is prefix
+	// free, so a padded match of length <= k is the unique codeword the
+	// level walk would find within the remaining bits.
+	v, err := r.PeekBits(k)
+	if err != nil {
+		return 0, 0, err
+	}
+	e := d.lookup(v << uint(d.maxLen-k))
+	if e.len > 0 && int(e.len) <= k {
+		_ = r.SkipBits(int(e.len))
+		return e.sym, int(e.steps), nil
+	}
+	// The level walk would consume every remaining bit, then fail on the
+	// next read.
+	_ = r.SkipBits(k)
+	return 0, k, bitio.ErrShortBuffer
+}
+
+// refDecoder is the retained reference decoder: the canonical code walked
+// level by level, one bit at a time, counting the levels traversed.  It is
+// the behavioural specification the table decoder is differentially tested
+// against, and the fallback for codes too long to tabulate.
+type refDecoder struct {
+	byCode map[codeKey]Symbol
+	maxLen int
+}
+
+func (d *refDecoder) decode(r *bitio.Reader) (Symbol, int, error) {
+	var acc uint64
+	steps := 0
+	for l := 1; l <= d.maxLen; l++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, steps, err
+		}
+		acc = acc << 1
+		if bit {
+			acc |= 1
+		}
+		steps++
+		if s, hit := d.byCode[codeKey{l, acc}]; hit {
+			return s, steps, nil
+		}
+	}
+	return 0, steps, ErrBadCode
+}

@@ -24,29 +24,56 @@ import (
 type Symbol = huffman.Symbol
 
 // Stats accumulates unconditional and predecessor-conditioned frequency
-// counts from the static program representation.
+// counts from the static program representation.  Each context is a
+// huffman.Counter, so the per-token Observe path performs no map operation
+// for the common case of small symbols (DIR opcodes are small integers);
+// predecessor contexts at or above denseStatsCap spill into a map.
 type Stats struct {
-	uncond huffman.FreqTable
-	cond   map[Symbol]huffman.FreqTable
-	last   Symbol
-	seen   bool
+	uncond    huffman.Counter
+	condDense []huffman.Counter // indexed by predecessor symbol
+	condSpill map[Symbol]*huffman.Counter
+	total     uint64
+	last      Symbol
+	seen      bool
 }
+
+// denseStatsCap bounds the dense predecessor-context array of Stats.
+const denseStatsCap = 4096
 
 // NewStats returns an empty statistics accumulator.
 func NewStats() *Stats {
-	return &Stats{uncond: make(huffman.FreqTable), cond: make(map[Symbol]huffman.FreqTable)}
+	return &Stats{}
+}
+
+// condFor returns the counter of the given predecessor context.
+func (s *Stats) condFor(pred Symbol) *huffman.Counter {
+	if pred < denseStatsCap {
+		if int(pred) >= len(s.condDense) {
+			grow := int(pred) + 1 - len(s.condDense)
+			if grow < len(s.condDense) {
+				grow = len(s.condDense) // at least double, amortising regrowth
+			}
+			s.condDense = append(s.condDense, make([]huffman.Counter, grow)...)[:int(pred)+1]
+		}
+		return &s.condDense[pred]
+	}
+	if s.condSpill == nil {
+		s.condSpill = make(map[Symbol]*huffman.Counter)
+	}
+	ctr := s.condSpill[pred]
+	if ctr == nil {
+		ctr = new(huffman.Counter)
+		s.condSpill[pred] = ctr
+	}
+	return ctr
 }
 
 // Observe records the next symbol in the static token stream.
 func (s *Stats) Observe(sym Symbol) {
-	s.uncond.Add(sym, 1)
+	s.uncond.Add(sym)
+	s.total++
 	if s.seen {
-		t := s.cond[s.last]
-		if t == nil {
-			t = make(huffman.FreqTable)
-			s.cond[s.last] = t
-		}
-		t.Add(sym, 1)
+		s.condFor(s.last).Add(sym)
 	}
 	s.last = sym
 	s.seen = true
@@ -62,24 +89,66 @@ func (s *Stats) ObserveAll(syms []Symbol) {
 }
 
 // Total returns the total number of observed symbols.
-func (s *Stats) Total() uint64 { return s.uncond.Total() }
+func (s *Stats) Total() uint64 { return s.total }
 
 // Unconditional returns a copy of the unconditional frequency table.
 func (s *Stats) Unconditional() huffman.FreqTable {
-	out := make(huffman.FreqTable, len(s.uncond))
-	for k, v := range s.uncond {
-		out[k] = v
+	t := s.uncond.Fold()
+	if t == nil {
+		t = make(huffman.FreqTable)
 	}
-	return out
+	return t
+}
+
+// forEachCond visits every observed predecessor context, in increasing
+// predecessor order for the dense range followed by the spill contexts.
+func (s *Stats) forEachCond(visit func(pred Symbol, ctr *huffman.Counter) error) error {
+	for pred := range s.condDense {
+		if s.condDense[pred].Empty() {
+			continue
+		}
+		if err := visit(Symbol(pred), &s.condDense[pred]); err != nil {
+			return err
+		}
+	}
+	for pred, ctr := range s.condSpill {
+		if err := visit(pred, ctr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Predecessors returns the number of distinct predecessor contexts observed.
-func (s *Stats) Predecessors() int { return len(s.cond) }
+func (s *Stats) Predecessors() int {
+	n := 0
+	_ = s.forEachCond(func(Symbol, *huffman.Counter) error {
+		n++
+		return nil
+	})
+	return n
+}
 
 // Coder is a pair-frequency (first-order conditional) coder.
 type Coder struct {
 	fallback *huffman.Code
 	byPred   map[Symbol]*huffman.Code
+	// dense caches byPred in a slice indexed by predecessor symbol when the
+	// predecessor alphabet is compact (it is: DIR opcodes), so the per-symbol
+	// tree selection on the encode and decode hot paths is an array index.
+	dense []*huffman.Code
+}
+
+// treeFor returns the conditional decode tree for a predecessor, or nil if
+// none was built.
+func (c *Coder) treeFor(pred Symbol) *huffman.Code {
+	if c.dense != nil {
+		if int(pred) < len(c.dense) {
+			return c.dense[pred]
+		}
+		return nil
+	}
+	return c.byPred[pred]
 }
 
 // ErrNoStats is returned by NewCoder when no symbols were observed.
@@ -92,23 +161,36 @@ func NewCoder(stats *Stats, maxLen int) (*Coder, error) {
 	if stats == nil || stats.Total() == 0 {
 		return nil, ErrNoStats
 	}
-	build := func(freq huffman.FreqTable) (*huffman.Code, error) {
+	build := func(ctr *huffman.Counter) (*huffman.Code, error) {
 		if maxLen > 0 {
-			return huffman.NewRestricted(freq, maxLen)
+			return ctr.CodeRestricted(maxLen)
 		}
-		return huffman.New(freq)
+		return ctr.Code()
 	}
-	fallback, err := build(stats.uncond)
+	fallback, err := build(&stats.uncond)
 	if err != nil {
 		return nil, fmt.Errorf("pairfreq: fallback code: %w", err)
 	}
-	c := &Coder{fallback: fallback, byPred: make(map[Symbol]*huffman.Code, len(stats.cond))}
-	for pred, freq := range stats.cond {
-		code, err := build(freq)
+	c := &Coder{fallback: fallback, byPred: make(map[Symbol]*huffman.Code)}
+	maxPred := Symbol(0)
+	if err := stats.forEachCond(func(pred Symbol, ctr *huffman.Counter) error {
+		code, err := build(ctr)
 		if err != nil {
-			return nil, fmt.Errorf("pairfreq: code for predecessor %d: %w", pred, err)
+			return fmt.Errorf("pairfreq: code for predecessor %d: %w", pred, err)
 		}
 		c.byPred[pred] = code
+		if pred > maxPred {
+			maxPred = pred
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if int(maxPred) <= 4*len(c.byPred)+64 {
+		c.dense = make([]*huffman.Code, maxPred+1)
+		for pred, code := range c.byPred {
+			c.dense[pred] = code
+		}
 	}
 	return c, nil
 }
@@ -123,7 +205,7 @@ func (c *Coder) codeFor(havePred bool, pred Symbol, sym Symbol) *huffman.Code {
 	if !havePred {
 		return c.fallback
 	}
-	code := c.byPred[pred]
+	code := c.treeFor(pred)
 	if code == nil {
 		return c.fallback
 	}
@@ -170,6 +252,15 @@ func (d *Decoder) Prime(pred Symbol) {
 	d.havePred = true
 }
 
+// Reset clears the decoder's predecessor state, returning it to the start-of-
+// stream condition.  A long-lived decoder (e.g. dir.Decoder, which decodes
+// many independent instructions) resets or re-primes between codewords
+// instead of allocating a fresh Decoder per decode.
+func (d *Decoder) Reset() {
+	d.pred = 0
+	d.havePred = false
+}
+
 // escape is written before a fallback-coded symbol whenever a conditional
 // tree exists for the current predecessor, so the decoder knows which tree to
 // use.  A single bit suffices: 0 = conditional tree, 1 = fallback.
@@ -185,7 +276,7 @@ func (e *Encoder) Encode(w *bitio.Writer, sym Symbol) error {
 	treeExists := false
 	var condCode *huffman.Code
 	if e.havePred {
-		condCode = e.c.byPred[e.pred]
+		condCode = e.c.treeFor(e.pred)
 		treeExists = condCode != nil
 	}
 	code := e.c.codeFor(e.havePred, e.pred, sym)
@@ -205,7 +296,7 @@ func (d *Decoder) Decode(r *bitio.Reader) (Symbol, int, error) {
 	steps := 0
 	code := d.c.fallback
 	if d.havePred {
-		if condCode := d.c.byPred[d.pred]; condCode != nil {
+		if condCode := d.c.treeFor(d.pred); condCode != nil {
 			esc, err := r.ReadBit()
 			if err != nil {
 				return 0, steps, err

@@ -88,6 +88,16 @@ func New(prog *dir.Program, opts Options) *Machine {
 // Halted reports whether the program has finished.
 func (m *Machine) Halted() bool { return m.halted }
 
+// Reset rewinds the machine to the start of the program, retaining every
+// allocation (run-time state buffers, activity-count maps) so a replayed run
+// performs no steady-state allocation.
+func (m *Machine) Reset() {
+	m.halted = false
+	m.state.Reset()
+	clear(m.routineCalls)
+	clear(m.shortIssued)
+}
+
 // Output returns the program output so far.
 func (m *Machine) Output() []int64 { return m.state.Output() }
 

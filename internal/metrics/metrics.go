@@ -32,7 +32,7 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // AddRowf appends a row of formatted values.
-func (t *Table) AddRowf(values ...interface{}) {
+func (t *Table) AddRowf(values ...any) {
 	cells := make([]string, len(values))
 	for i, v := range values {
 		switch x := v.(type) {

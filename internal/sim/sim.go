@@ -174,6 +174,41 @@ func Run(p *dir.Program, strategy Strategy, cfg Config) (*Report, error) {
 // program was predecoded at, since the reported costs were measured on that
 // binary.
 func RunPredecoded(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Report, error) {
+	r, err := NewReplayer(pp, strategy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Replay()
+}
+
+// Replayer runs one predecoded program under one strategy any number of
+// times.  Every structure a run needs — the memory hierarchy and its
+// segments, the DTB or cache, the host machine, the report — is allocated
+// once by NewReplayer; Replay resets and reuses them, so the steady-state
+// replay loop allocates nothing.  Sweeps that re-run the same configuration
+// (repeated rounds, measurement loops) use a Replayer; one-shot callers use
+// RunPredecoded, which is a NewReplayer + Replay pair.
+//
+// A Replayer is not safe for concurrent use; concurrent runs should each
+// construct their own (the predecoded program itself is safely shared).
+type Replayer struct {
+	cfg      Config
+	strategy Strategy
+	pp       *PredecodedProgram
+
+	hier    *memory.Hierarchy
+	dirSeg  *memory.Segment
+	buf     *dtb.DTB
+	icache  *cache.Cache
+	machine *host.Machine
+
+	base   Report // setup-time report fields, copied into report by Replay
+	report Report
+}
+
+// NewReplayer validates the configuration and builds every structure the
+// replay loop needs.
+func NewReplayer(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Replayer, error) {
 	if !strategy.Valid() {
 		return nil, fmt.Errorf("sim: invalid strategy %d", int(strategy))
 	}
@@ -187,22 +222,14 @@ func RunPredecoded(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Repor
 	if cfg.MaxDepth <= 0 {
 		cfg.MaxDepth = DefaultConfig().MaxDepth
 	}
-	r := &runner{cfg: cfg, strategy: strategy, pp: pp}
-	return r.run()
-}
+	r := &Replayer{cfg: cfg, strategy: strategy, pp: pp}
 
-type runner struct {
-	cfg      Config
-	strategy Strategy
-	pp       *PredecodedProgram
-}
-
-func (r *runner) run() (*Report, error) {
-	p, bin := r.pp.Program, r.pp.Binary
-	hier, err := memory.New(r.cfg.Memory)
+	p, bin := pp.Program, pp.Binary
+	hier, err := memory.New(cfg.Memory)
 	if err != nil {
 		return nil, err
 	}
+	r.hier = hier
 
 	// Level-2 segment holding the static DIR representation, rounded up to a
 	// whole number of words so the final partially-filled word is readable.
@@ -214,6 +241,7 @@ func (r *runner) run() (*Report, error) {
 	if err := dirSeg.Load(0, bin.Bytes()); err != nil {
 		return nil, err
 	}
+	r.dirSeg = dirSeg
 	// Level-1 segment holding the interpreter: the semantic-routine library
 	// plus the decoder's tables.
 	interpBytes := psder.LibraryFootprintWords()*memory.WordBytes + (bin.CodebookBits()+7)/8
@@ -221,39 +249,67 @@ func (r *runner) run() (*Report, error) {
 		return nil, err
 	}
 
-	report := &Report{
-		Strategy:         r.strategy,
-		Degree:           r.cfg.Degree,
+	r.base = Report{
+		Strategy:         strategy,
+		Degree:           cfg.Degree,
 		StaticBits:       bin.SizeBits(),
 		CodebookBits:     bin.CodebookBits(),
 		InterpreterWords: psder.LibraryFootprintWords(),
 	}
 
-	var buf *dtb.DTB
-	var icache *cache.Cache
-	switch r.strategy {
+	switch strategy {
 	case WithDTB:
-		buf, err = dtb.New(r.cfg.DTB)
+		r.buf, err = dtb.New(cfg.DTB)
 		if err != nil {
 			return nil, err
 		}
 		// The buffer array occupies level-1 memory.
-		if _, err := hier.Allocate(memory.Level1, "dtb-buffer", r.cfg.DTB.CapacityBytes()); err != nil {
+		if _, err := hier.Allocate(memory.Level1, "dtb-buffer", cfg.DTB.CapacityBytes()); err != nil {
 			return nil, err
 		}
 	case WithCache:
-		icache, err = cache.New(r.cfg.Cache)
+		r.icache, err = cache.New(cfg.Cache)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := hier.Allocate(memory.Level1, "cache-data", r.cfg.Cache.CapacityBytes); err != nil {
+		if _, err := hier.Allocate(memory.Level1, "cache-data", cfg.Cache.CapacityBytes); err != nil {
 			return nil, err
 		}
 	case Expanded:
-		report.ExpandedWords = r.pp.ExpandedWords()
+		r.base.ExpandedWords = pp.ExpandedWords()
 	}
 
-	machine := host.New(p, host.Options{MaxDepth: r.cfg.MaxDepth})
+	r.machine = host.New(p, host.Options{MaxDepth: cfg.MaxDepth})
+	return r, nil
+}
+
+// Replay runs the program once, reusing every structure built by NewReplayer.
+// The returned report (and its Output slice) is owned by the Replayer and
+// overwritten by the next Replay; callers that keep it across replays must
+// copy it.
+func (r *Replayer) Replay() (*Report, error) {
+	r.hier.ResetStats()
+	r.machine.Reset()
+	if r.buf != nil {
+		r.buf.Reset()
+	}
+	if r.icache != nil {
+		r.icache.Reset()
+	}
+	r.report = r.base
+	if err := r.run(); err != nil {
+		return nil, err
+	}
+	return &r.report, nil
+}
+
+// run is the replay loop proper.
+func (r *Replayer) run() error {
+	p := r.pp.Program
+	bin := r.pp.Binary
+	hier, dirSeg := r.hier, r.dirSeg
+	buf, icache, machine := r.buf, r.icache, r.machine
+	report := &r.report
 
 	var decodeSteps, decodedInstrs int64
 	var translateOps, translations int64
@@ -262,7 +318,7 @@ func (r *runner) run() (*Report, error) {
 	pc := p.Procs[0].Entry
 	for {
 		if report.Instructions >= r.cfg.MaxInstructions {
-			return nil, fmt.Errorf("%w (%d)", ErrInstructionLimit, r.cfg.MaxInstructions)
+			return fmt.Errorf("%w (%d)", ErrInstructionLimit, r.cfg.MaxInstructions)
 		}
 		report.Instructions++
 
@@ -271,7 +327,7 @@ func (r *runner) run() (*Report, error) {
 		case Conventional:
 			words, err := r.fetchFromLevel2(dirSeg, bin, pc, nil)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			report.FetchCycles += words
 			l2Fetches++
@@ -285,7 +341,7 @@ func (r *runner) run() (*Report, error) {
 		case WithCache:
 			words, err := r.fetchFromLevel2(dirSeg, bin, pc, icache)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			report.FetchCycles += words
 			l2Fetches++
@@ -309,7 +365,7 @@ func (r *runner) run() (*Report, error) {
 				// the DTB, then execute it.
 				w2, err := r.fetchFromLevel2(dirSeg, bin, pc, nil)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				report.FetchCycles += w2
 				l2Fetches++
@@ -328,7 +384,7 @@ func (r *runner) run() (*Report, error) {
 				translations++
 				if _, err := buf.Install(uint64(pc), encoded); err != nil &&
 					!errors.Is(err, dtb.ErrTooLarge) && !errors.Is(err, dtb.ErrNoOverflow) {
-					return nil, err
+					return err
 				}
 				// Fetch the freshly installed translation from the buffer
 				// array, as the INTERP hit path would.
@@ -345,7 +401,7 @@ func (r *runner) run() (*Report, error) {
 
 		res, err := machine.ExecSequence(seq)
 		if err != nil {
-			return nil, fmt.Errorf("sim: pc %d (%s): %w", pc, p.Instrs[pc], err)
+			return fmt.Errorf("sim: pc %d (%s): %w", pc, p.Instrs[pc], err)
 		}
 		report.SemanticCycles += memory.Cycles(res.SemanticCycles)
 		if res.Halted {
@@ -383,14 +439,14 @@ func (r *runner) run() (*Report, error) {
 	if l2Fetches > 0 {
 		report.Measured.S2 = float64(report.Memory.Level2Refs) / float64(l2Fetches)
 	}
-	return report, nil
+	return nil
 }
 
 // fetchFromLevel2 charges the cost of fetching the encoded DIR instruction at
 // index pc.  When icache is non-nil each touched word goes through the cache:
 // a hit costs a buffer access, a miss costs a level-2 access.  The returned
 // value is the cycles charged.
-func (r *runner) fetchFromLevel2(seg *memory.Segment, bin *dir.Binary, pc int, icache *cache.Cache) (memory.Cycles, error) {
+func (r *Replayer) fetchFromLevel2(seg *memory.Segment, bin *dir.Binary, pc int, icache *cache.Cache) (memory.Cycles, error) {
 	offset, length, err := bin.InstrBitRange(pc)
 	if err != nil {
 		return 0, err
