@@ -33,19 +33,12 @@ func main() {
 }
 
 func run(workloadName, file, levelName string, disasm bool) error {
-	var level core.Level
-	found := false
-	for _, l := range core.Levels() {
-		if l.String() == levelName {
-			level, found = l, true
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown level %q", levelName)
+	level, err := parseLevel(levelName)
+	if err != nil {
+		return err
 	}
 
 	var art *core.Artifact
-	var err error
 	switch {
 	case workloadName != "":
 		art, err = core.BuildWorkload(workloadName, level)
@@ -84,4 +77,13 @@ func run(workloadName, file, levelName string, disasm bool) error {
 	tbl.AddRow("PSDER (expanded)", metrics.Bits(cost.TotalWords*32), metrics.Float(cost.AvgWords*32), "0 bits (0.0 bytes)")
 	fmt.Print(tbl.Render())
 	return nil
+}
+
+func parseLevel(name string) (core.Level, error) {
+	for _, l := range core.Levels() {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q", name)
 }

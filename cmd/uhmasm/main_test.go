@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"uhm/internal/core"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]core.Level{
+		"stack": core.LevelStack,
+		"mem2":  core.LevelMem2,
+		"mem3":  core.LevelMem3,
+	}
+	for name, want := range cases {
+		got, err := parseLevel(name)
+		if err != nil {
+			t.Fatalf("parseLevel(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("parseLevel(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "psder", "stack,mem2"} {
+		if _, err := parseLevel(bad); err == nil {
+			t.Errorf("parseLevel(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "stack", false); err == nil {
+		t.Error("run without -workload or -file succeeded, want error")
+	}
+	if err := run("fib", "", "nope", false); err == nil {
+		t.Error("run with an unknown level succeeded, want error")
+	}
+}

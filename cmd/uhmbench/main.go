@@ -14,6 +14,15 @@
 //	uhmbench -exp figure2 -workload sieve
 //	uhmbench -exp empirical -parallel=false
 //
+// The -gen flag switches uhmbench into differential-conformance mode: it
+// generates N seeded random MiniLang programs (starting at -seed) and runs
+// each through the full cross-product of semantic levels, encoding degrees
+// and machine organisations, checking the paper's equivalence invariant.  On
+// divergence it prints the reproducer seed, shrinks the program to a minimal
+// failing reproducer, and exits nonzero:
+//
+//	uhmbench -gen 1000 -seed 1
+//
 // The -cpuprofile and -memprofile flags write pprof profiles of the run, so
 // performance work on the experiment engine can be driven by evidence:
 //
@@ -29,9 +38,12 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
+	"sync"
 
 	"uhm/internal/core"
+	"uhm/internal/workload/gen"
 )
 
 func main() {
@@ -46,7 +58,10 @@ func realMain() int {
 	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, figure1, figure2, figure3, figure4, empirical, compaction, all")
 	workloadName := flag.String("workload", "", "workload for the figure experiments (default chosen per experiment)")
 	parallel := flag.Bool("parallel", true, "run experiment grids on the parallel engine")
-	workers := flag.Int("workers", 0, "worker-pool size for the parallel engine (0 = one per CPU)")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel engine and the conformance sweep (0 = one per CPU)")
+	genCount := flag.Int("gen", 0, "conformance mode: check this many generated programs instead of running experiments")
+	genSeed := flag.Int64("seed", 1, "first seed of the conformance sweep")
+	noMinimize := flag.Bool("nominimize", false, "conformance mode: skip shrinking failing programs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -73,7 +88,12 @@ func realMain() int {
 		engine = core.SerialEngine()
 	}
 	cfg := core.DefaultConfig()
-	err := run(ctx, engine, *exp, *workloadName, cfg)
+	var err error
+	if *genCount > 0 {
+		err = runConformance(ctx, *genSeed, *genCount, *workers, !*noMinimize, cfg)
+	} else {
+		err = run(ctx, engine, *exp, *workloadName, cfg)
+	}
 
 	// Report a memprofile failure without eclipsing the run's own error —
 	// the run outcome is the primary signal.
@@ -101,18 +121,106 @@ func writeMemProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
+// knownExperiments lists every experiment name, in the order "all" runs them.
+var knownExperiments = []string{
+	"table1", "table2", "table3",
+	"figure1", "figure2", "figure3", "figure4",
+	"empirical", "compaction",
+}
+
+// parseExperiments expands and validates the -exp flag: a comma-separated
+// experiment list, or "all".
+func parseExperiments(exp string) ([]string, error) {
+	if strings.TrimSpace(exp) == "all" {
+		return knownExperiments, nil
+	}
+	var out []string
+	for _, e := range strings.Split(exp, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !slices.Contains(knownExperiments, e) {
+			return nil, fmt.Errorf("unknown experiment %q (have %s, all)", e, strings.Join(knownExperiments, ", "))
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiment named in %q", exp)
+	}
+	return out, nil
+}
+
 func run(ctx context.Context, engine core.Engine, exp, workloadName string, cfg core.Config) error {
-	experiments := strings.Split(exp, ",")
-	if exp == "all" {
-		experiments = []string{"table1", "table2", "table3", "figure1", "figure2", "figure3", "figure4", "empirical", "compaction"}
+	experiments, err := parseExperiments(exp)
+	if err != nil {
+		return err
 	}
 	for _, e := range experiments {
-		if err := runOne(ctx, engine, strings.TrimSpace(e), workloadName, cfg); err != nil {
+		if err := runOne(ctx, engine, e, workloadName, cfg); err != nil {
 			return fmt.Errorf("%s: %w", e, err)
 		}
 		fmt.Println()
 	}
 	return nil
+}
+
+// runConformance is the -gen mode: a differential sweep of the generator's
+// seed range through the full level × degree × strategy cross-product.
+func runConformance(ctx context.Context, seed int64, n, workers int, minimize bool, cfg core.Config) error {
+	fmt.Printf("conformance: checking %d generated programs (seeds %d..%d) across %d levels x %d degrees x %d strategies\n",
+		n, seed, seed+int64(n)-1, len(core.Levels()), len(core.Degrees()), len(core.Strategies()))
+	// The progress callback is invoked concurrently from the sweep's workers.
+	var progressMu sync.Mutex
+	lastPct := -1
+	res, err := core.ConformanceSweep(ctx, seed, n, workers, cfg, func(done, failed int) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		pct := done * 100 / n
+		if pct/10 > lastPct/10 {
+			lastPct = pct
+			fmt.Printf("  %3d%% (%d/%d checked, %d failing)\n", pct, done, n, failed)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.Failing) == 0 {
+		fmt.Printf("conformance: all %d programs conform on every point of the cross-product\n", res.Seeds)
+		return nil
+	}
+	for _, f := range res.Failing {
+		fmt.Printf("\nseed %d (%s): %d divergence(s)\n", f.Seed, f.Name, len(f.Divergences))
+		for i, d := range f.Divergences {
+			if i >= 8 {
+				fmt.Printf("  ... %d more\n", len(f.Divergences)-i)
+				break
+			}
+			fmt.Printf("  %s\n", d)
+		}
+		fmt.Printf("  reproduce: uhmbench -gen 1 -seed %d\n", f.Seed)
+	}
+	if minimize {
+		first := res.Failing[0]
+		fmt.Printf("\nminimizing seed %d ...\n", first.Seed)
+		fails := func(src string) bool {
+			divs, err := core.CheckConformance("minimize", src, cfg)
+			return err == nil && len(divs) > 0
+		}
+		minSrc, err := gen.Minimize(first.Source, fails)
+		if err != nil {
+			fmt.Printf("minimizer: %v\n", err)
+		}
+		divs, _ := core.CheckConformance("minimized", minSrc, cfg)
+		fmt.Printf("minimal failing program (%d bytes, %d divergence(s)):\n%s\n", len(minSrc), len(divs), minSrc)
+		for i, d := range divs {
+			if i >= 4 {
+				break
+			}
+			fmt.Printf("  %s\n", d)
+		}
+	}
+	return fmt.Errorf("conformance: %d of %d generated programs diverged", len(res.Failing), res.Seeds)
 }
 
 func runOne(ctx context.Context, engine core.Engine, exp, workloadName string, cfg core.Config) error {

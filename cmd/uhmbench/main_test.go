@@ -1,0 +1,47 @@
+package main
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestParseExperiments(t *testing.T) {
+	all, err := parseExperiments("all")
+	if err != nil {
+		t.Fatalf("parseExperiments(all): %v", err)
+	}
+	if !slices.Equal(all, knownExperiments) {
+		t.Errorf("parseExperiments(all) = %v, want %v", all, knownExperiments)
+	}
+
+	got, err := parseExperiments("table2, figure1 ,empirical")
+	if err != nil {
+		t.Fatalf("parseExperiments(list): %v", err)
+	}
+	if want := []string{"table2", "figure1", "empirical"}; !slices.Equal(got, want) {
+		t.Errorf("parseExperiments(list) = %v, want %v", got, want)
+	}
+
+	for _, bad := range []string{"", ",", "table9", "table2,bogus"} {
+		if _, err := parseExperiments(bad); err == nil {
+			t.Errorf("parseExperiments(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestKnownExperimentsDistinctAndParsable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range knownExperiments {
+		if seen[e] {
+			t.Errorf("experiment %q listed twice", e)
+		}
+		seen[e] = true
+		got, err := parseExperiments(e)
+		if err != nil {
+			t.Errorf("parseExperiments(%q): %v", e, err)
+		}
+		if !slices.Equal(got, []string{e}) {
+			t.Errorf("parseExperiments(%q) = %v", e, got)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
 	"uhm/internal/core"
 	"uhm/internal/metrics"
@@ -57,9 +58,21 @@ func run(workloadName, file, levelName, degreeName, strategyName string, compare
 	cfg.Degree = degree
 
 	if compare {
-		reports, err := core.Compare(art, cfg)
-		if err != nil {
+		// core.Compare reports a mismatch through its error, but the reports
+		// themselves are still returned; keep them so a divergence can be
+		// shown as a per-strategy diff rather than a bare error string.
+		reports, cmpErr := core.Compare(art, cfg)
+		if len(reports) == 0 {
+			if cmpErr != nil {
+				return cmpErr
+			}
+			return fmt.Errorf("comparison produced no reports")
+		}
+		if err := compareOutputs(reports); err != nil {
 			return err
+		}
+		if cmpErr != nil {
+			return cmpErr
 		}
 		fmt.Printf("output: %v\n\n", reports[0].Output)
 		tbl := metrics.NewTable("strategy comparison", "strategy", "instructions", "cycles", "cycles/instr", "hit ratio")
@@ -103,6 +116,53 @@ func run(workloadName, file, levelName, degreeName, strategyName string, compare
 		fmt.Printf("cache hit rate: %s\n", metrics.Percent(rep.Measured.HC))
 	}
 	return nil
+}
+
+// compareOutputs enforces the paper's equivalence invariant on a set of
+// comparison reports: every strategy must have produced the identical output
+// sequence.  On divergence it prints a per-strategy diff against the first
+// report and returns an error (so the command exits nonzero).
+func compareOutputs(reports []*core.Report) error {
+	base := reports[0]
+	diverged := false
+	for _, rep := range reports[1:] {
+		if slices.Equal(rep.Output, base.Output) {
+			continue
+		}
+		if !diverged {
+			diverged = true
+			fmt.Fprintf(os.Stderr, "output divergence across strategies (the paper's equivalence invariant is violated):\n")
+			fmt.Fprintf(os.Stderr, "  %-14s %v\n", base.Strategy.String()+":", base.Output)
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s %v\n", rep.Strategy.String()+":", rep.Output)
+		for _, d := range outputDiff(base.Output, rep.Output) {
+			fmt.Fprintf(os.Stderr, "    %s\n", d)
+		}
+	}
+	if diverged {
+		return fmt.Errorf("strategies disagree on program output")
+	}
+	return nil
+}
+
+// outputDiff describes the positions at which two output sequences differ.
+func outputDiff(a, b []int64) []string {
+	var diffs []string
+	n := max(len(a), len(b))
+	for i := 0; i < n && len(diffs) < 8; i++ {
+		switch {
+		case i >= len(a):
+			diffs = append(diffs, fmt.Sprintf("value %d: <missing> vs %d", i, b[i]))
+		case i >= len(b):
+			diffs = append(diffs, fmt.Sprintf("value %d: %d vs <missing>", i, a[i]))
+		case a[i] != b[i]:
+			diffs = append(diffs, fmt.Sprintf("value %d: %d vs %d", i, a[i], b[i]))
+		}
+	}
+	if len(a) != len(b) {
+		diffs = append(diffs, fmt.Sprintf("lengths differ: %d vs %d values", len(a), len(b)))
+	}
+	return diffs
 }
 
 func buildArtifact(workloadName, file string, level core.Level) (*core.Artifact, error) {

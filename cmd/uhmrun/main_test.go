@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"uhm/internal/core"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]core.Level{
+		"stack": core.LevelStack,
+		"mem2":  core.LevelMem2,
+		"mem3":  core.LevelMem3,
+	}
+	for name, want := range cases {
+		got, err := parseLevel(name)
+		if err != nil {
+			t.Fatalf("parseLevel(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("parseLevel(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "Stack", "mem4", "stack "} {
+		if _, err := parseLevel(bad); err == nil {
+			t.Errorf("parseLevel(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseDegree(t *testing.T) {
+	cases := map[string]core.Degree{
+		"packed":  core.DegreePacked,
+		"contour": core.DegreeContour,
+		"huffman": core.DegreeHuffman,
+		"pair":    core.DegreePair,
+	}
+	for name, want := range cases {
+		got, err := parseDegree(name)
+		if err != nil {
+			t.Fatalf("parseDegree(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("parseDegree(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "Huffman", "huff"} {
+		if _, err := parseDegree(bad); err == nil {
+			t.Errorf("parseDegree(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"conventional": core.Conventional,
+		"dtb":          core.WithDTB,
+		"cache":        core.WithCache,
+		"expanded":     core.Expanded,
+	}
+	for name, want := range cases {
+		got, err := parseStrategy(name)
+		if err != nil {
+			t.Fatalf("parseStrategy(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("parseStrategy(%q) = %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "DTB", "icache"} {
+		if _, err := parseStrategy(bad); err == nil {
+			t.Errorf("parseStrategy(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestBuildArtifactValidation(t *testing.T) {
+	if _, err := buildArtifact("fib", "prog.ml", core.LevelStack); err == nil {
+		t.Error("buildArtifact with both -workload and -file succeeded, want error")
+	}
+	if _, err := buildArtifact("", "", core.LevelStack); err == nil {
+		t.Error("buildArtifact with neither -workload nor -file succeeded, want error")
+	}
+	art, err := buildArtifact("fib", "", core.LevelMem2)
+	if err != nil {
+		t.Fatalf("buildArtifact(fib): %v", err)
+	}
+	if art.Name != "fib" || art.Level != core.LevelMem2 {
+		t.Errorf("buildArtifact(fib) = %q level %v", art.Name, art.Level)
+	}
+}
+
+func TestCompareOutputs(t *testing.T) {
+	mk := func(s core.Strategy, out ...int64) *core.Report {
+		return &core.Report{Strategy: s, Output: out}
+	}
+	same := []*core.Report{
+		mk(core.Conventional, 1, 2, 3),
+		mk(core.WithDTB, 1, 2, 3),
+		mk(core.WithCache, 1, 2, 3),
+		mk(core.Expanded, 1, 2, 3),
+	}
+	if err := compareOutputs(same); err != nil {
+		t.Errorf("compareOutputs on identical outputs: %v", err)
+	}
+	diverged := []*core.Report{
+		mk(core.Conventional, 1, 2, 3),
+		mk(core.WithDTB, 1, 9, 3),
+	}
+	if err := compareOutputs(diverged); err == nil {
+		t.Error("compareOutputs on diverged outputs succeeded, want error")
+	}
+	shorter := []*core.Report{
+		mk(core.Conventional, 1, 2, 3),
+		mk(core.Expanded, 1, 2),
+	}
+	if err := compareOutputs(shorter); err == nil {
+		t.Error("compareOutputs on different-length outputs succeeded, want error")
+	}
+}
+
+func TestOutputDiff(t *testing.T) {
+	diffs := outputDiff([]int64{1, 2, 3}, []int64{1, 9, 3, 4})
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"value 1: 2 vs 9", "value 3: <missing> vs 4", "lengths differ: 3 vs 4"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("outputDiff missing %q in:\n%s", want, joined)
+		}
+	}
+	if diffs := outputDiff([]int64{5}, []int64{5}); len(diffs) != 0 {
+		t.Errorf("outputDiff on equal outputs = %v, want none", diffs)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"uhm/internal/hlr"
+)
+
+// TestDivModConformanceEndToEnd audits negative-operand division and modulo
+// across the entire stack: for every sign combination, a MiniLang program
+// computing a/b and a mod b in the shapes that lower to the stack opcodes
+// (complex operand), the two-operand opcodes ("q := q / y" at mem2) and the
+// three-operand opcodes ("q := x / y" at mem3) is run through the full
+// level × degree × strategy cross-product, and every layer — hlr oracle, DIR
+// reference interpreter, host semantic routines under all four organisations
+// — must agree with Go's truncate-toward-zero semantics.
+func TestDivModConformanceEndToEnd(t *testing.T) {
+	cases := []struct{ a, b int64 }{
+		{7, 3}, {7, -3}, {-7, 3}, {-7, -3},
+		{1, 2}, {-1, 2}, {1, -2}, {-1, -2},
+		{0, 5}, {0, -5},
+		{5, -1}, {-5, -1}, {-9, 2}, {2, -9},
+		{1073741823, -7}, {-1073741824, 7},
+	}
+	cfg := DefaultConfig()
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("a=%d_b=%d", tc.a, tc.b), func(t *testing.T) {
+			src := fmt.Sprintf(`
+program divmod;
+var x, y, q, r;
+begin
+  x := %d;
+  y := %d;
+  q := x / y;
+  r := x mod y;
+  print q;
+  print r;
+  q := x;
+  q := q / y;
+  r := x;
+  r := r mod y;
+  print q;
+  print r;
+  print (x + 0) / (y + 0);
+  print (x + 0) mod (y + 0)
+end.`, tc.a, tc.b)
+
+			// The oracle itself must implement truncating semantics.
+			prog, err := hlr.Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := hlr.Evaluate(prog, hlr.EvalOptions{})
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			q, r := tc.a/tc.b, tc.a%tc.b
+			want := []int64{q, r, q, r, q, r}
+			if len(res.Output) != len(want) {
+				t.Fatalf("oracle printed %v, want %v", res.Output, want)
+			}
+			for i := range want {
+				if res.Output[i] != want[i] {
+					t.Fatalf("oracle printed %v, want %v", res.Output, want)
+				}
+			}
+
+			// And every other layer must agree with the oracle.
+			divs, err := CheckConformance("divmod", src, cfg)
+			if err != nil {
+				t.Fatalf("conformance: %v", err)
+			}
+			for _, d := range divs {
+				t.Errorf("divergence: %s", d)
+			}
+		})
+	}
+}

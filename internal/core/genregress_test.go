@@ -1,0 +1,416 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"uhm/internal/hlr"
+)
+
+// This file pins the programs with which the generator-driven conformance
+// harness first caught a real cross-stack divergence (PR 3).  The sources are
+// checked in verbatim — no generator at test time — so the bugs they caught
+// stay fixed even if the generator's distribution changes.
+//
+// Root cause of all three: the hlr reference evaluator computed the assigned
+// value of "a[i] := v" before the index i, while the compiler (and with it
+// the DIR interpreter, the host's semantic routines and all four machine
+// organisations) evaluates the index first.  With function-style calls on
+// both sides of the ":=", the side-effect order is observable output.
+
+// TestAssignIndexEvaluationOrder is the minimized reproducer (shrunk by
+// gen.Minimize from generated seed 48): both the index and the value of an
+// array assignment call procedures that write the same up-level variable.
+// Left-to-right evaluation — index before value — must print 3.
+func TestAssignIndexEvaluationOrder(t *testing.T) {
+	const src = `
+program evalorder;
+var g2;
+var arr5[6];
+proc p10(fuel11);
+  proc p17(fuel18, t19, t20);
+    begin
+      g2 := fuel18
+    end;
+  begin
+    if fuel11 <= 0 then
+    begin
+      return 3
+    end;
+    arr5[p10(fuel11 - 1)] := p17(fuel11, 0, 0)
+  end;
+begin
+  if p10(3) then
+  begin
+  end;
+  print g2
+end.`
+	prog, err := hlr.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := hlr.Evaluate(prog, hlr.EvalOptions{})
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	// Index first: the outermost p17 call runs last, so g2 ends at the
+	// outermost fuel value.  (The pre-fix oracle evaluated the value first
+	// and printed 1.)
+	if want := []int64{3}; !slices.Equal(res.Output, want) {
+		t.Fatalf("oracle printed %v, want %v (index must evaluate before value)", res.Output, want)
+	}
+	divs, err := CheckConformance("evalorder", src, DefaultConfig())
+	if err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	for _, d := range divs {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestGeneratedRegressionPrograms replays the two hairiest full generated
+// programs that surfaced the divergence (seeds 38 and 48 of the PR 3 sweep):
+// deeply nested mutually recursive procedures, up-level stores from three
+// contours down, side-effecting calls inside array subscripts, and
+// negative-operand div/mod everywhere.  Outputs are pinned so a semantic
+// drift in any layer shows up as a diff, and the full cross-product is
+// re-checked.
+func TestGeneratedRegressionPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int64
+	}{
+		{name: "seed38", src: regressSeed38, want: []int64{0, 4, 41, 11, 1, 78, 99, 91, 1, 1}},
+		{name: "seed48", src: regressSeed48, want: []int64{-1, 1, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := hlr.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := hlr.Evaluate(prog, hlr.EvalOptions{})
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			if !slices.Equal(res.Output, tc.want) {
+				t.Fatalf("oracle printed %v, want %v", res.Output, tc.want)
+			}
+			divs, err := CheckConformance(tc.name, tc.src, DefaultConfig())
+			if err != nil {
+				t.Fatalf("conformance: %v", err)
+			}
+			for _, d := range divs {
+				t.Errorf("%s", d)
+			}
+		})
+	}
+}
+
+// regressSeed38 is gen.Generate(38)'s program, frozen at PR 3.
+const regressSeed38 = `program gen38;
+var g1;
+var g2;
+var g3;
+var g4;
+var li5;
+var li6;
+var arr7[7];
+var arr8[3];
+proc p9(fuel10, t11);
+  var v12;
+  var v13;
+  var arr14[6];
+  proc p15(fuel16, t17);
+    var v18;
+    var li19;
+    var arr20[5];
+    begin
+      if fuel16 <= 0 then
+      begin
+        return -1
+      end;
+      begin
+        li19 := 0;
+        while li19 < 1 do
+        begin
+          g4 := 78;
+          call p15(fuel16 - 1, -p15(fuel16 - 1, 26) > arr14[((0 or not 15 = p9(fuel16 - 1, 73)) mod 6 + 6) mod 6]);
+          call p9(fuel16 - 1, 18);
+          li19 := li19 + 3
+        end
+      end;
+      return -(-fuel16 + g2 + (v13 + v12 > -t17))
+    end;
+  proc p21(fuel22, t23);
+    var li24;
+    begin
+      if fuel22 <= 0 then
+      begin
+        return -1
+      end;
+      if fuel22 then
+      begin
+        v12 := p15(fuel22 - 1, -4 - 59) * (1 + 77 <= v13) < p21(fuel22 - 1, g2 and -li5);
+        g2 := (not (v12 >= -5) > arr8[(li6 mod (2 * (li24 - 95 and t11 / (2 * v13 + 1)) + 1) mod 3 + 3) mod 3] + -19 * 56) + (t11 - -19 or li24 * 50 / 3)
+      end;
+      v12 := (v13 - v13 + p9(fuel22 - 1, 75)) / (2 * (4 - fuel22 or li24 + g4) + 1) - (38 - (t23 + arr8[2]));
+      v13 := 70;
+      begin
+        li24 := 0;
+        while li24 < 6 do
+        begin
+          t11 := ((-13 * g3 and t23) <> g4) mod 6;
+          v12 := not -((22 and v13) / (2 * g3 + 1));
+          li24 := li24 + 1
+        end
+      end;
+      if arr8[(((88 - v12) * g1 + (not fuel10 + (2 and -16))) mod 3 + 3) mod 3] <> p15(fuel22 - 1, 38 * 90 mod (2 * (47 + li5) - 1)) then
+      begin
+        if not ((g4 and g3) = v12 mod -3) + p21(fuel22 - 1, 40 or arr8[(((74 = 48) = (g1 and fuel22)) / -4 mod 3 + 3) mod 3]) then
+        begin
+          call p15(fuel22 - 1, (g3 mod (2 * 74 - 1) < -14 * 44) mod (2 * (38 * v12 <= 15) + 1));
+          if (not not 85 or 94) + p15(fuel22 - 1, 83 / 3 > g2 + 12) then
+          begin
+            call p15(fuel22 - 1, not fuel22 - li6 * 6 - arr14[((g3 * (fuel22 - -10) and not g2) mod 6 + 6) mod 6]);
+            arr7[2] := v12 / (2 * p9(fuel22 - 1, arr7[((not (li24 + g2) + (73 * 81 + arr14[((v13 - g2 mod -1 or g3 and not 43) mod 6 + 6) mod 6])) mod 7 + 7) mod 7] = v13) - 1);
+            print t23 mod -5 < -p15(fuel22 - 1, p21(fuel22 - 1, li6))
+          end;
+          begin
+            li24 := 0;
+            while li24 < 6 do
+            begin
+              t23 := g3;
+              li24 := li24 + 1
+            end
+          end;
+          print arr14[(arr14[(34 mod 6 + 6) mod 6] mod 6 + 6) mod 6] and p9(fuel22 - 1, (g2 or g1) + 57 mod (2 * 47 + 1))
+        end
+        else
+        begin
+          print -(89 - fuel22 or (g2 or li6)) + (p21(fuel22 - 1, v12) > arr8[((arr7[(0 mod 7 + 7) mod 7] and 20) mod 3 + 3) mod 3]);
+          g3 := fuel10;
+          begin
+            li24 := 0;
+            while li24 < 3 do
+            begin
+              v12 := (24 * v12 * arr14[0] and li24 = (42 or v13)) / -2;
+              li24 := li24 + 2
+            end
+          end
+        end
+      end
+    end;
+  begin
+    if fuel10 <= 0 then
+    begin
+      return -3
+    end;
+    v12 := 9;
+    g2 := arr7[(74 / (2 * t11 - 1) mod 7 + 7) mod 7] / 9;
+    arr7[(-(li6 * fuel10) / (2 * ((65 and 29) = p9(fuel10 - 1, g3)) - 1) mod 7 + 7) mod 7] := fuel10 + (li5 * 76 + 23 + p15(fuel10 - 1, -10 > v12));
+    t11 := p15(fuel10 - 1, 37) - v13 and p9(fuel10 - 1, v13) + -li5 mod (2 * (60 * 99) + 1)
+  end;
+begin
+  if 4 >= (92 < g3) and arr7[5] then
+  begin
+    g1 := g3;
+    arr7[(g1 mod 7 + 7) mod 7] := 84 - ((14 and g4 + g3) > (li6 / (2 * g3 + 1) or 60 = g4))
+  end
+  else
+  begin
+    print --(arr8[(((p9(2, 67) >= arr7[5]) + arr7[(not (43 * li6) * not not g4 mod 7 + 7) mod 7]) mod 3 + 3) mod 3] >= 12);
+    g2 := p9(3, not g2 and li5 + g3 or arr8[0]);
+    call p9(4, 55);
+    g4 := p9(3, (-g1 = (g1 and g1)) - p9(4, arr7[((g3 + 20 * 64) mod 4 mod 7 + 7) mod 7]));
+    call p9(1, arr8[(56 * ((39 < 82) + (29 <= g3)) mod 3 + 3) mod 3])
+  end;
+  begin
+    li6 := 0;
+    while li6 < 4 do
+    begin
+      g1 := 36;
+      begin
+        li5 := 0;
+        while li5 < 6 do
+        begin
+          g2 := p9(3, arr7[(not g3 / (2 * 46 - 1) mod 7 + 7) mod 7]) or g1;
+          g1 := p9(2, arr8[((-p9(4, 73) + not (g4 + -16)) mod 3 + 3) mod 3]) + (78 <> g4 mod (2 * li5 - 1) * not g1);
+          li5 := li5 + 3
+        end
+      end;
+      g3 := 1;
+      arr8[(((53 or g4) - (g2 > g3) + not not 86) mod 3 + 3) mod 3] := not not (--4 - not g1);
+      begin
+        li5 := 1;
+        while li5 < 2 do
+        begin
+          g1 := 41;
+          call p9(1, li6 * (p9(4, 68) mod (2 * 5 + 1)));
+          li5 := li5 + 2
+        end
+      end;
+      li6 := li6 + 1
+    end
+  end;
+  g4 := g4;
+  if p9(3, g2) then
+  begin
+    arr7[(g4 * -(g3 - g1) mod 7 + 7) mod 7] := arr8[((88 + (arr8[(--97 mod 3 + 3) mod 3] - (g1 - -15))) mod 3 + 3) mod 3] * (arr7[1] - (9 and 73) or 54)
+  end
+  else
+  begin
+    print li6 * not (not li6 * (li5 <= g3))
+  end;
+  print g1;
+  print g2;
+  print g3;
+  print g4;
+  print arr7[3];
+  print arr7[6];
+  print arr8[2];
+  print arr8[2]
+end.`
+
+// regressSeed48 is gen.Generate(48)'s program, frozen at PR 3.
+const regressSeed48 = `program gen48;
+var g1;
+var g2;
+var li3;
+var li4;
+var arr5[6];
+proc p6(fuel7);
+  var v8;
+  var li9;
+  proc p13(fuel14);
+    var v15;
+    var v16;
+    begin
+      if fuel14 <= 0 then
+      begin
+        return -3
+      end;
+      v16 := (arr5[(not -li3 mod -8 mod 6 + 6) mod 6] - 26 / (2 * 61 - 1)) * -arr5[((arr5[(10 mod 6 + 6) mod 6] or p6(fuel14 - 1)) mod 6 + 6) mod 6] mod (2 * arr5[(((97 = 0) * (v8 + v8) <> p10(fuel14 - 1) + li4 / (2 * fuel14 - 1)) mod 6 + 6) mod 6] - 1);
+      arr5[((li9 * (fuel7 mod -1) < (-v8 > p6(fuel14 - 1))) mod 6 + 6) mod 6] := p6(fuel14 - 1) and g1
+    end;
+  begin
+    if fuel7 <= 0 then
+    begin
+      return -1
+    end;
+    if li4 * not (li9 >= g2) <> (p10(fuel7 - 1) / (2 * arr5[1] + 1) > -li3 * (li9 - li4)) then
+    begin
+      if 33 * ((li3 or 45) * (61 * g2)) - fuel7 then
+      begin
+        g2 := -(arr5[(p10(fuel7 - 1) mod 6 + 6) mod 6] - (91 + 80)) + (not -13 or p13(fuel7 - 1));
+        g1 := li3;
+        if p13(fuel7 - 1) * p6(fuel7 - 1) then
+        begin
+          arr5[((arr5[5] or -20 mod -8) * arr5[((g2 <= not arr5[(li9 mod 6 + 6) mod 6]) mod 6 + 6) mod 6] mod 6 + 6) mod 6] := -1;
+          g1 := p10(fuel7 - 1)
+        end;
+        arr5[(not arr5[((arr5[(p6(fuel7 - 1) mod (2 * arr5[4] + 1) mod 6 + 6) mod 6] and (fuel7 - g1 and -li3)) mod 6 + 6) mod 6] mod 6 + 6) mod 6] := p13(fuel7 - 1);
+        begin
+          li9 := 1;
+          while li9 < 4 do
+          begin
+            if 21 then
+            begin
+              call p6(fuel7 - 1);
+              g2 := 48;
+              print arr5[(not -33 * ((li4 and 52) + fuel7 * -13) mod 6 + 6) mod 6] + --2 - li3
+            end
+            else
+            begin
+              arr5[(((g2 and 50) + -10 - (-19 - 76) * arr5[(((g1 + -13) mod (2 * (89 * 94) + 1) - v8) mod 6 + 6) mod 6]) mod 6 + 6) mod 6] := arr5[((99 - 56) * (li3 + 61) * ((li4 - li4) * not 2) mod 6 + 6) mod 6];
+              arr5[(p6(fuel7 - 1) mod 6 + 6) mod 6] := g1 and li3 / (2 * (not v8 + 83) - 1);
+              g2 := (v8 + li4 - g1 * fuel7) * arr5[(p10(fuel7 - 1) mod 6 + 6) mod 6] * arr5[(p13(fuel7 - 1) mod 6 + 6) mod 6]
+            end;
+            if 1 - (arr5[(arr5[(li4 mod 6 + 6) mod 6] mod 6 + 6) mod 6] - -li9) * p13(fuel7 - 1) then
+            begin
+              g1 := li9
+            end;
+            li9 := li9 + 3
+          end
+        end
+      end
+      else
+      begin
+      end
+    end
+    else
+    begin
+    end
+  end;
+proc p10(fuel11);
+  var li12;
+  proc p17(fuel18, t19, t20);
+    var v21;
+    var li22;
+    var arr23[8];
+    begin
+      if fuel18 <= 0 then
+      begin
+        return 2
+      end;
+      g2 := p10(fuel18 - 1)
+    end;
+  begin
+    if fuel11 <= 0 then
+    begin
+      return 3
+    end;
+    arr5[(not (li3 mod 2 or arr5[((p10(fuel11 - 1) + (li4 and li3) - arr5[(((64 = li4) - not -7) mod 8 mod 6 + 6) mod 6]) mod 6 + 6) mod 6]) mod 6 + 6) mod 6] := p17(fuel11 - 1, (fuel11 + 90 - g1 / (2 * 44 - 1)) / -2, -(37 + -6) - fuel11 * (5 or -8));
+    return arr5[3] * (59 and p6(fuel11 - 1) or -(91 mod (2 * 80 + 1)))
+  end;
+begin
+  if 0 mod (2 * (p10(3) * -(g1 - g1)) + 1) then
+  begin
+    g2 := p10(3);
+    if -(li3 <= (g1 and g1)) and p6(3) * (-li4 mod (2 * (66 / (2 * g1 + 1)) + 1)) then
+    begin
+      begin
+        li4 := 0;
+        while li4 < 4 do
+        begin
+          print g2 * (-(li4 and 87) + --17);
+          li4 := li4 + 1
+        end
+      end;
+      arr5[(-(93 <> g1) * (84 mod (2 * g2 - 1) - arr5[(((li3 + 69) * (g2 <= g2) - li4) mod 6 + 6) mod 6]) mod 6 + 6) mod 6] := p10(4);
+      if (23 > g1) + (46 + not 81) / (2 * (-11 / (2 * g1 + 1) and not -8) - 1) then
+      begin
+        begin
+          li4 := 0;
+          while li4 < 3 do
+          begin
+            print arr5[4] = (p6(3) < 64 mod (2 * g2 - 1)) + arr5[((li4 or p10(2) / (2 * -4 - 1)) mod 6 + 6) mod 6];
+            li4 := li4 + 2
+          end
+        end;
+        g2 := (g2 or 8) * (li3 * g1 and (g2 or g1)) > arr5[5] + arr5[(arr5[(99 mod 6 + 6) mod 6] mod -5 mod 6 + 6) mod 6] - (li3 + 62 or p6(4));
+        g2 := -((g1 + g1) * (24 <= 18) + arr5[(g1 mod 6 + 6) mod 6]);
+        if -p6(2) then
+        begin
+          arr5[(--16 mod 6 + 6) mod 6] := not (arr5[2] mod 4 mod (2 * -p10(2) - 1));
+          call p6(2);
+          print (-99 < not (li4 / -3)) <> (3 and -g2);
+          g2 := -li4;
+          g1 := (li3 - 64) / (2 * arr5[(arr5[(((39 + 86) / (2 * (41 and 86) - 1) <> p6(3)) mod 6 + 6) mod 6] mod 6 + 6) mod 6] - 1) * (p6(1) >= (g2 <= 2)) * ((-5 - 73) / (2 * -g2 + 1) > ((76 <> li3) < 40))
+        end
+      end
+      else
+      begin
+        g1 := (g1 - 50) * (li4 >= g1) * p10(4) or p6(2)
+      end
+    end
+  end
+  else
+  begin
+  end;
+  print g1;
+  print g2;
+  print arr5[3];
+  print arr5[5]
+end.`

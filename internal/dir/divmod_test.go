@@ -1,0 +1,155 @@
+package dir
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// divModCases sweeps the sign combinations that distinguish truncating
+// division (Go, and this reproduction's contract) from flooring division.
+// The final pair exercises a large-magnitude dividend near the immediate
+// encoding limit.
+var divModCases = []struct{ a, b int64 }{
+	{7, 3}, {7, -3}, {-7, 3}, {-7, -3},
+	{1, 2}, {-1, 2}, {1, -2}, {-1, -2},
+	{0, 5}, {0, -5},
+	{6, 3}, {-6, 3}, {6, -3}, {-6, -3},
+	{5, 1}, {5, -1}, {-5, 1}, {-5, -1},
+	{-9, 2}, {2, -9},
+	{1073741823, -7}, {-1073741824, 7},
+}
+
+// TestApplyArithDivModTruncates pins the stack-level opcodes to Go's
+// truncate-toward-zero semantics.
+func TestApplyArithDivModTruncates(t *testing.T) {
+	for _, tc := range divModCases {
+		q, err := ApplyArith(OpDiv, tc.a, tc.b)
+		if err != nil {
+			t.Fatalf("ApplyArith(div, %d, %d): %v", tc.a, tc.b, err)
+		}
+		if q != tc.a/tc.b {
+			t.Errorf("ApplyArith(div, %d, %d) = %d, want %d", tc.a, tc.b, q, tc.a/tc.b)
+		}
+		r, err := ApplyArith(OpMod, tc.a, tc.b)
+		if err != nil {
+			t.Fatalf("ApplyArith(mod, %d, %d): %v", tc.a, tc.b, err)
+		}
+		if r != tc.a%tc.b {
+			t.Errorf("ApplyArith(mod, %d, %d) = %d, want %d", tc.a, tc.b, r, tc.a%tc.b)
+		}
+		// The division identity must hold exactly: (a/b)*b + a%b == a.
+		if q*tc.b+r != tc.a {
+			t.Errorf("identity violated for (%d, %d): q=%d r=%d", tc.a, tc.b, q, r)
+		}
+	}
+	for _, op := range []Opcode{OpDiv, OpMod} {
+		if _, err := ApplyArith(op, 1, 0); !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("ApplyArith(%v, 1, 0) = %v, want ErrDivideByZero", op, err)
+		}
+	}
+}
+
+// divModProgram builds a one-procedure DIR program that computes a op b with
+// the given opcode form and prints the result.
+func divModProgram(op Opcode, a, b int64) *Program {
+	var instrs []Instruction
+	switch op.NumOperands() {
+	case 0: // stack form
+		instrs = []Instruction{
+			{Op: OpPushConst, Operands: []Operand{ImmOperand(a)}},
+			{Op: OpPushConst, Operands: []Operand{ImmOperand(b)}},
+			{Op: op},
+			{Op: OpPrint},
+			{Op: OpHalt},
+		}
+	case 2: // two-operand form: v0 = v0 op imm
+		instrs = []Instruction{
+			{Op: OpMove, Operands: []Operand{VarOperand(0, 0), ImmOperand(a)}},
+			{Op: op, Operands: []Operand{VarOperand(0, 0), ImmOperand(b)}},
+			{Op: OpPrintOperand, Operands: []Operand{VarOperand(0, 0)}},
+			{Op: OpHalt},
+		}
+	case 3: // three-operand form: v0 = imm op imm
+		instrs = []Instruction{
+			{Op: op, Operands: []Operand{VarOperand(0, 0), ImmOperand(a), ImmOperand(b)}},
+			{Op: OpPrintOperand, Operands: []Operand{VarOperand(0, 0)}},
+			{Op: OpHalt},
+		}
+	}
+	return &Program{
+		Name:   "divmod",
+		Instrs: instrs,
+		Procs:  []Proc{{Name: "main", Entry: 0, FrameSlots: 1}},
+		Contours: []Contour{{
+			Parent: 0,
+			Locals: []ContourVar{{Addr: VarAddr{Depth: 0, Offset: 0}, Size: 1}},
+		}},
+		Level: "hand",
+	}
+}
+
+// TestDivModFormsAgree checks that every semantic level's div/mod opcode —
+// the stack forms, the PDP-11-style two-operand forms and the three-operand
+// forms — computes the same truncating result for every sign combination.
+func TestDivModFormsAgree(t *testing.T) {
+	forms := []struct {
+		name string
+		div  Opcode
+		mod  Opcode
+	}{
+		{"stack", OpDiv, OpMod},
+		{"mem2", OpDiv2, OpMod2},
+		{"mem3", OpDiv3, OpMod3},
+	}
+	for _, form := range forms {
+		for _, tc := range divModCases {
+			for _, sub := range []struct {
+				op   Opcode
+				want int64
+			}{
+				{form.div, tc.a / tc.b},
+				{form.mod, tc.a % tc.b},
+			} {
+				p := divModProgram(sub.op, tc.a, tc.b)
+				if err := p.Validate(); err != nil {
+					t.Fatalf("%s %v (%d,%d): invalid program: %v", form.name, sub.op, tc.a, tc.b, err)
+				}
+				res, err := Execute(p, ExecOptions{})
+				if err != nil {
+					t.Fatalf("%s %v (%d,%d): %v", form.name, sub.op, tc.a, tc.b, err)
+				}
+				if len(res.Output) != 1 || res.Output[0] != sub.want {
+					t.Errorf("%s %v (%d,%d) printed %v, want [%d]", form.name, sub.op, tc.a, tc.b, res.Output, sub.want)
+				}
+			}
+		}
+	}
+}
+
+// TestDivModByZeroAllForms checks that every form traps on a zero divisor
+// instead of disagreeing silently.
+func TestDivModByZeroAllForms(t *testing.T) {
+	for _, op := range []Opcode{OpDiv, OpMod, OpDiv2, OpMod2, OpDiv3, OpMod3} {
+		p := divModProgram(op, 5, 0)
+		if _, err := Execute(p, ExecOptions{}); !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("%v by zero: err = %v, want ErrDivideByZero", op, err)
+		}
+	}
+}
+
+// sanity-check the test helper itself renders distinct opcodes.
+func TestDivModProgramShapes(t *testing.T) {
+	for _, op := range []Opcode{OpDiv, OpDiv2, OpDiv3} {
+		p := divModProgram(op, 1, 1)
+		found := false
+		for _, in := range p.Instrs {
+			if in.Op == op {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("program for %v does not contain it: %s", op, fmt.Sprint(p.Instrs))
+		}
+	}
+}

@@ -124,11 +124,24 @@ func (ev *evaluator) execStmt(stmt Stmt, act *activation) (control, int64, error
 		return ctlNormal, 0, nil
 
 	case *AssignStmt:
+		// Strict left-to-right evaluation: the target's index expression is
+		// evaluated before the assigned value, matching the order the
+		// compiler emits (push index, push value, store-indexed).  Both
+		// subexpressions can have side effects through function-style calls,
+		// so the order is observable program output.
+		var index int64
+		if s.Index != nil {
+			var err error
+			index, err = ev.evalExpr(s.Index, act)
+			if err != nil {
+				return ctlNormal, 0, err
+			}
+		}
 		value, err := ev.evalExpr(s.Value, act)
 		if err != nil {
 			return ctlNormal, 0, err
 		}
-		if err := ev.store(s.TargetSym, s.Index, value, act, s.Pos()); err != nil {
+		if err := ev.store(s.TargetSym, s.Index != nil, index, value, act, s.Pos()); err != nil {
 			return ctlNormal, 0, err
 		}
 		return ctlNormal, 0, nil
@@ -195,17 +208,16 @@ func (ev *evaluator) execStmt(stmt Stmt, act *activation) (control, int64, error
 	}
 }
 
-func (ev *evaluator) store(sym *Symbol, index Expr, value int64, act *activation, pos Position) error {
+// store writes value to sym (at the pre-evaluated element index when indexed
+// is true; the index is evaluated by the caller so that assignment evaluation
+// order is explicit).
+func (ev *evaluator) store(sym *Symbol, indexed bool, idx, value int64, act *activation, pos Position) error {
 	frame := act.frameAt(sym.Depth)
 	if frame == nil {
 		return fmt.Errorf("hlr: no activation at depth %d for %q at %s", sym.Depth, sym.Name, pos)
 	}
 	slot := int64(sym.Offset)
-	if index != nil {
-		idx, err := ev.evalExpr(index, act)
-		if err != nil {
-			return err
-		}
+	if indexed {
 		if idx < 0 || idx >= sym.Size {
 			return fmt.Errorf("%w: %s[%d] (size %d) at %s", ErrIndexRange, sym.Name, idx, sym.Size, pos)
 		}

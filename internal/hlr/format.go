@@ -1,0 +1,280 @@
+package hlr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders an AST back to MiniLang source text.  The printer is the
+// inverse of the parser up to formatting: Parse(Format(p)) yields a program
+// with the same semantics as p.  It is used by the program generator and the
+// divergence minimizer of internal/workload/gen, which edit ASTs and need to
+// re-enter the pipeline through source text like every other program.
+//
+// The printer is deliberately conservative about statement bodies — the
+// branches of an if and the body of a while are always wrapped in begin/end —
+// so that re-parsing can never reassociate a dangling else or terminate a
+// bare return differently from the AST being printed.  Expressions, by
+// contrast, are printed with minimal parentheses derived from the parser's
+// precedence levels, so formatted programs exercise mixed-precedence parsing.
+
+// Format renders the program as MiniLang source text.
+func Format(p *Program) string {
+	f := &formatter{}
+	fmt.Fprintf(&f.b, "program %s;\n", p.Name)
+	f.block(p.Block, 0)
+	f.b.WriteString(".\n")
+	return f.b.String()
+}
+
+// FormatStmt renders one statement (for diagnostics and tests).
+func FormatStmt(s Stmt) string {
+	f := &formatter{}
+	f.stmt(s, 0)
+	return f.b.String()
+}
+
+// FormatExpr renders one expression with minimal parentheses.
+func FormatExpr(e Expr) string {
+	f := &formatter{}
+	f.expr(e, 0)
+	return f.b.String()
+}
+
+type formatter struct {
+	b strings.Builder
+}
+
+func (f *formatter) indent(level int) {
+	for i := 0; i < level; i++ {
+		f.b.WriteString("  ")
+	}
+}
+
+func (f *formatter) block(blk *Block, level int) {
+	for _, v := range blk.Vars {
+		f.indent(level)
+		if v.IsArray() {
+			fmt.Fprintf(&f.b, "var %s[%d];\n", v.Name, v.Size)
+		} else {
+			fmt.Fprintf(&f.b, "var %s;\n", v.Name)
+		}
+	}
+	for _, pd := range blk.Procs {
+		f.indent(level)
+		fmt.Fprintf(&f.b, "proc %s(%s);\n", pd.Name, strings.Join(pd.Params, ", "))
+		f.block(pd.Body, level+1)
+		f.b.WriteString(";\n")
+	}
+	f.compound(blk.Body, level)
+}
+
+// compound renders a begin/end statement list without a trailing newline (the
+// caller appends "." or ";" as the context requires).
+func (f *formatter) compound(c *CompoundStmt, level int) {
+	f.indent(level)
+	f.b.WriteString("begin\n")
+	wrote := false
+	for _, s := range c.Stmts {
+		if _, empty := s.(*EmptyStmt); empty {
+			continue
+		}
+		if wrote {
+			f.b.WriteString(";\n")
+		}
+		f.stmt(s, level+1)
+		wrote = true
+	}
+	if wrote {
+		f.b.WriteString("\n")
+	}
+	f.indent(level)
+	f.b.WriteString("end")
+}
+
+// body renders a statement as the body of an if/while, always as a begin/end
+// block so re-parsing cannot rebind a dangling else or a bare return.
+func (f *formatter) body(s Stmt, level int) {
+	if c, ok := s.(*CompoundStmt); ok {
+		f.compound(c, level)
+		return
+	}
+	f.compound(&CompoundStmt{Stmts: []Stmt{s}}, level)
+}
+
+func (f *formatter) stmt(s Stmt, level int) {
+	switch x := s.(type) {
+	case *CompoundStmt:
+		f.compound(x, level)
+	case *AssignStmt:
+		f.indent(level)
+		f.b.WriteString(x.Target)
+		if x.Index != nil {
+			f.b.WriteString("[")
+			f.expr(x.Index, 0)
+			f.b.WriteString("]")
+		}
+		f.b.WriteString(" := ")
+		f.expr(x.Value, 0)
+	case *IfStmt:
+		f.indent(level)
+		f.b.WriteString("if ")
+		f.expr(x.Cond, 0)
+		f.b.WriteString(" then\n")
+		f.body(x.Then, level)
+		if x.Else != nil {
+			f.b.WriteString("\n")
+			f.indent(level)
+			f.b.WriteString("else\n")
+			f.body(x.Else, level)
+		}
+	case *WhileStmt:
+		f.indent(level)
+		f.b.WriteString("while ")
+		f.expr(x.Cond, 0)
+		f.b.WriteString(" do\n")
+		f.body(x.Body, level)
+	case *CallStmt:
+		f.indent(level)
+		fmt.Fprintf(&f.b, "call %s(", x.Name)
+		f.args(x.Args)
+		f.b.WriteString(")")
+	case *PrintStmt:
+		f.indent(level)
+		f.b.WriteString("print ")
+		f.expr(x.Value, 0)
+	case *ReturnStmt:
+		f.indent(level)
+		f.b.WriteString("return")
+		if x.Value != nil {
+			f.b.WriteString(" ")
+			f.expr(x.Value, 0)
+		}
+	case *EmptyStmt:
+		f.indent(level)
+	default:
+		f.indent(level)
+		fmt.Fprintf(&f.b, "/* unsupported statement %T */", s)
+	}
+}
+
+func (f *formatter) args(args []Expr) {
+	for i, a := range args {
+		if i > 0 {
+			f.b.WriteString(", ")
+		}
+		f.expr(a, 0)
+	}
+}
+
+// Parser precedence levels, low to high; used to decide where parentheses are
+// required when printing.
+const (
+	precOr      = 1
+	precAnd     = 2
+	precRel     = 3
+	precAdd     = 4
+	precMul     = 5
+	precUnary   = 6
+	precPrimary = 7
+)
+
+func binPrec(op BinOp) int {
+	switch op {
+	case OpOr:
+		return precOr
+	case OpAnd:
+		return precAnd
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return precRel
+	case OpAdd, OpSub:
+		return precAdd
+	default:
+		return precMul
+	}
+}
+
+// exprPrec returns the precedence level of the expression's top construct as
+// the parser would see its printed form.  A negative number literal prints as
+// "-n", which the parser reads as a unary minus, so it is classified at the
+// unary level rather than as a primary.
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return binPrec(x.Op)
+	case *UnaryExpr:
+		return precUnary
+	case *NumberLit:
+		if x.Value < 0 {
+			return precUnary
+		}
+		return precPrimary
+	default:
+		return precPrimary
+	}
+}
+
+// expr renders e, parenthesizing it if its precedence is at or below min.
+func (f *formatter) expr(e Expr, min int) {
+	if exprPrec(e) < min {
+		f.b.WriteString("(")
+		f.exprTop(e)
+		f.b.WriteString(")")
+		return
+	}
+	f.exprTop(e)
+}
+
+func (f *formatter) exprTop(e Expr) {
+	switch x := e.(type) {
+	case *NumberLit:
+		fmt.Fprintf(&f.b, "%d", x.Value)
+	case *VarRef:
+		f.b.WriteString(x.Name)
+		if x.Index != nil {
+			f.b.WriteString("[")
+			f.expr(x.Index, 0)
+			f.b.WriteString("]")
+		}
+	case *CallExpr:
+		fmt.Fprintf(&f.b, "%s(", x.Name)
+		f.args(x.Args)
+		f.b.WriteString(")")
+	case *BinaryExpr:
+		p := binPrec(x.Op)
+		// Left operand: a strictly lower level must be parenthesized.  The
+		// relational level is non-associative in the grammar, so a relational
+		// operand of a relational operator needs parentheses on either side.
+		leftMin, rightMin := p, p+1
+		if p == precRel {
+			leftMin = p + 1
+		}
+		f.expr(x.Left, leftMin)
+		fmt.Fprintf(&f.b, " %s ", x.Op)
+		// Right operand: equal level would reassociate under a left-
+		// associative parse, so it is parenthesized too.
+		f.expr(x.Right, rightMin)
+	case *UnaryExpr:
+		f.b.WriteString(x.Op.String())
+		if x.Op == OpNot {
+			f.b.WriteString(" ")
+		}
+		// The operand of a unary operator must be unary or primary; anything
+		// looser (and a negative literal under another minus, which would
+		// print as "--n") takes parentheses.
+		operandPrec := exprPrec(x.Operand)
+		needParens := operandPrec < precUnary
+		if lit, ok := x.Operand.(*NumberLit); ok && lit.Value < 0 {
+			needParens = true
+		}
+		if needParens {
+			f.b.WriteString("(")
+			f.exprTop(x.Operand)
+			f.b.WriteString(")")
+		} else {
+			f.exprTop(x.Operand)
+		}
+	default:
+		fmt.Fprintf(&f.b, "/* unsupported expression %T */", e)
+	}
+}

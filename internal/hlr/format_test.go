@@ -1,0 +1,172 @@
+package hlr
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// formatRoundTripSources are programs with every statement and expression
+// form the grammar offers.
+var formatRoundTripSources = []string{
+	`
+program rt1;
+var a[8], i, x;
+proc f(n);
+begin
+  if n <= 0 then return 1;
+  return n * f(n - 1)
+end;
+begin
+  i := 0;
+  while i < 8 do
+  begin
+    a[i] := f(i) mod 97;
+    i := i + 1
+  end;
+  x := -a[3] + a[7] * 2 - a[1] / 3;
+  if x > 10 and not (x = 11) or i >= 8 then
+    print x
+  else
+    print -x;
+  call f(3);
+  print a[(x + 64) mod 8]
+end.`,
+	`
+program rt2;
+var g;
+proc outer(k);
+  var local;
+  proc inner(m);
+  begin
+    return m - g
+  end;
+begin
+  local := inner(k) + inner(k + 1);
+  g := g + local;
+  return local
+end;
+begin
+  g := 5;
+  print outer(2);
+  print outer(-3);
+  print g
+end.`,
+}
+
+func evalOutput(t *testing.T, src string) []int64 {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Evaluate(prog, EvalOptions{})
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	return res.Output
+}
+
+// TestFormatRoundTrip checks Parse∘Format preserves program behaviour and
+// that Format is idempotent on re-parsed output.
+func TestFormatRoundTrip(t *testing.T) {
+	for i, src := range formatRoundTripSources {
+		want := evalOutput(t, src)
+
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		formatted := Format(prog)
+		got := evalOutput(t, formatted)
+		if !slices.Equal(got, want) {
+			t.Errorf("program %d: formatted output %v, original %v\nformatted:\n%s", i, got, want, formatted)
+		}
+
+		reparsed, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("program %d: reparse: %v\n%s", i, err, formatted)
+		}
+		again := Format(reparsed)
+		if again != formatted {
+			t.Errorf("program %d: Format not idempotent:\nfirst:\n%s\nsecond:\n%s", i, formatted, again)
+		}
+	}
+}
+
+// TestFormatExprPrecedence checks the minimal-parentheses printer preserves
+// tree shape through a reparse for the associativity and precedence traps.
+func TestFormatExprPrecedence(t *testing.T) {
+	n := func(v int64) Expr { return &NumberLit{Value: v} }
+	b := func(op BinOp, l, r Expr) Expr { return &BinaryExpr{Op: op, Left: l, Right: r} }
+	u := func(op UnOp, e Expr) Expr { return &UnaryExpr{Op: op, Operand: e} }
+
+	cases := []struct {
+		expr Expr
+		want string
+	}{
+		{b(OpSub, n(1), b(OpSub, n(2), n(3))), "1 - (2 - 3)"},
+		{b(OpSub, b(OpSub, n(1), n(2)), n(3)), "1 - 2 - 3"},
+		{b(OpMul, b(OpAdd, n(1), n(2)), n(3)), "(1 + 2) * 3"},
+		{b(OpAdd, n(1), b(OpMul, n(2), n(3))), "1 + 2 * 3"},
+		{b(OpDiv, n(8), b(OpDiv, n(4), n(2))), "8 / (4 / 2)"},
+		{b(OpMod, b(OpMod, n(9), n(5)), n(3)), "9 mod 5 mod 3"},
+		{u(OpNeg, b(OpAdd, n(1), n(2))), "-(1 + 2)"},
+		{u(OpNeg, n(-5)), "-(-5)"},
+		{b(OpEq, b(OpLt, n(1), n(2)), n(1)), "(1 < 2) = 1"},
+		{b(OpAnd, b(OpOr, n(1), n(0)), n(1)), "(1 or 0) and 1"},
+		{b(OpOr, b(OpAnd, n(1), n(0)), n(1)), "1 and 0 or 1"},
+		{u(OpNot, b(OpEq, n(1), n(1))), "not (1 = 1)"},
+		{b(OpMul, n(2), u(OpNeg, n(3))), "2 * -3"},
+	}
+	for _, tc := range cases {
+		got := FormatExpr(tc.expr)
+		if got != tc.want {
+			t.Errorf("FormatExpr = %q, want %q", got, tc.want)
+		}
+		// The printed form must survive a reparse inside a program and print
+		// the same value the AST evaluates to.
+		src := "program p;\nbegin\n  print " + got + "\nend."
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", got, err)
+		}
+		res, err := Evaluate(prog, EvalOptions{})
+		if err != nil {
+			t.Fatalf("eval of %q: %v", got, err)
+		}
+
+		direct := &Program{Name: "p", Block: &Block{Body: &CompoundStmt{
+			Stmts: []Stmt{&PrintStmt{Value: tc.expr}},
+		}}}
+		wantRes, err := Evaluate(direct, EvalOptions{})
+		if err != nil {
+			t.Fatalf("direct eval of %q: %v", tc.want, err)
+		}
+		if !slices.Equal(res.Output, wantRes.Output) {
+			t.Errorf("%q: reparsed value %v, AST value %v", got, res.Output, wantRes.Output)
+		}
+	}
+}
+
+// TestFormatWrapsDanglingElse checks the printer's conservative statement
+// bodies keep an else bound to its if.
+func TestFormatWrapsDanglingElse(t *testing.T) {
+	inner := &IfStmt{Cond: &NumberLit{Value: 1}, Then: &PrintStmt{Value: &NumberLit{Value: 10}}}
+	outer := &IfStmt{
+		Cond: &NumberLit{Value: 0},
+		Then: inner,
+		Else: &PrintStmt{Value: &NumberLit{Value: 20}},
+	}
+	prog := &Program{Name: "p", Block: &Block{Body: &CompoundStmt{Stmts: []Stmt{outer}}}}
+	src := Format(prog)
+	got := evalOutput(t, src)
+	// Outer condition is false, so the else branch must print 20.  A naive
+	// printer would bind the else to the inner if and print nothing.
+	if !slices.Equal(got, []int64{20}) {
+		t.Errorf("dangling-else program printed %v, want [20]\n%s", got, src)
+	}
+	if !strings.Contains(src, "begin") {
+		t.Errorf("expected begin/end-wrapped bodies:\n%s", src)
+	}
+}

@@ -1,0 +1,82 @@
+package host
+
+import (
+	"testing"
+
+	"uhm/internal/dir"
+	"uhm/internal/psder"
+)
+
+// tinyProgram gives the machine a two-instruction DIR program so INTERP has a
+// valid successor address to name.
+func tinyProgram() *dir.Program {
+	return &dir.Program{
+		Name: "divmod",
+		Instrs: []dir.Instruction{
+			{Op: dir.OpPushConst, Operands: []dir.Operand{dir.ImmOperand(0)}},
+			{Op: dir.OpHalt},
+		},
+		Procs:    []dir.Proc{{Name: "main", Entry: 0, FrameSlots: 1}},
+		Contours: []dir.Contour{{Parent: 0}},
+		Level:    "hand",
+	}
+}
+
+// TestRoutineDivModTruncates drives the IU1 semantic routines directly with
+// every sign combination and checks they agree with Go's truncating
+// division — i.e. with the hlr oracle and the DIR reference interpreter.
+func TestRoutineDivModTruncates(t *testing.T) {
+	cases := []struct{ a, b int64 }{
+		{7, 3}, {7, -3}, {-7, 3}, {-7, -3},
+		{1, 2}, {-1, 2}, {1, -2}, {-1, -2},
+		{0, 5}, {0, -5}, {-9, 2}, {2, -9},
+		{5, -1}, {-5, -1},
+	}
+	for _, tc := range cases {
+		for _, sub := range []struct {
+			routine psder.RoutineID
+			want    int64
+		}{
+			{psder.RoutineDiv, tc.a / tc.b},
+			{psder.RoutineMod, tc.a % tc.b},
+		} {
+			m := New(tinyProgram(), Options{})
+			// Operand values wider than the short-format immediate would need
+			// the translator's chunked pushConst; these fit directly.
+			seq := psder.Sequence{
+				psder.Push(int32(tc.a)),
+				psder.Push(int32(tc.b)),
+				psder.Call(sub.routine),
+				psder.Call(psder.RoutinePrint),
+				psder.InterpImm(1),
+			}
+			res, err := m.ExecSequence(seq)
+			if err != nil {
+				t.Fatalf("%v(%d, %d): %v", sub.routine, tc.a, tc.b, err)
+			}
+			if res.NextPC != 1 {
+				t.Fatalf("%v(%d, %d): NextPC = %d, want 1", sub.routine, tc.a, tc.b, res.NextPC)
+			}
+			out := m.Output()
+			if len(out) != 1 || out[0] != sub.want {
+				t.Errorf("%v(%d, %d) printed %v, want [%d]", sub.routine, tc.a, tc.b, out, sub.want)
+			}
+		}
+	}
+}
+
+// TestRoutineDivModByZero checks the routines trap like every other layer.
+func TestRoutineDivModByZero(t *testing.T) {
+	for _, routine := range []psder.RoutineID{psder.RoutineDiv, psder.RoutineMod} {
+		m := New(tinyProgram(), Options{})
+		seq := psder.Sequence{
+			psder.Push(9),
+			psder.Push(0),
+			psder.Call(routine),
+			psder.InterpImm(1),
+		}
+		if _, err := m.ExecSequence(seq); err == nil {
+			t.Errorf("%v by zero succeeded, want error", routine)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package gen
+
+import "testing"
+
+func TestGeneratePartialConfig(t *testing.T) {
+	p, err := (Config{StmtBudget: 50}).Generate(1)
+	if err != nil {
+		t.Fatalf("partial config: %v", err)
+	}
+	if len(p.Output) == 0 {
+		t.Error("partial config produced no output")
+	}
+}

@@ -1,0 +1,610 @@
+// Package gen is a seeded, deterministic random MiniLang program generator
+// and the differential-testing companion tools around it (a divergence
+// minimizer lives in minimize.go).
+//
+// Every generated program is statically guaranteed to terminate:
+//
+//   - loops only take the bounded form "lv := c0; while lv < c1 do begin ...;
+//     lv := lv + c2 end" where lv is a dedicated loop counter that no other
+//     statement in the whole program may assign (loop counters form their own
+//     name class, so not even an up-level store from a nested procedure can
+//     reset one), c1 is a small literal and c2 is a positive literal;
+//   - every procedure takes a fuel parameter as its first argument and opens
+//     with "if fuel <= 0 then return c"; every call inside a procedure passes
+//     fuel - 1 and every call from the main body passes a small literal, so
+//     any call chain — including mutual recursion between sibling procedures
+//     — strictly decreases fuel and the activation depth is bounded;
+//   - statement and expression nesting are depth-capped, and a whole-program
+//     statement budget caps program size.
+//
+// Division and modulo never trap: a divisor is either a non-zero literal
+// (negative ones included, to exercise truncation-toward-zero semantics on
+// negative operands) or the form 2*(e)+1 / 2*(e)-1, which is odd — hence
+// non-zero — for every int64 value of e, including after wraparound.
+//
+// Array subscripts are wrapped as ((e mod size + size) mod size), which lands
+// in [0, size) for any e, so generated programs cannot index out of range at
+// any semantic level.
+//
+// On top of the structural guarantees, Generate validates each candidate on
+// the hlr reference evaluator and retries (deterministically, continuing the
+// same stream) until the program runs cleanly within a step budget and prints
+// at least one value, so harness time is spent on conformance, not on
+// rejecting pathological programs.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uhm/internal/hlr"
+)
+
+// Config bounds the shape of generated programs.
+type Config struct {
+	// MaxProcs is the maximum number of procedures besides the main body.
+	MaxProcs int
+	// MaxProcDepth is the maximum static nesting depth of procedures.
+	MaxProcDepth int
+	// MaxStmtDepth caps statement nesting (if/while bodies).
+	MaxStmtDepth int
+	// MaxExprDepth caps expression-tree depth.
+	MaxExprDepth int
+	// MaxBlockStmts caps the statements generated per block.
+	MaxBlockStmts int
+	// StmtBudget caps the total number of statements in the program.
+	StmtBudget int
+	// MaxLoopBound is the largest loop-iteration literal.
+	MaxLoopBound int64
+	// MaxFuel is the largest recursion fuel a main-body call passes.
+	MaxFuel int64
+	// MaxArraySize bounds declared array sizes.
+	MaxArraySize int64
+	// OracleMaxSteps is the validation step budget on the hlr evaluator;
+	// candidates that exceed it are regenerated.
+	OracleMaxSteps int64
+	// MaxAttempts bounds validation retries before Generate gives up.
+	MaxAttempts int
+}
+
+// DefaultConfig returns the generator bounds used by the conformance harness.
+func DefaultConfig() Config {
+	return Config{
+		MaxProcs:       4,
+		MaxProcDepth:   3,
+		MaxStmtDepth:   4,
+		MaxExprDepth:   4,
+		MaxBlockStmts:  5,
+		StmtBudget:     90,
+		MaxLoopBound:   6,
+		MaxFuel:        4,
+		MaxArraySize:   9,
+		OracleMaxSteps: 2_000_000,
+		MaxAttempts:    32,
+	}
+}
+
+// Program is one generated workload.
+type Program struct {
+	// Name is the program's MiniLang name (derived from the seed).
+	Name string
+	// Seed reproduces the program via Generate(seed).
+	Seed int64
+	// Source is the MiniLang source text.
+	Source string
+	// Output is the reference output from the validation run.
+	Output []int64
+	// OracleSteps is the step count of the validation run.
+	OracleSteps int64
+}
+
+// Generate produces the program for a seed under the default configuration.
+func Generate(seed int64) (*Program, error) {
+	return DefaultConfig().Generate(seed)
+}
+
+// Generate produces the program for a seed: deterministic for a given
+// (Config, seed) pair.  Zero or out-of-range fields fall back to
+// DefaultConfig values, so a partially filled Config cannot panic the
+// generator's bounded random draws.
+func (cfg Config) Generate(seed int64) (*Program, error) {
+	def := DefaultConfig()
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = def.MaxAttempts
+	}
+	if cfg.MaxProcs < 0 {
+		cfg.MaxProcs = def.MaxProcs
+	}
+	if cfg.MaxProcDepth < 1 {
+		cfg.MaxProcDepth = def.MaxProcDepth
+	}
+	if cfg.MaxStmtDepth < 1 {
+		cfg.MaxStmtDepth = def.MaxStmtDepth
+	}
+	if cfg.MaxExprDepth < 1 {
+		cfg.MaxExprDepth = def.MaxExprDepth
+	}
+	if cfg.MaxBlockStmts < 1 {
+		cfg.MaxBlockStmts = def.MaxBlockStmts
+	}
+	if cfg.StmtBudget < 1 {
+		cfg.StmtBudget = def.StmtBudget
+	}
+	if cfg.MaxLoopBound < 1 {
+		cfg.MaxLoopBound = def.MaxLoopBound
+	}
+	if cfg.MaxFuel < 1 {
+		cfg.MaxFuel = def.MaxFuel
+	}
+	if cfg.MaxArraySize < 3 {
+		cfg.MaxArraySize = def.MaxArraySize
+	}
+	if cfg.OracleMaxSteps < 1 {
+		cfg.OracleMaxSteps = def.OracleMaxSteps
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var lastErr error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		g := &generator{cfg: cfg, rng: rng}
+		ast := g.program(fmt.Sprintf("gen%d", seed))
+		src := hlr.Format(ast)
+		prog, err := hlr.Parse(src)
+		if err != nil {
+			lastErr = fmt.Errorf("gen: seed %d attempt %d: generated unparsable source: %w", seed, attempt, err)
+			continue
+		}
+		res, err := hlr.Evaluate(prog, hlr.EvalOptions{MaxSteps: cfg.OracleMaxSteps})
+		if err != nil {
+			lastErr = fmt.Errorf("gen: seed %d attempt %d: oracle rejected program: %w", seed, attempt, err)
+			continue
+		}
+		if len(res.Output) == 0 {
+			lastErr = fmt.Errorf("gen: seed %d attempt %d: program printed nothing", seed, attempt)
+			continue
+		}
+		return &Program{
+			Name:        fmt.Sprintf("gen%d", seed),
+			Seed:        seed,
+			Source:      src,
+			Output:      res.Output,
+			OracleSteps: res.Steps,
+		}, nil
+	}
+	return nil, fmt.Errorf("gen: seed %d: no valid program in %d attempts: %w", seed, cfg.MaxAttempts, lastErr)
+}
+
+// scope tracks what a block being generated may reference.
+type scope struct {
+	parent *scope
+	proc   *procCtx
+}
+
+// procCtx is the generation-time description of one procedure (or main).
+type procCtx struct {
+	name   string
+	parent *procCtx
+	depth  int
+	params []string // params[0] is the fuel parameter for non-main procs
+	// scalars are the assignable scalars declared here: non-fuel parameters
+	// and locals.  The fuel parameter (params[0]) is read-only by
+	// construction — assigning it would break the strict fuel decrease the
+	// termination argument rests on — and loop counters are their own class.
+	scalars []string
+	loops   []string // dedicated loop counters (assigned only by their loop's init/step)
+	arrays  []arrayDecl
+	procs   []*procCtx // directly nested procedures
+	body    *hlr.CompoundStmt
+	isMain  bool
+}
+
+type arrayDecl struct {
+	name string
+	size int64
+}
+
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	budget  int
+	nameSeq int
+	// perBody is the statement budget granted to each procedure body.
+	perBody int
+	// loopDepth counts enclosing generated loops, to cap loop nesting cost;
+	// activeLoops lists the counters currently driving enclosing loops.
+	loopDepth   int
+	activeLoops []string
+}
+
+func (g *generator) freshName(prefix string) string {
+	g.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, g.nameSeq)
+}
+
+func (g *generator) intn(n int) int { return g.rng.Intn(n) }
+
+// lit returns a literal expression node.
+func lit(v int64) hlr.Expr {
+	if v < 0 {
+		return &hlr.UnaryExpr{Op: hlr.OpNeg, Operand: &hlr.NumberLit{Value: -v}}
+	}
+	return &hlr.NumberLit{Value: v}
+}
+
+func ref(name string) hlr.Expr { return &hlr.VarRef{Name: name} }
+
+func bin(op hlr.BinOp, l, r hlr.Expr) hlr.Expr {
+	return &hlr.BinaryExpr{Op: op, Left: l, Right: r}
+}
+
+// program generates the whole AST: a procedure tree, then every body.
+func (g *generator) program(name string) *hlr.Program {
+	main := &procCtx{name: name, isMain: true}
+	// Global state: a few scalars, loop counters and up to two arrays.
+	for i, n := 0, 2+g.intn(3); i < n; i++ {
+		main.scalars = append(main.scalars, g.freshName("g"))
+	}
+	for i, n := 0, 1+g.intn(2); i < n; i++ {
+		main.loops = append(main.loops, g.freshName("li"))
+	}
+	for i, n := 0, g.intn(3); i < n; i++ {
+		main.arrays = append(main.arrays, arrayDecl{name: g.freshName("arr"), size: 3 + int64(g.intn(int(g.cfg.MaxArraySize-2)))})
+	}
+
+	// Grow the procedure tree: each new procedure nests under main or an
+	// existing procedure that has not reached the depth cap.
+	nprocs := g.intn(g.cfg.MaxProcs + 1)
+	all := []*procCtx{main}
+	for i := 0; i < nprocs; i++ {
+		var candidates []*procCtx
+		for _, p := range all {
+			if p.depth < g.cfg.MaxProcDepth {
+				candidates = append(candidates, p)
+			}
+		}
+		parent := candidates[g.intn(len(candidates))]
+		p := &procCtx{name: g.freshName("p"), parent: parent, depth: parent.depth + 1}
+		p.params = append(p.params, g.freshName("fuel"))
+		for j, n := 0, g.intn(3); j < n; j++ {
+			p.params = append(p.params, g.freshName("t"))
+		}
+		p.scalars = append(p.scalars, p.params[1:]...)
+		for j, n := 0, g.intn(3); j < n; j++ {
+			p.scalars = append(p.scalars, g.freshName("v"))
+		}
+		if g.intn(2) == 0 {
+			p.loops = append(p.loops, g.freshName("li"))
+		}
+		if g.intn(3) == 0 {
+			p.arrays = append(p.arrays, arrayDecl{name: g.freshName("arr"), size: 3 + int64(g.intn(int(g.cfg.MaxArraySize-2)))})
+		}
+		parent.procs = append(parent.procs, p)
+		all = append(all, p)
+	}
+
+	// Generate bodies.  Each body gets its own slice of the statement budget,
+	// so deeply nested procedures cannot starve the main body (which drives
+	// all the calls) of statements.
+	g.perBody = max(8, g.cfg.StmtBudget/(nprocs+1))
+	g.bodies(main, &scope{proc: main})
+
+	return &hlr.Program{Name: name, Block: g.blockOf(main)}
+}
+
+// blockOf converts a generated procCtx tree into hlr Block nodes.
+func (g *generator) blockOf(p *procCtx) *hlr.Block {
+	blk := &hlr.Block{Body: p.body}
+	for _, s := range p.scalars {
+		if p.isMain || !contains(p.params, s) {
+			blk.Vars = append(blk.Vars, &hlr.VarDecl{Name: s})
+		}
+	}
+	for _, lv := range p.loops {
+		blk.Vars = append(blk.Vars, &hlr.VarDecl{Name: lv})
+	}
+	for _, a := range p.arrays {
+		blk.Vars = append(blk.Vars, &hlr.VarDecl{Name: a.name, Size: a.size})
+	}
+	for _, child := range p.procs {
+		blk.Procs = append(blk.Procs, &hlr.ProcDecl{
+			Name:   child.name,
+			Params: child.params,
+			Body:   g.blockOf(child),
+		})
+	}
+	return blk
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// bodies generates the body of p and, recursively, of its nested procedures.
+func (g *generator) bodies(p *procCtx, sc *scope) {
+	for _, child := range p.procs {
+		g.bodies(child, &scope{parent: sc, proc: child})
+	}
+	g.budget = g.perBody
+	var stmts []hlr.Stmt
+	if !p.isMain {
+		// The termination guard: every procedure body opens with it.
+		stmts = append(stmts, &hlr.IfStmt{
+			Cond: bin(hlr.OpLe, ref(p.params[0]), lit(0)),
+			Then: &hlr.ReturnStmt{Value: lit(int64(g.intn(7)) - 3)},
+		})
+	}
+	stmts = append(stmts, g.stmtList(sc, 0)...)
+	if p.isMain {
+		// Epilogue: print every global scalar and a probe of each array, so
+		// any state divergence across the stack becomes an output divergence.
+		for _, s := range p.scalars {
+			stmts = append(stmts, &hlr.PrintStmt{Value: ref(s)})
+		}
+		for _, a := range p.arrays {
+			stmts = append(stmts, &hlr.PrintStmt{Value: &hlr.VarRef{Name: a.name, Index: lit(int64(g.intn(int(a.size))))}})
+			stmts = append(stmts, &hlr.PrintStmt{Value: &hlr.VarRef{Name: a.name, Index: lit(a.size - 1)}})
+		}
+	} else if g.intn(2) == 0 {
+		stmts = append(stmts, &hlr.ReturnStmt{Value: g.expr(sc, 0)})
+	}
+	p.body = &hlr.CompoundStmt{Stmts: stmts}
+}
+
+// stmtList generates a bounded statement list at the given nesting depth.
+func (g *generator) stmtList(sc *scope, depth int) []hlr.Stmt {
+	n := 1 + g.intn(g.cfg.MaxBlockStmts)
+	var out []hlr.Stmt
+	for i := 0; i < n && g.budget > 0; i++ {
+		out = append(out, g.stmt(sc, depth))
+	}
+	return out
+}
+
+// stmt generates one statement.
+func (g *generator) stmt(sc *scope, depth int) hlr.Stmt {
+	g.budget--
+	deep := depth >= g.cfg.MaxStmtDepth || g.budget <= 0
+	for {
+		switch g.intn(10) {
+		case 0, 1, 2: // scalar assignment
+			if target, ok := g.assignableScalar(sc); ok {
+				return &hlr.AssignStmt{Target: target, Value: g.expr(sc, 0)}
+			}
+		case 3: // array element assignment
+			if arr, ok := g.visibleArray(sc); ok {
+				return &hlr.AssignStmt{
+					Target: arr.name,
+					Index:  g.index(sc, arr.size),
+					Value:  g.expr(sc, 0),
+				}
+			}
+		case 4: // print
+			return &hlr.PrintStmt{Value: g.expr(sc, 0)}
+		case 5, 6: // if / if-else
+			if deep {
+				continue
+			}
+			s := &hlr.IfStmt{
+				Cond: g.expr(sc, 0),
+				Then: &hlr.CompoundStmt{Stmts: g.stmtList(sc, depth+1)},
+			}
+			if g.intn(2) == 0 {
+				s.Else = &hlr.CompoundStmt{Stmts: g.stmtList(sc, depth+1)}
+			}
+			return s
+		case 7, 8: // bounded while
+			if deep || g.loopDepth >= 3 {
+				continue
+			}
+			if s, ok := g.boundedLoop(sc, depth); ok {
+				return s
+			}
+		case 9: // call statement
+			if call, ok := g.callTo(sc, 0); ok {
+				return &hlr.CallStmt{Name: call.Name, Args: call.Args}
+			}
+		}
+	}
+}
+
+// boundedLoop emits the guaranteed-terminating loop form over a dedicated
+// loop counter of the current procedure.  It returns false when every counter
+// of the procedure is already driving an enclosing loop.
+func (g *generator) boundedLoop(sc *scope, depth int) (hlr.Stmt, bool) {
+	var free []string
+	for _, lv := range sc.proc.loops {
+		if !g.loopActive(lv) {
+			free = append(free, lv)
+		}
+	}
+	if len(free) == 0 {
+		return nil, false
+	}
+	lv := free[g.intn(len(free))]
+	g.activeLoops = append(g.activeLoops, lv)
+	g.loopDepth++
+	bound := 1 + int64(g.intn(int(g.cfg.MaxLoopBound)))
+	step := 1 + int64(g.intn(3))
+	body := g.stmtList(sc, depth+1)
+	body = append(body, &hlr.AssignStmt{Target: lv, Value: bin(hlr.OpAdd, ref(lv), lit(step))})
+	g.loopDepth--
+	g.activeLoops = g.activeLoops[:len(g.activeLoops)-1]
+	return &hlr.CompoundStmt{Stmts: []hlr.Stmt{
+		&hlr.AssignStmt{Target: lv, Value: lit(int64(g.intn(2)))},
+		&hlr.WhileStmt{
+			Cond: bin(hlr.OpLt, ref(lv), lit(bound)),
+			Body: &hlr.CompoundStmt{Stmts: body},
+		},
+	}}, true
+}
+
+func (g *generator) loopActive(lv string) bool { return contains(g.activeLoops, lv) }
+
+// assignableScalar picks a visible scalar that is not a loop counter.  Loop
+// counters are a dedicated name class precisely so no statement — not even an
+// up-level assignment from a nested procedure — can interfere with a loop
+// bound established anywhere up the call chain.
+func (g *generator) assignableScalar(sc *scope) (string, bool) {
+	var candidates []string
+	for s := sc; s != nil; s = s.parent {
+		candidates = append(candidates, s.proc.scalars...)
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	return candidates[g.intn(len(candidates))], true
+}
+
+// readableScalar picks any visible scalar — loop counters and fuel
+// parameters included.
+func (g *generator) readableScalar(sc *scope) (string, bool) {
+	var candidates []string
+	for s := sc; s != nil; s = s.parent {
+		candidates = append(candidates, s.proc.scalars...)
+		candidates = append(candidates, s.proc.loops...)
+		if !s.proc.isMain {
+			candidates = append(candidates, s.proc.params[0])
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	return candidates[g.intn(len(candidates))], true
+}
+
+func (g *generator) visibleArray(sc *scope) (arrayDecl, bool) {
+	var candidates []arrayDecl
+	for s := sc; s != nil; s = s.parent {
+		candidates = append(candidates, s.proc.arrays...)
+	}
+	if len(candidates) == 0 {
+		return arrayDecl{}, false
+	}
+	return candidates[g.intn(len(candidates))], true
+}
+
+// visibleProcs lists the procedures callable from the scope: for each scope
+// on the static chain, its directly nested procedures (all of which are
+// declared before any body is analysed, so sibling calls — and therefore
+// mutual recursion — are legal).
+func (g *generator) visibleProcs(sc *scope) []*procCtx {
+	var out []*procCtx
+	for s := sc; s != nil; s = s.parent {
+		out = append(out, s.proc.procs...)
+	}
+	return out
+}
+
+// callTo builds a call to a visible procedure with a fuel-decreasing first
+// argument, or reports that no procedure is callable.
+func (g *generator) callTo(sc *scope, exprDepth int) (*hlr.CallExpr, bool) {
+	procs := g.visibleProcs(sc)
+	if len(procs) == 0 {
+		return nil, false
+	}
+	target := procs[g.intn(len(procs))]
+	var fuel hlr.Expr
+	if sc.proc.isMain {
+		fuel = lit(1 + int64(g.intn(int(g.cfg.MaxFuel))))
+	} else {
+		fuel = bin(hlr.OpSub, ref(sc.proc.params[0]), lit(1))
+	}
+	args := []hlr.Expr{fuel}
+	for range target.params[1:] {
+		args = append(args, g.expr(sc, exprDepth+1))
+	}
+	return &hlr.CallExpr{Name: target.name, Args: args}, true
+}
+
+// index wraps an arbitrary expression into [0, size):
+// ((e mod size + size) mod size).
+func (g *generator) index(sc *scope, size int64) hlr.Expr {
+	switch g.intn(3) {
+	case 0:
+		return lit(int64(g.intn(int(size))))
+	default:
+		e := g.expr(sc, 1)
+		return bin(hlr.OpMod, bin(hlr.OpAdd, bin(hlr.OpMod, e, lit(size)), lit(size)), lit(size))
+	}
+}
+
+// divisor builds an expression that cannot evaluate to zero: a non-zero
+// literal (negative ones included) or the odd form 2*(e)±1, which remains odd
+// — hence non-zero — under int64 wraparound.
+func (g *generator) divisor(sc *scope, depth int) hlr.Expr {
+	switch g.intn(3) {
+	case 0:
+		v := int64(1 + g.intn(9))
+		if g.intn(2) == 0 {
+			v = -v
+		}
+		return lit(v)
+	case 1:
+		return bin(hlr.OpAdd, bin(hlr.OpMul, lit(2), g.expr(sc, depth+1)), lit(1))
+	default:
+		return bin(hlr.OpSub, bin(hlr.OpMul, lit(2), g.expr(sc, depth+1)), lit(1))
+	}
+}
+
+// expr generates an expression at the given depth.
+func (g *generator) expr(sc *scope, depth int) hlr.Expr {
+	if depth >= g.cfg.MaxExprDepth {
+		return g.leaf(sc)
+	}
+	switch g.intn(12) {
+	case 0, 1:
+		return g.leaf(sc)
+	case 2, 3: // + -
+		op := hlr.OpAdd
+		if g.intn(2) == 0 {
+			op = hlr.OpSub
+		}
+		return bin(op, g.expr(sc, depth+1), g.expr(sc, depth+1))
+	case 4:
+		return bin(hlr.OpMul, g.expr(sc, depth+1), g.expr(sc, depth+1))
+	case 5: // div / mod with a guaranteed non-zero divisor
+		op := hlr.OpDiv
+		if g.intn(2) == 0 {
+			op = hlr.OpMod
+		}
+		return bin(op, g.expr(sc, depth+1), g.divisor(sc, depth))
+	case 6: // comparison
+		ops := []hlr.BinOp{hlr.OpEq, hlr.OpNe, hlr.OpLt, hlr.OpLe, hlr.OpGt, hlr.OpGe}
+		return bin(ops[g.intn(len(ops))], g.expr(sc, depth+1), g.expr(sc, depth+1))
+	case 7: // boolean connectives
+		op := hlr.OpAnd
+		if g.intn(2) == 0 {
+			op = hlr.OpOr
+		}
+		return bin(op, g.expr(sc, depth+1), g.expr(sc, depth+1))
+	case 8:
+		return &hlr.UnaryExpr{Op: hlr.OpNeg, Operand: g.expr(sc, depth+1)}
+	case 9:
+		return &hlr.UnaryExpr{Op: hlr.OpNot, Operand: g.expr(sc, depth+1)}
+	case 10: // array read
+		if arr, ok := g.visibleArray(sc); ok {
+			return &hlr.VarRef{Name: arr.name, Index: g.index(sc, arr.size)}
+		}
+		return g.leaf(sc)
+	default: // function-style call
+		if call, ok := g.callTo(sc, depth); ok {
+			return call
+		}
+		return g.leaf(sc)
+	}
+}
+
+// leaf generates a literal or a variable read.
+func (g *generator) leaf(sc *scope) hlr.Expr {
+	if g.intn(2) == 0 {
+		return lit(int64(g.intn(120)) - 20)
+	}
+	if name, ok := g.readableScalar(sc); ok {
+		return ref(name)
+	}
+	return lit(int64(g.intn(120)) - 20)
+}

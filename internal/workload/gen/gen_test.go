@@ -1,0 +1,168 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"uhm/internal/compile"
+	"uhm/internal/hlr"
+)
+
+// TestGenerateDeterministic checks that a seed fully determines the program.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d (second): %v", seed, err)
+		}
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+// TestGenerateDistinctSeeds checks seeds actually vary the program.
+func TestGenerateDistinctSeeds(t *testing.T) {
+	seen := map[string]int64{}
+	for seed := int64(1); seed <= 20; seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if prev, dup := seen[p.Source]; dup {
+			t.Errorf("seeds %d and %d generated identical programs", prev, seed)
+		}
+		seen[p.Source] = seed
+	}
+}
+
+// TestGeneratedProgramsValid checks every generated program parses, analyses,
+// compiles at every level, runs cleanly on the oracle within the validation
+// budget, and prints something.
+func TestGeneratedProgramsValid(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(1); seed <= 60; seed++ {
+		p, err := cfg.Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(p.Output) == 0 {
+			t.Errorf("seed %d: empty output", seed)
+		}
+		if p.OracleSteps > cfg.OracleMaxSteps {
+			t.Errorf("seed %d: %d oracle steps exceed budget %d", seed, p.OracleSteps, cfg.OracleMaxSteps)
+		}
+		prog, err := hlr.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		for _, level := range compile.Levels() {
+			if _, err := compile.Compile(prog, level); err != nil {
+				t.Errorf("seed %d: compile at %v: %v", seed, level, err)
+			}
+		}
+	}
+}
+
+// TestCorpusFeatureCoverage checks the generated corpus as a whole exercises
+// every language feature the conformance harness is meant to stress.
+func TestCorpusFeatureCoverage(t *testing.T) {
+	features := map[string]bool{
+		"while":     false,
+		"if":        false,
+		"else":      false,
+		"proc":      false,
+		"call":      false,
+		" mod ":     false, // mod with spaces: a modulo operator, not a name
+		" / ":       false,
+		"[":         false, // array access or declaration
+		"not ":      false,
+		"-":         false,
+		"return":    false,
+		"fuel":      false, // recursion with fuel discipline
+		" and ":     false,
+		" or ":      false,
+		"print":     false,
+		"proc p":    false,
+		"  proc":    false, // nested procedure (indented by the formatter)
+		"mod (2 * ": false, // wrapped odd divisor (negative-operand div/mod)
+	}
+	for seed := int64(1); seed <= 120; seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for feat, seen := range features {
+			if !seen && strings.Contains(p.Source, feat) {
+				features[feat] = true
+			}
+		}
+	}
+	for feat, seen := range features {
+		if !seen {
+			t.Errorf("no program among 120 seeds contains %q", feat)
+		}
+	}
+}
+
+// TestLoopCountersNeverAssigned checks the termination discipline the
+// generator promises: loop-counter variables (the "li" name class) are
+// assigned only by their own loop's init and step statements, i.e. always in
+// the shape "li := literal" or "li := li + literal".
+func TestLoopCountersNeverAssigned(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		p, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := hlr.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var walkStmt func(s hlr.Stmt)
+		walkStmt = func(s hlr.Stmt) {
+			switch x := s.(type) {
+			case *hlr.CompoundStmt:
+				for _, inner := range x.Stmts {
+					walkStmt(inner)
+				}
+			case *hlr.AssignStmt:
+				if !strings.HasPrefix(x.Target, "li") {
+					return
+				}
+				switch v := x.Value.(type) {
+				case *hlr.NumberLit:
+					// init form
+				case *hlr.BinaryExpr:
+					l, lok := v.Left.(*hlr.VarRef)
+					_, rok := v.Right.(*hlr.NumberLit)
+					if v.Op != hlr.OpAdd || !lok || l.Name != x.Target || !rok {
+						t.Errorf("seed %d: loop counter %s assigned outside the loop discipline: %s",
+							seed, x.Target, hlr.FormatStmt(s))
+					}
+				default:
+					t.Errorf("seed %d: loop counter %s assigned %T", seed, x.Target, v)
+				}
+			case *hlr.IfStmt:
+				walkStmt(x.Then)
+				if x.Else != nil {
+					walkStmt(x.Else)
+				}
+			case *hlr.WhileStmt:
+				walkStmt(x.Body)
+			}
+		}
+		var walkBlock func(b *hlr.Block)
+		walkBlock = func(b *hlr.Block) {
+			for _, pd := range b.Procs {
+				walkBlock(pd.Body)
+			}
+			walkStmt(b.Body)
+		}
+		walkBlock(prog.Block)
+	}
+}

@@ -1,0 +1,256 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+
+	"uhm/internal/hlr"
+)
+
+// FailFunc reports whether a candidate source program still exhibits the
+// failure being minimized.  Implementations must return false for programs
+// that are invalid or error out (a candidate that no longer runs cleanly is
+// useless as a reproducer), so structural edits here never need to preserve
+// semantics — only the failure.
+type FailFunc func(src string) bool
+
+// Minimize shrinks a failing MiniLang program while fails keeps returning
+// true, and returns the smallest failing source found.  It applies rounds of
+// AST-level reductions — statement deletion, branch flattening, loop
+// unwrapping, expression simplification, and declaration removal — re-render-
+// ing and re-checking after every candidate edit, until a round makes no
+// progress or the round limit is hit.
+func Minimize(src string, fails FailFunc) (string, error) {
+	if !fails(src) {
+		return src, errors.New("gen: Minimize called on a source that does not fail")
+	}
+	prog, err := hlr.Parse(src)
+	if err != nil {
+		return src, fmt.Errorf("gen: Minimize: %w", err)
+	}
+	// Work on the canonical rendering; if formatting alone loses the failure
+	// (it should not), keep the original.
+	best := hlr.Format(prog)
+	if !fails(best) {
+		return src, nil
+	}
+
+	m := &minimizer{fails: fails, prog: prog, best: best}
+	const maxRounds = 30
+	for round := 0; round < maxRounds; round++ {
+		before := len(m.best)
+		m.round()
+		if len(m.best) >= before {
+			break
+		}
+	}
+	return m.best, nil
+}
+
+type minimizer struct {
+	fails FailFunc
+	prog  *hlr.Program
+	best  string
+}
+
+// try re-renders the mutated AST and keeps the edit if it still fails and is
+// not larger than the best so far.
+func (m *minimizer) try() bool {
+	src := hlr.Format(m.prog)
+	if len(src) <= len(m.best) && m.fails(src) {
+		m.best = src
+		return true
+	}
+	return false
+}
+
+func (m *minimizer) round() {
+	m.reduceBlock(m.prog.Block)
+	m.reduceDecls(m.prog.Block)
+}
+
+// reduceDecls drops procedure and variable declarations (bottom-up, so inner
+// procedures go before the outer ones that contain them).  Removals that
+// leave dangling references simply fail to re-analyse inside the FailFunc and
+// are reverted.
+func (m *minimizer) reduceDecls(blk *hlr.Block) {
+	for _, pd := range blk.Procs {
+		m.reduceDecls(pd.Body)
+	}
+	for i := 0; i < len(blk.Procs); {
+		saved := blk.Procs
+		blk.Procs = append(append([]*hlr.ProcDecl(nil), blk.Procs[:i]...), blk.Procs[i+1:]...)
+		if m.try() {
+			continue
+		}
+		blk.Procs = saved
+		i++
+	}
+	for i := 0; i < len(blk.Vars); {
+		saved := blk.Vars
+		blk.Vars = append(append([]*hlr.VarDecl(nil), blk.Vars[:i]...), blk.Vars[i+1:]...)
+		if m.try() {
+			continue
+		}
+		blk.Vars = saved
+		i++
+	}
+}
+
+func (m *minimizer) reduceBlock(blk *hlr.Block) {
+	for _, pd := range blk.Procs {
+		m.reduceBlock(pd.Body)
+	}
+	m.reduceCompound(blk.Body)
+}
+
+// reduceCompound deletes and simplifies statements in one begin/end list.
+func (m *minimizer) reduceCompound(c *hlr.CompoundStmt) {
+	// Deletion pass.
+	for i := 0; i < len(c.Stmts); {
+		saved := c.Stmts
+		c.Stmts = append(append([]hlr.Stmt(nil), c.Stmts[:i]...), c.Stmts[i+1:]...)
+		if m.try() {
+			continue
+		}
+		c.Stmts = saved
+		i++
+	}
+	// Structural simplification pass.
+	for i := range c.Stmts {
+		m.reduceStmtAt(&c.Stmts[i])
+	}
+	// Expression pass.
+	for i := range c.Stmts {
+		m.reduceStmtExprs(c.Stmts[i])
+	}
+}
+
+// reduceStmtAt tries structure-level replacements of the statement in place.
+func (m *minimizer) reduceStmtAt(slot *hlr.Stmt) {
+	switch s := (*slot).(type) {
+	case *hlr.IfStmt:
+		// Replace the if by one of its branches.
+		for _, repl := range []hlr.Stmt{s.Then, s.Else} {
+			if repl == nil {
+				continue
+			}
+			saved := *slot
+			*slot = repl
+			if m.try() {
+				m.reduceStmtAt(slot)
+				return
+			}
+			*slot = saved
+		}
+		// Drop just the else branch.
+		if s.Else != nil {
+			saved := s.Else
+			s.Else = nil
+			if !m.try() {
+				s.Else = saved
+			}
+		}
+		m.reduceNested(s.Then)
+		m.reduceNested(s.Else)
+	case *hlr.WhileStmt:
+		// Replace the loop by its body (runs once instead of n times).
+		saved := *slot
+		*slot = s.Body
+		if m.try() {
+			m.reduceStmtAt(slot)
+			return
+		}
+		*slot = saved
+		m.reduceNested(s.Body)
+	case *hlr.CompoundStmt:
+		m.reduceCompound(s)
+	}
+}
+
+func (m *minimizer) reduceNested(s hlr.Stmt) {
+	if c, ok := s.(*hlr.CompoundStmt); ok && c != nil {
+		m.reduceCompound(c)
+	}
+}
+
+// reduceStmtExprs simplifies the expressions reachable from one statement.
+func (m *minimizer) reduceStmtExprs(s hlr.Stmt) {
+	switch x := s.(type) {
+	case *hlr.AssignStmt:
+		if x.Index != nil {
+			m.reduceExprAt(&x.Index)
+		}
+		m.reduceExprAt(&x.Value)
+	case *hlr.IfStmt:
+		m.reduceExprAt(&x.Cond)
+	case *hlr.WhileStmt:
+		m.reduceExprAt(&x.Cond)
+	case *hlr.CallStmt:
+		for i := range x.Args {
+			m.reduceExprAt(&x.Args[i])
+		}
+	case *hlr.PrintStmt:
+		m.reduceExprAt(&x.Value)
+	case *hlr.ReturnStmt:
+		if x.Value != nil {
+			m.reduceExprAt(&x.Value)
+		}
+	case *hlr.CompoundStmt:
+		for _, inner := range x.Stmts {
+			m.reduceStmtExprs(inner)
+		}
+	}
+}
+
+// reduceExprAt tries to replace the expression with a literal or with one of
+// its own subexpressions, then recurses into whatever survived.
+func (m *minimizer) reduceExprAt(slot *hlr.Expr) {
+	if *slot == nil {
+		return
+	}
+	if _, isLit := (*slot).(*hlr.NumberLit); isLit {
+		return
+	}
+	candidates := []hlr.Expr{
+		&hlr.NumberLit{Value: 0},
+		&hlr.NumberLit{Value: 1},
+	}
+	switch e := (*slot).(type) {
+	case *hlr.BinaryExpr:
+		candidates = append(candidates, e.Left, e.Right)
+	case *hlr.UnaryExpr:
+		candidates = append(candidates, e.Operand)
+	case *hlr.VarRef:
+		if e.Index != nil {
+			candidates = append(candidates, e.Index)
+		}
+	case *hlr.CallExpr:
+		candidates = append(candidates, e.Args...)
+	}
+	for _, cand := range candidates {
+		saved := *slot
+		*slot = cand
+		if m.try() {
+			m.reduceExprAt(slot)
+			return
+		}
+		*slot = saved
+	}
+	// No replacement held: recurse into children.
+	switch e := (*slot).(type) {
+	case *hlr.BinaryExpr:
+		m.reduceExprAt(&e.Left)
+		m.reduceExprAt(&e.Right)
+	case *hlr.UnaryExpr:
+		m.reduceExprAt(&e.Operand)
+	case *hlr.VarRef:
+		if e.Index != nil {
+			m.reduceExprAt(&e.Index)
+		}
+	case *hlr.CallExpr:
+		for i := range e.Args {
+			m.reduceExprAt(&e.Args[i])
+		}
+	}
+}

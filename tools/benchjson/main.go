@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` output into a compact JSON
+// summary, so every PR's benchmark run leaves a machine-readable artifact
+// (BENCH_PR<N>.json) recording the performance trajectory of the repo.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -count 3 ./... | go run ./tools/benchjson -pr 3 -o BENCH_PR3.json
+//
+// Repeated runs of the same benchmark (from -count or multiple packages) are
+// aggregated: the mean and minimum ns/op are both reported, since the minimum
+// is the more stable signal on noisy shared runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line.  The iteration count and
+// ns/op are always present; B/op and allocs/op appear with -benchmem or for
+// benchmarks that call ReportAllocs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Result is the aggregated outcome of one benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MinNsPerOp  float64 `json:"min_ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Summary is the emitted JSON document.
+type Summary struct {
+	Label      string   `json:"label,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	pr := flag.String("pr", "", "label recorded in the summary (e.g. PR3)")
+	flag.Parse()
+
+	summary, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	summary.Label = *pr
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+type agg struct {
+	runs   int
+	sumNs  float64
+	minNs  float64
+	sumB   float64
+	hasB   bool
+	sumAll float64
+	hasAll bool
+}
+
+func parse(sc *bufio.Scanner) (*Summary, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	byName := map[string]*agg{}
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		a := byName[name]
+		if a == nil {
+			a = &agg{minNs: ns}
+			byName[name] = a
+		}
+		a.runs++
+		a.sumNs += ns
+		if ns < a.minNs {
+			a.minNs = ns
+		}
+		if m[4] != "" {
+			if b, err := strconv.ParseFloat(m[4], 64); err == nil {
+				a.sumB += b
+				a.hasB = true
+			}
+		}
+		if m[5] != "" {
+			if al, err := strconv.ParseFloat(m[5], 64); err == nil {
+				a.sumAll += al
+				a.hasAll = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	summary := &Summary{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for name, a := range byName {
+		r := Result{
+			Name:       name,
+			Runs:       a.runs,
+			NsPerOp:    round(a.sumNs / float64(a.runs)),
+			MinNsPerOp: round(a.minNs),
+		}
+		if a.hasB {
+			r.BPerOp = round(a.sumB / float64(a.runs))
+		}
+		if a.hasAll {
+			r.AllocsPerOp = round(a.sumAll / float64(a.runs))
+		}
+		summary.Benchmarks = append(summary.Benchmarks, r)
+	}
+	sort.Slice(summary.Benchmarks, func(i, j int) bool {
+		return summary.Benchmarks[i].Name < summary.Benchmarks[j].Name
+	})
+	return summary, nil
+}
+
+// round keeps two decimals — enough resolution for a trajectory record.
+func round(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

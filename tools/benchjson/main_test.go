@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: uhm/internal/bitio
+BenchmarkWriteBits/width=7-8         	12345678	        97.5 ns/op
+BenchmarkWriteBits/width=7-8         	12000000	       102.5 ns/op
+BenchmarkReplaySteadyState/dtb-8     	    1000	   1200000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	uhm/internal/bitio	3.214s
+`
+
+func TestParseAggregates(t *testing.T) {
+	s, err := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	// Sorted by name: ReplaySteadyState first.
+	replay := s.Benchmarks[0]
+	if replay.Name != "BenchmarkReplaySteadyState/dtb-8" || replay.Runs != 1 {
+		t.Errorf("unexpected first benchmark: %+v", replay)
+	}
+	if replay.NsPerOp != 1200000 || replay.AllocsPerOp != 0 {
+		t.Errorf("replay stats wrong: %+v", replay)
+	}
+	write := s.Benchmarks[1]
+	if write.Runs != 2 {
+		t.Errorf("WriteBits runs = %d, want 2", write.Runs)
+	}
+	if write.NsPerOp != 100 {
+		t.Errorf("WriteBits mean = %v, want 100", write.NsPerOp)
+	}
+	if write.MinNsPerOp != 97.5 {
+		t.Errorf("WriteBits min = %v, want 97.5", write.MinNsPerOp)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	s, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok \tpkg\t1s\nrandom text\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(s.Benchmarks))
+	}
+}
