@@ -417,6 +417,55 @@ func BenchmarkReplaySteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkReplayCompiled isolates the closure-compiled backend alongside
+// the four interpreted organisations of BenchmarkReplaySteadyState: one warm
+// Replayer on the Compiled strategy, replaying the whole program per
+// iteration at 0 allocs/op.  The acceptance bar for the fifth organisation
+// is that this is measurably faster than the expanded organisation — all
+// fetch-decode-dispatch work is bound at compile time, so only the native
+// semantics remain.
+func BenchmarkReplayCompiled(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := benchConfig()
+	pp, err := sim.Predecode(dp, cfg.Degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := sim.NewReplayer(pp, sim.Compiled, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rep.Replay(); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := rep.Replay()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.PerInstruction, "cycles/DIR-instr")
+	}
+}
+
+// BenchmarkCompileProgram measures dir.Compile throughput: the one-time cost
+// of lowering a workload to direct-threaded closures, the compiled
+// organisation's analogue of BenchmarkPredecode.
+func BenchmarkCompileProgram(b *testing.B) {
+	for _, level := range compile.Levels() {
+		dp := workload.MustCompileAt("matmul", level)
+		b.Run(level.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dir.Compile(dp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunSharedPredecode measures a full simulated DTB run when the
 // predecoded program is built once and reused, the shape of every sweep in
 // the experiment engine.

@@ -17,7 +17,8 @@
 // The -gen flag switches uhmbench into differential-conformance mode: it
 // generates N seeded random MiniLang programs (starting at -seed) and runs
 // each through the full cross-product of semantic levels, encoding degrees
-// and machine organisations, checking the paper's equivalence invariant.  On
+// and machine organisations — all five, including the closure-compiled
+// backend — checking the paper's equivalence invariant.  On
 // divergence it prints the reproducer seed, shrinks the program to a minimal
 // failing reproducer, and exits nonzero:
 //

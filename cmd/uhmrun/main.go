@@ -6,6 +6,7 @@
 //
 //	uhmrun -workload fib -strategy dtb
 //	uhmrun -file prog.ml -strategy conventional -level mem3 -degree pair
+//	uhmrun -workload loopsum -strategy compiled
 //	uhmrun -workload sieve -compare
 package main
 
@@ -25,7 +26,7 @@ func main() {
 	list := flag.Bool("list", false, "list the built-in workloads and exit")
 	levelName := flag.String("level", "stack", "semantic level of the DIR: stack, mem2, mem3")
 	degreeName := flag.String("degree", "huffman", "encoding degree: packed, contour, huffman, pair")
-	strategyName := flag.String("strategy", "dtb", "organisation: conventional, dtb, cache, expanded")
+	strategyName := flag.String("strategy", "dtb", "organisation: conventional, dtb, cache, expanded, compiled")
 	compare := flag.Bool("compare", false, "run every organisation and compare them")
 	flag.Parse()
 
@@ -114,6 +115,10 @@ func run(workloadName, file, levelName, degreeName, strategyName string, compare
 	}
 	if strategy == core.WithCache {
 		fmt.Printf("cache hit rate: %s\n", metrics.Percent(rep.Measured.HC))
+	}
+	if strategy == core.Compiled {
+		fmt.Printf("compiled code:  %d words resident in level 1 (all binding done at compile time)\n",
+			rep.CompiledWords)
 	}
 	return nil
 }

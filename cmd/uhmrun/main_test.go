@@ -58,6 +58,7 @@ func TestParseStrategy(t *testing.T) {
 		"dtb":          core.WithDTB,
 		"cache":        core.WithCache,
 		"expanded":     core.Expanded,
+		"compiled":     core.Compiled,
 	}
 	for name, want := range cases {
 		got, err := parseStrategy(name)

@@ -1,0 +1,12 @@
+// Package cache implements the set-associative instruction cache with LRU
+// replacement used as the paper's third organisation ("A UHM equipped with a
+// cache", §7): a transparent cache on the level-2 memory that buffers DIR
+// instructions but still forces every instruction to be decoded on every
+// execution.
+//
+// The organisation follows the conventional designs the paper cites (Conti,
+// Kaplan & Winder, Meade): the address is hashed to a set, the set is
+// searched associatively, and the least-recently-used line of the set is
+// replaced on a miss.  Set associativity of degree 4 "has been found to be
+// nearly as effective as full associativity".
+package cache

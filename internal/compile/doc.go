@@ -1,0 +1,23 @@
+// Package compile translates the MiniLang HLR into the DIR of internal/dir.
+//
+// This is the compilation step of §3.3: it "factors out large amounts of
+// computation ... by performing it just once before the interpretation
+// phase".  Concretely it binds every name to a (depth, offset) machine
+// address so no associative lookup remains, flattens the hierarchical
+// expression syntax into a sequential instruction stream, and discards the
+// symbolic names of the HLR.
+//
+// The compiler can target three semantic levels, sweeping the vertical axis
+// of the paper's Figure 1:
+//
+//   - LevelStack: every computation is expressed with the stack-oriented
+//     opcodes (the lowest-level DIR; the most instructions).
+//   - LevelMem2: statements of the form "v := v op simple" and simple
+//     conditional branches use the PDP-11-style two-operand opcodes.
+//   - LevelMem3: additionally, "v := a op b" uses the three-operand opcodes,
+//     mirroring a richer, higher-level DIR.
+//
+// Programs compiled at any level produce identical output; only the number
+// and size of instructions differ, which is exactly the trade-off the
+// representation-space experiments measure.
+package compile

@@ -1,13 +1,3 @@
-// Package core is the public façade of the reproduction: it wires the HLR
-// front end, the compiler, the DIR encoders, the UHM simulator and the
-// analytic model into a handful of calls that cover the end-to-end pipeline
-//
-//	MiniLang source → DIR (a semantic level) → encoded binary (a degree of
-//	encoding) → simulated execution under a machine organisation,
-//
-// plus one entry point per table and figure of the paper's evaluation (see
-// experiments.go).  The cmd/ tools, the examples and the benchmark harness
-// are all thin wrappers over this package.
 package core
 
 import (
@@ -51,6 +41,7 @@ const (
 	WithDTB      = sim.WithDTB
 	WithCache    = sim.WithCache
 	Expanded     = sim.Expanded
+	Compiled     = sim.Compiled
 )
 
 // DefaultConfig returns the paper's §7 reference configuration.

@@ -49,7 +49,7 @@ func TestBuildSourceErrors(t *testing.T) {
 }
 
 func TestEnumerationHelpers(t *testing.T) {
-	if len(Levels()) != 3 || len(Degrees()) != 4 || len(Strategies()) != 4 {
+	if len(Levels()) != 3 || len(Degrees()) != 4 || len(Strategies()) != 5 {
 		t.Errorf("enumerations: %v %v %v", Levels(), Degrees(), Strategies())
 	}
 	if len(Workloads()) < 5 {
@@ -70,7 +70,7 @@ func TestCompareAgreesWithReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 4 {
+	if len(reports) != 5 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, rep := range reports {
@@ -202,7 +202,7 @@ func TestEmpirical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || len(rows[0].Reports) != 4 {
+	if len(rows) != 2 || len(rows[0].Reports) != 5 {
 		t.Fatalf("rows = %d reports = %d", len(rows), len(rows[0].Reports))
 	}
 	text := RenderEmpirical(rows)

@@ -336,7 +336,7 @@ func RenderEmpirical(rows []EmpiricalRow) string {
 		"workload", "strategy", "T (cycles/instr)", "d", "x", "s1", "s2", "hit ratio")
 	var b strings.Builder
 	for _, row := range rows {
-		var conv, withDTB *Report
+		var conv, withDTB, compiled *Report
 		for _, rep := range row.Reports {
 			hit := ""
 			switch rep.Strategy {
@@ -347,6 +347,8 @@ func RenderEmpirical(rows []EmpiricalRow) string {
 				hit = metrics.Percent(rep.Measured.HC)
 			case Conventional:
 				conv = rep
+			case Compiled:
+				compiled = rep
 			}
 			tbl.AddRow(row.Workload, rep.Strategy.String(), metrics.Float(rep.PerInstruction),
 				metrics.Float(rep.Measured.D), metrics.Float(rep.Measured.X),
@@ -355,6 +357,10 @@ func RenderEmpirical(rows []EmpiricalRow) string {
 		if conv != nil && withDTB != nil && withDTB.PerInstruction > 0 {
 			f2 := (conv.PerInstruction - withDTB.PerInstruction) / withDTB.PerInstruction * 100
 			fmt.Fprintf(&b, "  %-10s measured F2 (degradation from not using the DTB): %.1f%%\n", row.Workload, f2)
+		}
+		if withDTB != nil && compiled != nil && compiled.PerInstruction > 0 {
+			f3 := (withDTB.PerInstruction - compiled.PerInstruction) / compiled.PerInstruction * 100
+			fmt.Fprintf(&b, "  %-10s measured F3 (gain of full compilation over the DTB): %.1f%%\n", row.Workload, f3)
 		}
 	}
 	return tbl.Render() + "\n" + b.String()

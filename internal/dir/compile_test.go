@@ -1,0 +1,243 @@
+package dir
+
+import (
+	"errors"
+	"slices"
+	"testing"
+)
+
+// assertCompiledMatchesExecute runs the program through both the reference
+// interpreter and the closure-compiled form and requires identical output
+// and identical dynamic instruction counts — the conformance invariants the
+// compiled organisation must uphold.
+func assertCompiledMatchesExecute(t *testing.T, p *Program) {
+	t.Helper()
+	want, err := Execute(p, ExecOptions{})
+	if err != nil {
+		t.Fatalf("reference execute: %v", err)
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	got, err := c.Execute(ExecOptions{})
+	if err != nil {
+		t.Fatalf("compiled execute: %v", err)
+	}
+	if !slices.Equal(got.Output, want.Output) {
+		t.Errorf("compiled output %v, reference %v", got.Output, want.Output)
+	}
+	if got.Executed != want.Executed {
+		t.Errorf("compiled retired %d instructions, reference executed %d", got.Executed, want.Executed)
+	}
+}
+
+func TestCompileLoopSumMatchesExecute(t *testing.T) {
+	assertCompiledMatchesExecute(t, fixLoopTargets(loopProgram(10)))
+}
+
+func TestCompileCallAndReturnMatchesExecute(t *testing.T) {
+	assertCompiledMatchesExecute(t, testProgram())
+}
+
+func TestCompileHighLevelOpcodesMatchesExecute(t *testing.T) {
+	assertCompiledMatchesExecute(t, highLevelProgram())
+}
+
+func TestCompileFusesPairs(t *testing.T) {
+	// The loop program is dense with push+arith / push+store pairs; fusion
+	// must find some, and the op count must shrink by exactly that many.
+	p := fixLoopTargets(loopProgram(10))
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FusedPairs() == 0 {
+		t.Error("no superinstructions fused in a push-dominated program")
+	}
+	if got, want := c.NumOps(), len(p.Instrs)-c.FusedPairs(); got != want {
+		t.Errorf("NumOps = %d, want %d (%d instrs - %d fused pairs)",
+			got, want, len(p.Instrs), c.FusedPairs())
+	}
+	if c.FootprintWords() != c.NumOps()*CompiledOpWords {
+		t.Errorf("FootprintWords = %d, want %d", c.FootprintWords(), c.NumOps()*CompiledOpWords)
+	}
+}
+
+func TestCompileNeverFusesOverJoinPoints(t *testing.T) {
+	// (2,3) is a fusable (PUSHV, STV) pair, but the jump at 1 enters the
+	// program at 3 — the middle of the would-be superinstruction.  The
+	// compiler must keep 3 a join point (no fusion) and execution must match
+	// the reference exactly.
+	joinProg := func(target int) *Program {
+		return &Program{
+			Name:  "join",
+			Level: "stack",
+			Procs: []Proc{{Name: "main", Entry: 0, FrameSlots: 1}},
+			Contours: []Contour{{Parent: 0, Locals: []ContourVar{
+				{Addr: VarAddr{0, 0}, Size: 1},
+			}}},
+			Instrs: []Instruction{
+				/*0*/ {Op: OpPushConst, Operands: []Operand{ImmOperand(7)}},
+				/*1*/ {Op: OpJump, Target: target},
+				/*2*/ {Op: OpPushVar, Operands: []Operand{VarOperand(0, 0)}},
+				/*3*/ {Op: OpStoreVar, Operands: []Operand{VarOperand(0, 0)}},
+				/*4*/ {Op: OpPushVar, Operands: []Operand{VarOperand(0, 0)}},
+				/*5*/ {Op: OpPrint},
+				/*6*/ {Op: OpHalt},
+			},
+		}
+	}
+
+	// Jump into the middle of the pair: fusion must be suppressed.
+	p := joinProg(3)
+	assertCompiledMatchesExecute(t, p)
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FusedPairs() != 0 {
+		t.Errorf("fused %d pairs across a join point, want 0", c.FusedPairs())
+	}
+
+	// Jump to the head of the pair instead: now (2,3) is free to fuse.
+	p = joinProg(2)
+	assertCompiledMatchesExecute(t, p)
+	if c, err = Compile(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.FusedPairs() != 1 {
+		t.Errorf("fused %d pairs, want 1 (the (PUSHV, STV) pair at 2)", c.FusedPairs())
+	}
+}
+
+func TestCompileRejectsInvalidProgram(t *testing.T) {
+	p := &Program{Name: "empty"}
+	if _, err := Compile(p); err == nil {
+		t.Error("compiling an invalid program should fail")
+	}
+}
+
+func TestCompiledStepLimit(t *testing.T) {
+	// An infinite loop must trip ErrStepLimit, as the reference does.
+	p := &Program{
+		Name:     "spin",
+		Procs:    []Proc{{Name: "main", Entry: 0, FrameSlots: 1}},
+		Contours: []Contour{{Parent: 0}},
+		Instrs: []Instruction{
+			{Op: OpJump, Target: 0},
+			{Op: OpHalt},
+		},
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(ExecOptions{MaxSteps: 100}); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestCompiledDivideByZero(t *testing.T) {
+	p := &Program{
+		Name:     "div0",
+		Procs:    []Proc{{Name: "main", Entry: 0, FrameSlots: 1}},
+		Contours: []Contour{{Parent: 0}},
+		Instrs: []Instruction{
+			{Op: OpPushConst, Operands: []Operand{ImmOperand(1)}},
+			{Op: OpPushConst, Operands: []Operand{ImmOperand(0)}},
+			{Op: OpDiv},
+			{Op: OpHalt},
+		},
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(ExecOptions{}); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("err = %v, want ErrDivideByZero", err)
+	}
+}
+
+func TestCompiledReplayResetIsDeterministic(t *testing.T) {
+	// Run, Reset, Run on one MachineState must reproduce output, instruction
+	// count and (compile-time-constant) cost accounting exactly.
+	p := fixLoopTargets(loopProgram(25))
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachineState(p)
+	first, err := c.Run(m, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := slices.Clone(m.Output())
+	for round := 0; round < 3; round++ {
+		m.Reset()
+		again, err := c.Run(m, 0, 0)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if again != first {
+			t.Fatalf("round %d: stats %+v, first run %+v", round, again, first)
+		}
+		if !slices.Equal(m.Output(), out) {
+			t.Fatalf("round %d: output %v, first run %v", round, m.Output(), out)
+		}
+	}
+}
+
+func TestCompiledReplayDoesNotAllocate(t *testing.T) {
+	p := fixLoopTargets(loopProgram(50))
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachineState(p)
+	for i := 0; i < 2; i++ { // warm up stacks and pools
+		m.Reset()
+		if _, err := c.Run(m, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		m.Reset()
+		if _, err := c.Run(m, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state compiled replay allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	// Compile-time cost of the closure lowering (paid once per program).
+	p := fixLoopTargets(loopProgram(10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledRun(b *testing.B) {
+	// Steady-state native execution against the reference interpreter
+	// (BenchmarkExecuteLoop) on the same program.
+	p := fixLoopTargets(loopProgram(100))
+	c, err := Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMachineState(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		if _, err := c.Run(m, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

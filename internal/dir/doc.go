@@ -1,0 +1,29 @@
+// Package dir defines the directly interpretable representation (DIR) used
+// as the static intermediate level of this reproduction: an instruction set
+// that "does not require an associative memory, utilizes a simple,
+// context-insensitive syntax and does not require a preliminary scan before
+// the program can be interpreted" (§2.3).
+//
+// The ISA deliberately spans a range of semantic levels so the representation
+// space of Figure 1 can be swept:
+//
+//   - stack-oriented opcodes (push/pop/arithmetic/branch), the lowest
+//     semantic level the compiler emits;
+//   - two-operand memory opcodes in the PDP-11 style (dst op= src);
+//   - three-operand memory opcodes and compound compare-and-branch opcodes
+//     in the higher-level style the paper associates with rich DIRs.
+//
+// A dir.Program is the in-memory, fully decoded form.  Binary emission at
+// the paper's increasing degrees of encoding (packed fields, contour-
+// contextual fields, Huffman, pair-frequency) lives in encode.go; the
+// corresponding decoders count decode steps so the simulator can measure the
+// paper's parameter d rather than assume it.
+//
+// Beyond the encoded forms, the package provides the two executable forms
+// that bracket the binding spectrum: Execute (exec.go) is the untimed
+// reference interpreter used as the differential-testing oracle, and Compile
+// (compile.go) lowers a program once into direct-threaded closures — every
+// operand, contour offset and branch target resolved at compile time, common
+// opcode pairs fused into superinstructions — backing the fifth machine
+// organisation of internal/sim.
+package dir

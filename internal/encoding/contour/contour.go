@@ -1,20 +1,3 @@
-// Package contour implements the contextual encoding of §3.2: "the scope
-// rules of the HLR limit the number of variables that may be referenced from
-// within a given contour.  The operand specification field needs only as many
-// bits as are needed to select from amongst these variables.  The field
-// length is variable but fixed within any single contour."
-//
-// A Contour corresponds to a block or procedure of the HLR (Johnston's
-// contour model, the paper's reference [14]).  The Table records, for every
-// contour, how many objects (variables, labels, procedure names) are visible
-// there; the Encoder then writes operand tokens with exactly the number of
-// bits needed inside the current contour, and the Decoder must "keep track of
-// the various field sizes as the contour changes".
-//
-// The package also supports the paper's combined scheme in which "contextual
-// information and frequency information may be employed simultaneously to
-// construct a separate frequency based encoding for each contour": see
-// PerContourCodes.
 package contour
 
 import (

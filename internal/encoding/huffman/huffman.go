@@ -1,18 +1,3 @@
-// Package huffman implements the frequency-based encodings of §3.2 of the
-// paper: classic Huffman coding of the symbols appearing in a static program
-// representation, plus the restricted-length variant in which "the permitted
-// field lengths are restricted to a small number of selected lengths", which
-// "simplifies the decoding problem without sacrificing much by way of memory
-// efficiency" (the Burroughs B1700 approach the paper cites via Wilner).
-//
-// Codes are canonical: within a code length, symbols are assigned codewords
-// in increasing symbol order.  Canonical codes make the decoder a flat table
-// lookup (see table.go): one peek of maxLen bits indexes directly to
-// {symbol, code length, decode steps}, with a two-level table for longer
-// codes.  The reported step counts still model the paper's decode-cost
-// parameter d ("traversing a decoding tree guided by an examination of the
-// encoded field") and are identical to those of the retained level-walk
-// reference decoder.
 package huffman
 
 import (

@@ -1,0 +1,13 @@
+// Package pairfreq implements the pair-frequency encoding of §3.2: "The idea
+// of frequency based encoding may be generalized by considering the frequency
+// of occurrence of pairs, triples, etc., rather than single operators and
+// operands" and, on the decode side, "An encoding based on the frequency of
+// pairs of fields would require a separate decode tree for each possible
+// predecessor field."
+//
+// Concretely, the coder conditions the code for each symbol on its
+// predecessor: for each predecessor symbol a separate canonical Huffman code
+// (decode tree) is built from the conditional frequency table.  The first
+// symbol of a stream, and any symbol whose predecessor was never observed in
+// the statistics, uses an unconditional fallback code.
+package pairfreq

@@ -1,0 +1,39 @@
+// Package hlr implements the high-level representation (HLR) substrate: a
+// small block-structured language ("MiniLang") in the ALGOL tradition the
+// paper uses as its reference point for HLRs (§2.2), together with a lexer,
+// parser, semantic analyser and a reference evaluator.
+//
+// MiniLang exhibits the HLR properties the paper relies on: block structure
+// with nested procedures (the contour model), names whose mapping to storage
+// is established by declarations in enclosing scopes, hierarchical expression
+// syntax, and symbolic names of unbounded length.  The compiler in
+// internal/compile removes exactly the features the paper says a DIR must
+// not have: it binds names to (depth, offset) machine addresses, flattens
+// the expression tree to a sequential form and discards symbolic names.
+//
+// Grammar (EBNF):
+//
+//	program   = "program" ident ";" block "." .
+//	block     = { varDecl } { procDecl } compound .
+//	varDecl   = "var" varItem { "," varItem } ";" .
+//	varItem   = ident [ "[" number "]" ] .
+//	procDecl  = "proc" ident "(" [ ident { "," ident } ] ")" ";" block ";" .
+//	compound  = "begin" stmt { ";" stmt } "end" .
+//	stmt      = assign | ifStmt | whileStmt | compound | callStmt
+//	          | printStmt | returnStmt | /* empty */ .
+//	assign    = ident [ "[" expr "]" ] ":=" expr .
+//	ifStmt    = "if" expr "then" stmt [ "else" stmt ] .
+//	whileStmt = "while" expr "do" stmt .
+//	callStmt  = "call" ident "(" [ expr { "," expr } ] ")" .
+//	printStmt = "print" expr .
+//	returnStmt= "return" [ expr ] .
+//	expr      = orExpr .
+//	orExpr    = andExpr { "or" andExpr } .
+//	andExpr   = relExpr { "and" relExpr } .
+//	relExpr   = addExpr [ ( "=" | "<>" | "<" | "<=" | ">" | ">=" ) addExpr ] .
+//	addExpr   = mulExpr { ( "+" | "-" ) mulExpr } .
+//	mulExpr   = unary { ( "*" | "/" | "mod" ) unary } .
+//	unary     = [ "-" | "not" ] primary .
+//	primary   = number | ident [ "[" expr "]" | "(" [ expr { "," expr } ] ")" ]
+//	          | "(" expr ")" .
+package hlr

@@ -1,0 +1,14 @@
+// Package memory models the two-level memory hierarchy the paper assumes: "a
+// small, fast first level memory along with a large and relatively slow
+// second level" (§3.1).  All times are expressed in level-1 access-time
+// units, exactly as in the Section 7 analysis where t1 = 1.
+//
+// The model provides:
+//
+//   - per-level access times and reference/time accounting,
+//   - named segments allocated within a level (the DIR program, the
+//     interpreter and semantic routines, the DTB buffer array, stacks),
+//   - word-granular and bit-granular views of a segment ("high memory
+//     resolution, i.e. the ability to view the memory space as a bit
+//     string", §6.1).
+package memory

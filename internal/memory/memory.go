@@ -1,16 +1,3 @@
-// Package memory models the two-level memory hierarchy the paper assumes: "a
-// small, fast first level memory along with a large and relatively slow
-// second level" (§3.1).  All times are expressed in level-1 access-time
-// units, exactly as in the Section 7 analysis where t1 = 1.
-//
-// The model provides:
-//
-//   - per-level access times and reference/time accounting,
-//   - named segments allocated within a level (the DIR program, the
-//     interpreter and semantic routines, the DTB buffer array, stacks),
-//   - word-granular and bit-granular views of a segment ("high memory
-//     resolution, i.e. the ability to view the memory space as a bit
-//     string", §6.1).
 package memory
 
 import (
@@ -159,6 +146,17 @@ func (h *Hierarchy) ChargeBuffer(refs int64) Cycles {
 	t := Cycles(refs) * h.cfg.BufferTime
 	h.stats.BufferRefs += refs
 	h.stats.BufferTime += t
+	return t
+}
+
+// ChargeLevel1 records level-1 references without touching backing storage
+// (used for the compiled organisation's native-code fetches, whose closures
+// are not byte-materialised in a segment), so one Stats value still covers
+// the whole machine.
+func (h *Hierarchy) ChargeLevel1(refs int64) Cycles {
+	t := Cycles(refs) * h.cfg.Level1Time
+	h.stats.Level1Refs += refs
+	h.stats.Level1Time += t
 	return t
 }
 

@@ -1,0 +1,10 @@
+// Package metrics provides the small table/formatting helpers the benchmark
+// harness and command-line tools use to print experiment results in the same
+// row/column layout the paper's tables and figure captions use.
+//
+// The key type is Table — a titled text table built row by row — plus the
+// value formatters (Bits, Float, Percent) that keep units consistent across
+// every report of Tables 1–3 and Figures 1–4.  The package implements no
+// part of the paper's machinery itself; it only renders what internal/core
+// measures.
+package metrics

@@ -1,6 +1,3 @@
-// Package metrics provides the small table/formatting helpers the benchmark
-// harness and command-line tools use to print experiment results in the same
-// row/column layout the paper's tables and figure captions use.
 package metrics
 
 import (

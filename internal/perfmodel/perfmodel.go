@@ -1,27 +1,3 @@
-// Package perfmodel implements the Section 7 analytic performance model: the
-// average DIR instruction interpretation time of the three organisations the
-// paper compares —
-//
-//	T1: a conventional UHM (fetch from level 2, decode, execute semantics),
-//	T2: a UHM equipped with a dynamic translation buffer,
-//	T3: a UHM equipped with an instruction cache on the level-2 memory,
-//
-// and the two figures of merit
-//
-//	F1 = (T3 − T2)/T2 × 100  — the percentage increase in interpretation
-//	     time caused by using the DTB's resources as a plain instruction
-//	     cache instead (Table 2), and
-//	F2 = (T1 − T2)/T2 × 100  — the percentage increase caused by not using
-//	     a DTB at all (Table 3).
-//
-// Two entry points are provided.  Evaluate applies the symbolic equations to
-// any parameter set, so the model can be driven by values measured on the
-// simulator (internal/sim).  Table2 and Table3 regenerate the paper's
-// published grids exactly, using the closed-form expressions of §7 (the
-// paper prints F2 = (7.4 + 0.6d)/(8 + 0.4d + x) × 100; the matching Table 2
-// closed form is (0.4 + 0.6d)/(8 + 0.4d + x) × 100).  Note that the closed
-// forms embody the paper's worked substitution of its nominal parameters;
-// EXPERIMENTS.md records how they relate to the symbolic model.
 package perfmodel
 
 import (
@@ -95,8 +71,10 @@ type Result struct {
 	T1 float64 // conventional UHM
 	T2 float64 // UHM with a DTB
 	T3 float64 // UHM with an instruction cache
+	T4 float64 // closure-compiled organisation (reproduction extension)
 	F1 float64 // (T3-T2)/T2 x 100
 	F2 float64 // (T1-T2)/T2 x 100
+	F3 float64 // (T2-T4)/T4 x 100
 }
 
 // Evaluate applies the symbolic §7 equations to the parameters.
@@ -104,6 +82,12 @@ type Result struct {
 //	T1 = s2·t2 + d + x
 //	T2 = s1·tD + (1−hD)·s2·t2 + (1−hD)·(d+g) + x
 //	T3 = hc·s2·tD + (1−hc)·s2·t2 + d + x
+//
+// plus the extension for the fully compiled organisation, where the only
+// per-execution work left is one level-1 fetch of the native code and the
+// semantics themselves:
+//
+//	T4 = t1 + x
 func Evaluate(p Params) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -111,10 +95,14 @@ func Evaluate(p Params) (Result, error) {
 	t1 := p.S2*p.T2Access + p.D + p.X
 	t2 := p.S1*p.TDAccess + (1-p.HD)*p.S2*p.T2Access + (1-p.HD)*(p.D+p.G) + p.X
 	t3 := p.HC*p.S2*p.TDAccess + (1-p.HC)*p.S2*p.T2Access + p.D + p.X
-	res := Result{T1: t1, T2: t2, T3: t3}
+	t4 := p.T1Access + p.X
+	res := Result{T1: t1, T2: t2, T3: t3, T4: t4}
 	if t2 > 0 {
 		res.F1 = (t3 - t2) / t2 * 100
 		res.F2 = (t1 - t2) / t2 * 100
+	}
+	if t4 > 0 {
+		res.F3 = (t2 - t4) / t4 * 100
 	}
 	return res, nil
 }

@@ -93,14 +93,19 @@ func TestEvaluateSymbolicModel(t *testing.T) {
 	if math.Abs(r.T3-17.8) > 1e-9 {
 		t.Errorf("T3 = %v, want 17.8", r.T3)
 	}
-	if r.F2 <= 0 || r.F1 <= 0 {
+	// T4 = t1 + x = 1 + 5 (the compiled-organisation extension).
+	if math.Abs(r.T4-6) > 1e-9 {
+		t.Errorf("T4 = %v, want 6", r.T4)
+	}
+	if r.F2 <= 0 || r.F1 <= 0 || r.F3 <= 0 {
 		t.Errorf("figures of merit should be positive with paper parameters: %+v", r)
 	}
 }
 
 func TestEvaluateOrderings(t *testing.T) {
-	// With the paper's parameters the DTB organisation is the fastest for
-	// every cell of the published grid.
+	// With the paper's parameters the DTB organisation is the fastest of the
+	// paper's three for every cell of the published grid, and the compiled
+	// extension — with all binding work eliminated — undercuts them all.
 	for _, d := range TableDValues {
 		for _, x := range TableXValues {
 			r, err := Evaluate(PaperParams(d, x))
@@ -109,6 +114,9 @@ func TestEvaluateOrderings(t *testing.T) {
 			}
 			if !(r.T2 < r.T3 && r.T3 < r.T1) {
 				t.Errorf("d=%v x=%v: expected T2 < T3 < T1, got %+v", d, x, r)
+			}
+			if !(r.T4 < r.T2) {
+				t.Errorf("d=%v x=%v: expected T4 < T2, got %+v", d, x, r)
 			}
 		}
 	}

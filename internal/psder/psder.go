@@ -1,18 +1,3 @@
-// Package psder defines the procedurally-structured directly executable
-// representation (PSDER) of §3.1 and the short-format instruction set
-// recognised by the UHM's second instruction unit (IU2, §6.2).
-//
-// A PSDER sequence is what the dynamic translator produces for one DIR
-// instruction and what the DTB's buffer array stores: a short string of
-// CALL / PUSH / POP / INTERP instructions that "steer control to the
-// appropriate semantic routines and pass parameters".  The instruction set is
-// deliberately tiny and vertical ("the instruction set for IU2 must be of a
-// short, vertical format"), and every sequence ends with an INTERP
-// instruction that names — immediately or via the operand stack — the next
-// DIR instruction to interpret.
-//
-// Sequences encode to and from 32-bit buffer-array words so the DTB stores
-// exactly what a hardware buffer array would.
 package psder
 
 import (

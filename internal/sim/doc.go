@@ -1,0 +1,30 @@
+// Package sim glues the substrates into the whole-machine simulation that
+// Section 7 analyses: it runs a DIR program to completion under one of five
+// organisations and accounts every cost in level-1 cycle units,
+//
+//	Conventional — fetch the encoded DIR instruction from level-2 memory,
+//	    decode it, execute its semantics (the paper's T1);
+//	WithDTB      — fetch the PSDER translation from the dynamic translation
+//	    buffer; on a miss, fetch from level 2, decode, translate, install
+//	    (the paper's T2);
+//	WithCache    — fetch the encoded DIR instruction through a set-
+//	    associative instruction cache, then decode and execute every time
+//	    (the paper's T3);
+//	Expanded     — the program fully pre-translated to PSDER ("expanded
+//	    machine language") resident in level-2 memory: no decoding, but a
+//	    much larger static representation;
+//	Compiled     — the program lowered once to direct-threaded native
+//	    closures (dir.Compile): operands, static-link distances and branch
+//	    targets all bound at compile time, resident in level-1 memory.  The
+//	    logical endpoint of the paper's binding spectrum — no per-execution
+//	    binding work remains at all — at the price of the largest static
+//	    representation of the five.
+//
+// All five strategies execute the same semantics over the same run-time
+// state and therefore produce the same program output; only where
+// instructions are fetched from and how much binding work is repeated
+// differs — which is exactly the paper's point.  Besides total cycles, the
+// simulator reports the measured values of the model parameters (d, g, x,
+// s1, s2, hC, hD) so the analytic model of internal/perfmodel can be
+// cross-checked against live executions.
+package sim

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"uhm/internal/dir"
 	"uhm/internal/psder"
@@ -18,6 +19,8 @@ import (
 // PredecodedProgram is a DIR program encoded at one degree, decoded and
 // translated exactly once.  It is immutable after construction: the same
 // instance can back any number of concurrent Run calls under any strategy.
+// The closure-compiled form used by the Compiled strategy is built lazily on
+// first use and then shared the same way.
 type PredecodedProgram struct {
 	// Program is the in-memory DIR program.
 	Program *dir.Program
@@ -28,6 +31,10 @@ type PredecodedProgram struct {
 	costs         []dir.DecodeCost // decode cost of each instruction
 	encoded       [][]uint32       // buffer-array image of each translation
 	expandedWords int              // total PSDER words of the full expansion
+
+	compileOnce sync.Once
+	compiled    *dir.CompiledProgram
+	compileErr  error
 }
 
 // Predecode encodes the program at the given degree and predecodes the
@@ -93,3 +100,12 @@ func (pp *PredecodedProgram) EncodedWords(pc int) []uint32 { return pp.encoded[p
 // ExpandedWords returns the total size in words of the fully expanded PSDER
 // program (the §3.1 "expanded machine language" baseline).
 func (pp *PredecodedProgram) ExpandedWords() int { return pp.expandedWords }
+
+// Compiled returns the shared closure-compiled form of the program,
+// compiling it on first use.  Like the predecoded structures, the compiled
+// program is immutable and may back any number of concurrent runs; each run
+// supplies its own dir.MachineState.
+func (pp *PredecodedProgram) Compiled() (*dir.CompiledProgram, error) {
+	pp.compileOnce.Do(func() { pp.compiled, pp.compileErr = dir.Compile(pp.Program) })
+	return pp.compiled, pp.compileErr
+}

@@ -1,25 +1,3 @@
-// Package sim glues the substrates into the whole-machine simulation that
-// Section 7 analyses: it runs a DIR program to completion under one of four
-// organisations and accounts every cost in level-1 cycle units,
-//
-//	Conventional — fetch the encoded DIR instruction from level-2 memory,
-//	    decode it, execute its semantics (the paper's T1);
-//	WithDTB      — fetch the PSDER translation from the dynamic translation
-//	    buffer; on a miss, fetch from level 2, decode, translate, install
-//	    (the paper's T2);
-//	WithCache    — fetch the encoded DIR instruction through a set-
-//	    associative instruction cache, then decode and execute every time
-//	    (the paper's T3);
-//	Expanded     — the program fully pre-translated to PSDER ("expanded
-//	    machine language") resident in level-2 memory: no decoding, but a
-//	    much larger static representation.
-//
-// All four strategies drive the same host.Machine and therefore produce the
-// same program output; only where instructions are fetched from and how much
-// binding work is repeated differs — which is exactly the paper's point.
-// Besides total cycles, the simulator reports the measured values of the
-// model parameters (d, g, x, s1, s2, hC, hD) so the analytic model of
-// internal/perfmodel can be cross-checked against live executions.
 package sim
 
 import (
@@ -48,12 +26,19 @@ const (
 	// Expanded is the §3.1 baseline: the program compiled all the way down
 	// to directly executable (PSDER) form and stored expanded in level 2.
 	Expanded
+	// Compiled is the fifth organisation, beyond the paper's four: the
+	// program lowered once to direct-threaded closures (dir.Compile) with
+	// every operand, contour offset and branch target resolved at compile
+	// time, executed straight from level-1 memory.
+	Compiled
 
 	strategyCount
 )
 
 // Strategies lists every strategy.
-func Strategies() []Strategy { return []Strategy{Conventional, WithDTB, WithCache, Expanded} }
+func Strategies() []Strategy {
+	return []Strategy{Conventional, WithDTB, WithCache, Expanded, Compiled}
+}
 
 // String names the strategy.
 func (s Strategy) String() string {
@@ -66,6 +51,8 @@ func (s Strategy) String() string {
 		return "cache"
 	case Expanded:
 		return "expanded"
+	case Compiled:
+		return "compiled"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -139,6 +126,7 @@ type Report struct {
 	CodebookBits     int // decoder tables (part of the interpreter)
 	InterpreterWords int // semantic routine library footprint (level 1)
 	ExpandedWords    int // full PSDER expansion (only for Expanded strategy)
+	CompiledWords    int // native closure-code footprint (only for Compiled strategy)
 
 	Measured   Measured
 	DTBStats   dtb.Stats
@@ -202,6 +190,11 @@ type Replayer struct {
 	icache  *cache.Cache
 	machine *host.Machine
 
+	// Compiled-strategy structures: the shared immutable compiled program
+	// and this Replayer's private run-time state.
+	compiled *dir.CompiledProgram
+	cstate   *dir.MachineState
+
 	base   Report // setup-time report fields, copied into report by Replay
 	report Report
 }
@@ -243,18 +236,25 @@ func NewReplayer(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Replaye
 	}
 	r.dirSeg = dirSeg
 	// Level-1 segment holding the interpreter: the semantic-routine library
-	// plus the decoder's tables.
-	interpBytes := psder.LibraryFootprintWords()*memory.WordBytes + (bin.CodebookBits()+7)/8
-	if _, err := hier.Allocate(memory.Level1, "interpreter", interpBytes); err != nil {
-		return nil, err
+	// plus the decoder's tables.  The compiled organisation carries neither —
+	// the routines are compiled into its native code (counted by
+	// CompiledWords) and nothing is decoded at run time — so it allocates no
+	// interpreter segment and reports no interpreter footprint.
+	if strategy != Compiled {
+		interpBytes := psder.LibraryFootprintWords()*memory.WordBytes + (bin.CodebookBits()+7)/8
+		if _, err := hier.Allocate(memory.Level1, "interpreter", interpBytes); err != nil {
+			return nil, err
+		}
 	}
 
 	r.base = Report{
-		Strategy:         strategy,
-		Degree:           cfg.Degree,
-		StaticBits:       bin.SizeBits(),
-		CodebookBits:     bin.CodebookBits(),
-		InterpreterWords: psder.LibraryFootprintWords(),
+		Strategy:     strategy,
+		Degree:       cfg.Degree,
+		StaticBits:   bin.SizeBits(),
+		CodebookBits: bin.CodebookBits(),
+	}
+	if strategy != Compiled {
+		r.base.InterpreterWords = psder.LibraryFootprintWords()
 	}
 
 	switch strategy {
@@ -277,6 +277,17 @@ func NewReplayer(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Replaye
 		}
 	case Expanded:
 		r.base.ExpandedWords = pp.ExpandedWords()
+	case Compiled:
+		comp, err := pp.Compiled()
+		if err != nil {
+			return nil, err
+		}
+		r.compiled = comp
+		r.cstate = dir.NewMachineState(p)
+		r.base.CompiledWords = comp.FootprintWords()
+		// The compiled strategy executes native closures over the shared
+		// run-time state directly; it needs no host machine.
+		return r, nil
 	}
 
 	r.machine = host.New(p, host.Options{MaxDepth: cfg.MaxDepth})
@@ -289,7 +300,12 @@ func NewReplayer(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Replaye
 // copy it.
 func (r *Replayer) Replay() (*Report, error) {
 	r.hier.ResetStats()
-	r.machine.Reset()
+	if r.machine != nil {
+		r.machine.Reset()
+	}
+	if r.cstate != nil {
+		r.cstate.Reset()
+	}
 	if r.buf != nil {
 		r.buf.Reset()
 	}
@@ -305,6 +321,9 @@ func (r *Replayer) Replay() (*Report, error) {
 
 // run is the replay loop proper.
 func (r *Replayer) run() error {
+	if r.strategy == Compiled {
+		return r.runCompiled()
+	}
 	p := r.pp.Program
 	bin := r.pp.Binary
 	hier, dirSeg := r.hier, r.dirSeg
@@ -438,6 +457,40 @@ func (r *Replayer) run() error {
 	// fetch, so S2 falls straight out of the memory statistics.
 	if l2Fetches > 0 {
 		report.Measured.S2 = float64(report.Memory.Level2Refs) / float64(l2Fetches)
+	}
+	return nil
+}
+
+// runCompiled is the replay loop of the Compiled organisation.  The program
+// was lowered once to direct-threaded closures (dir.Compile), so the loop
+// performs no fetch-decode-translate work at all: dir.CompiledProgram.Run
+// retires instructions and accumulates the native cost accounting, and this
+// wrapper converts it to the report's cycle categories.  Native code is
+// resident in level-1 memory; each compiled op dispatched is charged one
+// level-1 reference through the hierarchy (a fused superinstruction is a
+// single fetch — binding two DIR instructions into one native dispatch is
+// exactly what fusion buys), so Report.Memory agrees with the cycle
+// breakdown.  Like the expanded organisation's PSDER image, the native code
+// is not byte-materialised in a segment; its footprint is reported as
+// CompiledWords.  Decode and translate cycles are zero by construction.
+func (r *Replayer) runCompiled() error {
+	report := &r.report
+	stats, err := r.compiled.Run(r.cstate, r.cfg.MaxInstructions, r.cfg.MaxDepth)
+	if err != nil {
+		if errors.Is(err, dir.ErrStepLimit) {
+			return fmt.Errorf("%w (%d)", ErrInstructionLimit, r.cfg.MaxInstructions)
+		}
+		return fmt.Errorf("sim: %w", err)
+	}
+	report.Instructions = stats.Instructions
+	report.FetchCycles = r.hier.ChargeLevel1(stats.Fetches)
+	report.SemanticCycles = memory.Cycles(stats.SemanticCost)
+	report.Output = r.cstate.Output()
+	report.Memory = r.hier.Stats()
+	report.TotalCycles = report.FetchCycles + report.SemanticCycles
+	if report.Instructions > 0 {
+		report.PerInstruction = float64(report.TotalCycles) / float64(report.Instructions)
+		report.Measured.X = float64(report.SemanticCycles) / float64(report.Instructions)
 	}
 	return nil
 }

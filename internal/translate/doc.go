@@ -1,0 +1,14 @@
+// Package translate implements the dynamic translator of §4 and §6.2: the
+// routine that, on a DTB miss, "fetches the DIR instruction, decodes and
+// parses it, generates the PSDER translation which it then stores in the DTB
+// ... Lastly, it sets the ball rolling by transferring control to the first
+// instruction in the PSDER translation."
+//
+// Translation is a pure function from one decoded DIR instruction (plus its
+// position, for successor addresses) to a psder.Sequence.  The mapping is
+// "almost one-to-one" as the paper requires: each DIR field becomes a PUSH of
+// a parameter or a CALL of a semantic routine, and every sequence ends with
+// the INTERP instruction that names the next DIR instruction — immediately
+// when the successor is known statically, via the operand stack when it must
+// be computed (conditional branches, calls and returns).
+package translate

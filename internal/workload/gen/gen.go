@@ -1,36 +1,3 @@
-// Package gen is a seeded, deterministic random MiniLang program generator
-// and the differential-testing companion tools around it (a divergence
-// minimizer lives in minimize.go).
-//
-// Every generated program is statically guaranteed to terminate:
-//
-//   - loops only take the bounded form "lv := c0; while lv < c1 do begin ...;
-//     lv := lv + c2 end" where lv is a dedicated loop counter that no other
-//     statement in the whole program may assign (loop counters form their own
-//     name class, so not even an up-level store from a nested procedure can
-//     reset one), c1 is a small literal and c2 is a positive literal;
-//   - every procedure takes a fuel parameter as its first argument and opens
-//     with "if fuel <= 0 then return c"; every call inside a procedure passes
-//     fuel - 1 and every call from the main body passes a small literal, so
-//     any call chain — including mutual recursion between sibling procedures
-//     — strictly decreases fuel and the activation depth is bounded;
-//   - statement and expression nesting are depth-capped, and a whole-program
-//     statement budget caps program size.
-//
-// Division and modulo never trap: a divisor is either a non-zero literal
-// (negative ones included, to exercise truncation-toward-zero semantics on
-// negative operands) or the form 2*(e)+1 / 2*(e)-1, which is odd — hence
-// non-zero — for every int64 value of e, including after wraparound.
-//
-// Array subscripts are wrapped as ((e mod size + size) mod size), which lands
-// in [0, size) for any e, so generated programs cannot index out of range at
-// any semantic level.
-//
-// On top of the structural guarantees, Generate validates each candidate on
-// the hlr reference evaluator and retries (deterministically, continuing the
-// same stream) until the program runs cleanly within a step budget and prints
-// at least one value, so harness time is spent on conformance, not on
-// rejecting pathological programs.
 package gen
 
 import (
