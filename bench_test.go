@@ -15,6 +15,7 @@ import (
 	"uhm/internal/dtb"
 	"uhm/internal/perfmodel"
 	"uhm/internal/psder"
+	"uhm/internal/service"
 	"uhm/internal/sim"
 	"uhm/internal/translate"
 	"uhm/internal/workload"
@@ -463,6 +464,51 @@ func BenchmarkCompileProgram(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Service-layer benchmarks (registry + replayer pool) ------------------
+
+// BenchmarkServeConcurrent measures steady-state request handling through
+// the service layer at GOMAXPROCS parallelism: mixed workloads × strategies,
+// every artifact already resident in the content-addressed registry and
+// every replayer warmed in the pool, exactly the shape of a loaded uhmd.
+// The per-op cost is one registry hit, one pool checkout, one 0-alloc
+// replay, one report clone.
+func BenchmarkServeConcurrent(b *testing.B) {
+	cfg := benchConfig()
+	svc := service.New(service.Options{})
+	ctx := context.Background()
+	workloads := []string{"loopsum", "fib", "sieve"}
+	strategies := sim.Strategies()
+	// Warm every (workload, strategy) cell: builds, predecodes, compiles and
+	// pools outside the timer.
+	for _, w := range workloads {
+		for _, s := range strategies {
+			if _, err := svc.RunWorkload(ctx, w, core.LevelStack, s, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	before := svc.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			w := workloads[i%len(workloads)]
+			s := strategies[i/len(workloads)%len(strategies)]
+			i++
+			if _, err := svc.RunWorkload(ctx, w, core.LevelStack, s, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	after := svc.Stats()
+	if after.Registry.Builds != before.Registry.Builds {
+		b.Fatalf("steady state rebuilt artifacts: %d -> %d builds",
+			before.Registry.Builds, after.Registry.Builds)
 	}
 }
 

@@ -79,11 +79,6 @@ func run(workloadName, file, levelName string, disasm bool) error {
 	return nil
 }
 
-func parseLevel(name string) (core.Level, error) {
-	for _, l := range core.Levels() {
-		if l.String() == name {
-			return l, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown level %q", name)
-}
+// parseLevel delegates to core, the single source of truth shared with
+// uhmrun and the uhmd server.
+func parseLevel(name string) (core.Level, error) { return core.ParseLevel(name) }

@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"uhm/internal/core"
+	"uhm/internal/service"
 	"uhm/internal/workload/gen"
 )
 
@@ -84,10 +85,16 @@ func realMain() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	engine := core.Engine{Workers: *workers}
+	// Experiment sweeps go through the service layer's registry-backed
+	// engine — the same artifact cache and build path cmd/uhmd serves — so
+	// bench runs and server traffic exercise identical code.  The serial
+	// engine is the one-worker service.
+	engineWorkers := *workers
 	if !*parallel {
-		engine = core.SerialEngine()
+		engineWorkers = 1
 	}
+	svc := service.New(service.Options{Workers: engineWorkers})
+	engine := svc.Engine()
 	cfg := core.DefaultConfig()
 	var err error
 	if *genCount > 0 {
@@ -257,13 +264,13 @@ func runOne(ctx context.Context, engine core.Engine, exp, workloadName string, c
 		}
 		fmt.Print(core.RenderFigure2(org, rows))
 	case "figure3":
-		act, err := core.Figure3(workloadName, cfg)
+		act, err := engine.Figure3(ctx, workloadName, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Print(core.RenderFigure3(act))
 	case "figure4":
-		stats, err := core.Figure4(workloadName, cfg)
+		stats, err := engine.Figure4(ctx, workloadName, cfg)
 		if err != nil {
 			return err
 		}

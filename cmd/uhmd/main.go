@@ -1,0 +1,115 @@
+// Command uhmd is the long-running UHM service: the paper's amortisation
+// argument applied to a server.  Where cmd/uhmrun buffers binding work —
+// parse, compile, encode, predecode, closure-compile — for the lifetime of
+// one process run and then throws it away, uhmd keeps every built artifact
+// in a content-addressed registry and every warmed simulator in a replayer
+// pool, shared by all concurrent requests.  A repeated request does zero
+// rebuild work and replays on a simulator whose hierarchy, DTB, cache and
+// machine already exist (the 0 allocs/op replay loop).
+//
+// Endpoints (JSON over HTTP):
+//
+//	GET  /healthz          liveness
+//	GET  /v1/stats         registry and pool counters
+//	GET  /v1/workloads     built-in workload names
+//	POST /v1/run           one program under one organisation
+//	POST /v1/compare       one program under every organisation + equivalence verdict
+//	POST /v1/conformance   full differential cross-product on a program or generator seed
+//	POST /v1/experiments   a named uhmbench experiment, rendered
+//
+// Usage:
+//
+//	uhmd -addr :8080
+//	curl -s localhost:8080/v1/run -d '{"workload":"sieve","strategy":"dtb"}'
+//	curl -s localhost:8080/v1/stats
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: listeners close, in-
+// flight requests run to completion (bounded by -drain), new work is
+// refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uhm/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	workers := flag.Int("workers", 0, "bound on concurrently served requests (0 = one per CPU)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "artifact-registry byte budget (0 = unbounded)")
+	poolIdle := flag.Int("pool-idle", 0, "idle replayers kept per (program, strategy, config) class (0 = one per CPU)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cacheBytes, *poolIdle, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "uhmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, cacheBytes int64, poolIdle int, drain time.Duration) error {
+	svc := service.New(service.Options{
+		CapacityBytes: cacheBytes,
+		MaxIdlePerKey: poolIdle,
+		Workers:       workers,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// In-flight requests keep running through the drain window — their base
+	// context is NOT the signal context.  Only when the drain budget expires
+	// are stragglers cancelled, so shutdown is graceful first, firm second.
+	baseCtx, interruptInflight := context.WithCancel(context.Background())
+	defer interruptInflight()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newServer(svc),
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("uhmd: serving on %s (%d workers, %d MiB artifact budget)",
+			addr, svc.Workers(), cacheBytes>>20)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("uhmd: shutting down, draining in-flight requests (budget %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// Drain budget exhausted: cancel the stragglers' contexts and close
+		// their connections rather than leaking them.
+		interruptInflight()
+		_ = srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	log.Printf("uhmd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,356 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"uhm/internal/core"
+	"uhm/internal/service"
+	"uhm/internal/workload/gen"
+)
+
+// maxRequestBytes bounds a request body; submitted programs are source text,
+// so a megabyte is generous.
+const maxRequestBytes = 1 << 20
+
+// server wires the HTTP API to one shared service.Service.  Every handler
+// propagates the request context into the service and the engine: client
+// disconnects and server shutdown cancel slot admission, engine grid
+// dispatch, and the between-strategy checks of a comparison.  An individual
+// replay is not interruptible mid-run — it is bounded instead, by the
+// server-side max_instructions cap enforced in validateRun.
+type server struct {
+	svc    *service.Service
+	engine core.Engine
+	mux    *http.ServeMux
+}
+
+func newServer(svc *service.Service) *server {
+	s := &server{svc: svc, engine: svc.Engine()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/conformance", s.handleConformance)
+	mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
+	s.mux = mux
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody parses the JSON request body strictly: unknown fields are
+// rejected so a misspelled parameter fails loudly instead of silently
+// selecting a default.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	return nil
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Workers int           `json:"workers"`
+		Stats   service.Stats `json:"stats"`
+	}{Workers: s.svc.Workers(), Stats: s.svc.Stats()})
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"workloads": core.Workloads()})
+}
+
+// program is a validated runRequest: which program, at which point of the
+// simulation space.  Validation failures are the client's request shape
+// (400); resolving the program itself — build, parse — happens later, under
+// a service request slot, and fails as 422.
+type program struct {
+	name     string
+	level    core.Level
+	cfg      core.Config
+	workload string // built-in, when non-empty
+	source   string // submitted text, otherwise
+}
+
+func validateRun(req *runRequest) (*program, error) {
+	level, err := parseLevel(req.Level)
+	if err != nil {
+		return nil, err
+	}
+	degree, err := parseDegree(req.Degree)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Degree = degree
+	// A replay is not interruptible mid-run (the loop is the 0-alloc hot
+	// path); what bounds how long a request can hold a worker slot is the
+	// instruction budget, so the server refuses budgets above its own
+	// default rather than letting a client wedge a slot arbitrarily long.
+	if req.MaxInstructions < 0 {
+		return nil, errors.New("max_instructions must be non-negative")
+	}
+	if req.MaxInstructions > cfg.MaxInstructions {
+		return nil, fmt.Errorf("max_instructions above the server bound %d", cfg.MaxInstructions)
+	}
+	cfg.MaxInstructions = req.MaxInstructions // 0 selects the default
+
+	p := &program{level: level, cfg: cfg}
+	switch {
+	case req.Workload != "" && req.Source != "":
+		return nil, errors.New("specify either workload or source, not both")
+	case req.Workload != "":
+		p.name, p.workload = req.Workload, req.Workload
+	case req.Source != "":
+		p.name = req.Name
+		if p.name == "" {
+			p.name = "submitted"
+		}
+		p.source = req.Source
+	default:
+		return nil, errors.New("specify workload or source")
+	}
+	return p, nil
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := validateRun(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Build and run both happen inside the service's request slot, so the
+	// -workers bound covers compiles of submitted source, not just replays.
+	var rep *core.Report
+	if p.workload != "" {
+		rep, err = s.svc.RunWorkload(r.Context(), p.workload, p.level, strategy, p.cfg)
+	} else {
+		rep, err = s.svc.RunSource(r.Context(), p.name, p.source, p.level, strategy, p.cfg)
+	}
+	if err != nil {
+		writeError(w, statusFor(r, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{Report: reportToJSON(p.name, p.level, rep)})
+}
+
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Strategy != "" {
+		writeError(w, http.StatusBadRequest, errors.New("compare runs every strategy; drop the strategy field"))
+		return
+	}
+	p, err := validateRun(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var reports []*core.Report
+	var cmpErr error
+	if p.workload != "" {
+		reports, cmpErr = s.svc.CompareWorkload(r.Context(), p.workload, p.level, p.cfg)
+	} else {
+		reports, cmpErr = s.svc.CompareSource(r.Context(), p.name, p.source, p.level, p.cfg)
+	}
+	if cmpErr != nil && len(reports) == 0 {
+		writeError(w, statusFor(r, cmpErr), cmpErr)
+		return
+	}
+	resp := compareResponse{Agree: cmpErr == nil}
+	if len(reports) > 0 {
+		resp.Output = reports[0].Output
+	}
+	if cmpErr != nil {
+		// The paper's equivalence invariant failed: report the divergence
+		// with the per-strategy evidence attached.
+		resp.Error = cmpErr.Error()
+	}
+	for _, rep := range reports {
+		resp.Reports = append(resp.Reports, reportToJSON(p.name, p.level, rep))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {
+	var req conformanceRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name, src := req.Name, req.Source
+	switch {
+	case req.Source != "" && req.Seed != nil:
+		writeError(w, http.StatusBadRequest, errors.New("specify either source or seed, not both"))
+		return
+	case req.Seed != nil:
+		p, err := gen.Generate(*req.Seed)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		name, src = p.Name, p.Source
+	case req.Source != "":
+		if name == "" {
+			name = "submitted"
+		}
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("specify source or seed"))
+		return
+	}
+	divs, err := s.svc.Conformance(r.Context(), name, src, core.DefaultConfig())
+	if err != nil {
+		writeError(w, statusFor(r, err), err)
+		return
+	}
+	resp := conformanceResponse{Name: name, Conforms: len(divs) == 0}
+	for _, d := range divs {
+		resp.Divergences = append(resp.Divergences, d.String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req experimentRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// An experiment fans out to the engine's full worker width, so it is
+	// admitted exclusively — holding every request slot — which keeps total
+	// simulation concurrency exactly at the -workers bound.  The sweep grows
+	// registry artifacts outside the per-request accounting path, so the
+	// byte budget is re-synced afterwards.
+	var text string
+	err := s.svc.AdmitExclusive(r.Context(), func(context.Context) error {
+		var err error
+		text, err = s.runExperiment(r, req.Name, req.Workload)
+		s.svc.Registry().SyncAll()
+		return err
+	})
+	if err != nil {
+		status := statusFor(r, err)
+		if errors.Is(err, errUnknownExperiment) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, experimentResponse{Name: req.Name, Text: text})
+}
+
+var errUnknownExperiment = errors.New("unknown experiment")
+
+// runExperiment renders one named experiment through the registry-backed
+// engine — the same sweep cmd/uhmbench runs, sharing the server's artifact
+// cache.
+func (s *server) runExperiment(r *http.Request, name, workloadName string) (string, error) {
+	ctx := r.Context()
+	cfg := core.DefaultConfig()
+	var workloads []string
+	if workloadName != "" {
+		workloads = []string{workloadName}
+	}
+	switch name {
+	case "table1":
+		return core.Table1Report(), nil
+	case "table2":
+		t, err := s.engine.Table2(ctx)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	case "table3":
+		t, err := s.engine.Table3(ctx)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	case "figure1":
+		rows, err := s.engine.Figure1(ctx, workloads, cfg)
+		if err != nil {
+			return "", err
+		}
+		return core.RenderFigure1(rows), nil
+	case "figure2":
+		org, rows, err := s.engine.Figure2(ctx, workloadName, cfg)
+		if err != nil {
+			return "", err
+		}
+		return core.RenderFigure2(org, rows), nil
+	case "figure3":
+		act, err := s.engine.Figure3(ctx, workloadName, cfg)
+		if err != nil {
+			return "", err
+		}
+		return core.RenderFigure3(act), nil
+	case "figure4":
+		stats, err := s.engine.Figure4(ctx, workloadName, cfg)
+		if err != nil {
+			return "", err
+		}
+		return core.RenderFigure4(stats), nil
+	case "empirical":
+		rows, err := s.engine.Empirical(ctx, workloads, cfg)
+		if err != nil {
+			return "", err
+		}
+		return core.RenderEmpirical(rows), nil
+	case "compaction":
+		rows, err := s.engine.Compaction(ctx, workloads, core.LevelStack)
+		if err != nil {
+			return "", err
+		}
+		return core.RenderCompaction(rows), nil
+	default:
+		return "", fmt.Errorf("%w %q", errUnknownExperiment, name)
+	}
+}
+
+// statusFor maps an error to an HTTP status: cancellation — whether observed
+// on the request's own context or surfaced as a context error from the
+// service — is the client's doing (or server shutdown), everything else is
+// an unprocessable program or a simulator failure.
+func statusFor(r *http.Request, err error) int {
+	if r.Context().Err() != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"uhm/internal/core"
+	"uhm/internal/sim"
+)
+
+// The wire types of the uhmd JSON API.  Enumerations travel as their String()
+// names (the same names the CLI flags use), reports as a flat summary of
+// sim.Report.
+
+// runRequest selects a program and a point of the simulation space.  Exactly
+// one of Workload (a built-in) or Source (submitted MiniLang text) must be
+// set.  Level, Degree and Strategy default like the uhmrun flags: stack,
+// huffman, dtb.
+type runRequest struct {
+	Workload string `json:"workload,omitempty"`
+	Source   string `json:"source,omitempty"`
+	// Name labels submitted source in reports and logs (default "submitted").
+	Name     string `json:"name,omitempty"`
+	Level    string `json:"level,omitempty"`
+	Degree   string `json:"degree,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// MaxInstructions optionally bounds the run (0 selects the default).
+	MaxInstructions int64 `json:"max_instructions,omitempty"`
+}
+
+// reportJSON is the wire form of one simulation report.
+type reportJSON struct {
+	Program         string  `json:"program"`
+	Level           string  `json:"level"`
+	Strategy        string  `json:"strategy"`
+	Degree          string  `json:"degree"`
+	Output          []int64 `json:"output"`
+	Instructions    int64   `json:"instructions"`
+	FetchCycles     int64   `json:"fetch_cycles"`
+	DecodeCycles    int64   `json:"decode_cycles"`
+	TranslateCycles int64   `json:"translate_cycles"`
+	SemanticCycles  int64   `json:"semantic_cycles"`
+	TotalCycles     int64   `json:"total_cycles"`
+	PerInstruction  float64 `json:"cycles_per_instruction"`
+	StaticBits      int     `json:"static_bits"`
+	CodebookBits    int     `json:"codebook_bits"`
+	ExpandedWords int `json:"expanded_words,omitempty"`
+	CompiledWords int `json:"compiled_words,omitempty"`
+	// The hit ratios are always present (a measured 0.0 is a legitimate
+	// value, distinct from "not applicable"); they are meaningful only for
+	// the dtb and cache strategies respectively.
+	DTBHitRatio   float64 `json:"dtb_hit_ratio"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+func reportToJSON(program string, level core.Level, rep *sim.Report) reportJSON {
+	return reportJSON{
+		Program:         program,
+		Level:           level.String(),
+		Strategy:        rep.Strategy.String(),
+		Degree:          rep.Degree.String(),
+		Output:          rep.Output,
+		Instructions:    rep.Instructions,
+		FetchCycles:     int64(rep.FetchCycles),
+		DecodeCycles:    int64(rep.DecodeCycles),
+		TranslateCycles: int64(rep.TranslateCycles),
+		SemanticCycles:  int64(rep.SemanticCycles),
+		TotalCycles:     int64(rep.TotalCycles),
+		PerInstruction:  rep.PerInstruction,
+		StaticBits:      rep.StaticBits,
+		CodebookBits:    rep.CodebookBits,
+		ExpandedWords:   rep.ExpandedWords,
+		CompiledWords:   rep.CompiledWords,
+		DTBHitRatio:     rep.Measured.HD,
+		CacheHitRatio:   rep.Measured.HC,
+	}
+}
+
+// runResponse wraps a single report.
+type runResponse struct {
+	Report reportJSON `json:"report"`
+}
+
+// compareResponse carries every organisation's report plus the equivalence
+// verdict.  On divergence Agree is false and Error names the mismatch; the
+// reports are still included so the client can diff them.
+type compareResponse struct {
+	Output  []int64      `json:"output"`
+	Agree   bool         `json:"agree"`
+	Error   string       `json:"error,omitempty"`
+	Reports []reportJSON `json:"reports"`
+}
+
+// conformanceRequest checks one program against the full differential
+// cross-product: either submitted Source, or a Seed for the built-in
+// generator (the pinned regression seeds, say).
+type conformanceRequest struct {
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source,omitempty"`
+	Seed   *int64 `json:"seed,omitempty"`
+}
+
+type conformanceResponse struct {
+	Name        string   `json:"name"`
+	Conforms    bool     `json:"conforms"`
+	Divergences []string `json:"divergences,omitempty"`
+}
+
+// experimentRequest names one of uhmbench's experiments; Workload optionally
+// overrides the default workload set of the figure experiments.
+type experimentRequest struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload,omitempty"`
+}
+
+type experimentResponse struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Request-field parsers: an omitted field selects the same default the
+// uhmrun flags do; everything else resolves through core's shared parsers.
+
+func parseLevel(name string) (core.Level, error) {
+	if name == "" {
+		return core.LevelStack, nil
+	}
+	return core.ParseLevel(name)
+}
+
+func parseDegree(name string) (core.Degree, error) {
+	if name == "" {
+		return core.DefaultConfig().Degree, nil
+	}
+	return core.ParseDegree(name)
+}
+
+func parseStrategy(name string) (core.Strategy, error) {
+	if name == "" {
+		return core.WithDTB, nil
+	}
+	return core.ParseStrategy(name)
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"uhm/internal/core"
 	"uhm/internal/metrics"
+	"uhm/internal/service"
 )
 
 func main() {
@@ -51,7 +53,12 @@ func run(workloadName, file, levelName, degreeName, strategyName string, compare
 	if err != nil {
 		return err
 	}
-	art, err := buildArtifact(workloadName, file, level)
+	// One-shot CLI runs go through the same service layer cmd/uhmd serves
+	// over HTTP — content-addressed artifact registry, pooled replayers — so
+	// the two paths cannot drift.
+	svc := service.New(service.Options{})
+	ctx := context.Background()
+	art, err := buildArtifact(svc, workloadName, file, level)
 	if err != nil {
 		return err
 	}
@@ -59,10 +66,11 @@ func run(workloadName, file, levelName, degreeName, strategyName string, compare
 	cfg.Degree = degree
 
 	if compare {
-		// core.Compare reports a mismatch through its error, but the reports
-		// themselves are still returned; keep them so a divergence can be
-		// shown as a per-strategy diff rather than a bare error string.
-		reports, cmpErr := core.Compare(art, cfg)
+		// CompareArtifact reports a mismatch through its error, but the
+		// reports themselves are still returned; keep them so a divergence
+		// can be shown as a per-strategy diff rather than a bare error
+		// string.
+		reports, cmpErr := svc.CompareArtifact(ctx, art, cfg)
 		if len(reports) == 0 {
 			if cmpErr != nil {
 				return cmpErr
@@ -96,7 +104,7 @@ func run(workloadName, file, levelName, degreeName, strategyName string, compare
 	if err != nil {
 		return err
 	}
-	rep, err := core.Run(art, strategy, cfg)
+	rep, err := svc.RunArtifact(ctx, art, strategy, cfg)
 	if err != nil {
 		return err
 	}
@@ -170,46 +178,25 @@ func outputDiff(a, b []int64) []string {
 	return diffs
 }
 
-func buildArtifact(workloadName, file string, level core.Level) (*core.Artifact, error) {
+func buildArtifact(svc *service.Service, workloadName, file string, level core.Level) (*core.Artifact, error) {
 	switch {
 	case workloadName != "" && file != "":
 		return nil, fmt.Errorf("specify either -workload or -file, not both")
 	case workloadName != "":
-		return core.BuildWorkload(workloadName, level)
+		return svc.ArtifactWorkload(workloadName, level)
 	case file != "":
 		src, err := os.ReadFile(file)
 		if err != nil {
 			return nil, err
 		}
-		return core.BuildSource(file, string(src), level)
+		return svc.ArtifactSource(file, string(src), level)
 	default:
 		return nil, fmt.Errorf("specify -workload or -file (use -list to see workloads)")
 	}
 }
 
-func parseLevel(name string) (core.Level, error) {
-	for _, l := range core.Levels() {
-		if l.String() == name {
-			return l, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown level %q", name)
-}
-
-func parseDegree(name string) (core.Degree, error) {
-	for _, d := range core.Degrees() {
-		if d.String() == name {
-			return d, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown degree %q", name)
-}
-
-func parseStrategy(name string) (core.Strategy, error) {
-	for _, s := range core.Strategies() {
-		if s.String() == name {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown strategy %q", name)
-}
+// The flag parsers delegate to core, the single source of truth shared with
+// uhmasm and the uhmd server.
+func parseLevel(name string) (core.Level, error)       { return core.ParseLevel(name) }
+func parseDegree(name string) (core.Degree, error)     { return core.ParseDegree(name) }
+func parseStrategy(name string) (core.Strategy, error) { return core.ParseStrategy(name) }

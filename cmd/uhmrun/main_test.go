@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"uhm/internal/core"
+	"uhm/internal/service"
 )
 
 func TestParseLevel(t *testing.T) {
@@ -77,18 +78,23 @@ func TestParseStrategy(t *testing.T) {
 }
 
 func TestBuildArtifactValidation(t *testing.T) {
-	if _, err := buildArtifact("fib", "prog.ml", core.LevelStack); err == nil {
+	svc := service.New(service.Options{})
+	if _, err := buildArtifact(svc, "fib", "prog.ml", core.LevelStack); err == nil {
 		t.Error("buildArtifact with both -workload and -file succeeded, want error")
 	}
-	if _, err := buildArtifact("", "", core.LevelStack); err == nil {
+	if _, err := buildArtifact(svc, "", "", core.LevelStack); err == nil {
 		t.Error("buildArtifact with neither -workload nor -file succeeded, want error")
 	}
-	art, err := buildArtifact("fib", "", core.LevelMem2)
+	art, err := buildArtifact(svc, "fib", "", core.LevelMem2)
 	if err != nil {
 		t.Fatalf("buildArtifact(fib): %v", err)
 	}
 	if art.Name != "fib" || art.Level != core.LevelMem2 {
 		t.Errorf("buildArtifact(fib) = %q level %v", art.Name, art.Level)
+	}
+	// The registry path is live: the build landed in the artifact cache.
+	if st := svc.Registry().Stats(); st.Builds != 1 {
+		t.Errorf("Builds = %d, want 1 (artifact built through the registry)", st.Builds)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"uhm/internal/compile"
 	"uhm/internal/dir"
@@ -76,11 +77,15 @@ type Artifact struct {
 }
 
 // predecodeEntry dedups predecoding per degree while letting different
-// degrees of the same artifact predecode concurrently.
+// degrees of the same artifact predecode concurrently.  done is set (with
+// release semantics) after the build completes, so observers that did not go
+// through once.Do — footprint accounting, cache invalidation — can read pp
+// without racing the builder or triggering a build themselves.
 type predecodeEntry struct {
 	once sync.Once
 	pp   *sim.PredecodedProgram
 	err  error
+	done atomic.Bool
 }
 
 // Predecoded returns the artifact's shared predecoded program at the given
@@ -98,8 +103,44 @@ func (a *Artifact) Predecoded(degree Degree) (*sim.PredecodedProgram, error) {
 		a.pre[degree] = e
 	}
 	a.preMu.Unlock()
-	e.once.Do(func() { e.pp, e.err = sim.Predecode(a.DIR, degree) })
+	e.once.Do(func() {
+		e.pp, e.err = sim.Predecode(a.DIR, degree)
+		e.done.Store(true)
+	})
 	return e.pp, e.err
+}
+
+// CachedPredecoded returns the predecoded programs the artifact has built so
+// far, without building any.  The service layer uses it to drop pooled
+// replayers when the artifact is evicted from the registry.
+func (a *Artifact) CachedPredecoded() []*sim.PredecodedProgram {
+	a.preMu.Lock()
+	defer a.preMu.Unlock()
+	var pps []*sim.PredecodedProgram
+	for _, e := range a.pre {
+		if e.done.Load() && e.err == nil {
+			pps = append(pps, e.pp)
+		}
+	}
+	return pps
+}
+
+// FootprintBytes estimates the resident size of the artifact and every cached
+// form hanging off it: the DIR program plus each predecoded (and possibly
+// compiled) degree built so far.  The estimate grows as forms materialise;
+// the service registry re-reads it after each request to keep its
+// byte-accounted LRU honest.
+func (a *Artifact) FootprintBytes() int {
+	// The in-memory DIR program: instructions dominate (op, operands,
+	// contour, target — a few machine words each), plus the proc and contour
+	// tables.
+	const instrBytes, tableBytes = 96, 64
+	bytes := len(a.DIR.Instrs)*instrBytes +
+		(len(a.DIR.Procs)+len(a.DIR.Contours))*tableBytes
+	for _, pp := range a.CachedPredecoded() {
+		bytes += pp.FootprintBytes()
+	}
+	return bytes
 }
 
 // BuildSource parses, analyses and compiles MiniLang source text.

@@ -27,6 +27,13 @@ type Engine struct {
 	// Workers bounds the pool.  Zero or negative selects
 	// runtime.GOMAXPROCS(0); one runs the grid serially in index order.
 	Workers int
+
+	// Build resolves a workload name and level to an Artifact.  Nil selects
+	// BuildWorkload, a fresh build per call.  The service layer installs its
+	// content-addressed registry lookup here, so experiment sweeps run from
+	// the CLI and from the long-running server share one artifact cache and
+	// exercise the same code path.
+	Build func(name string, level Level) (*Artifact, error)
 }
 
 // SerialEngine returns the engine that runs every grid cell sequentially.
@@ -43,6 +50,15 @@ func (e Engine) workers() int {
 		return e.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// buildWorkload resolves a workload through the engine's Build hook, falling
+// back to a fresh BuildWorkload.
+func (e Engine) buildWorkload(name string, level Level) (*Artifact, error) {
+	if e.Build != nil {
+		return e.Build(name, level)
+	}
+	return BuildWorkload(name, level)
 }
 
 // forEach runs fn(i) for every i in [0, n) on the engine's pool and returns
@@ -133,7 +149,7 @@ func (e Engine) Figure1(ctx context.Context, workloads []string, cfg Config) ([]
 
 	arts := make([]*Artifact, len(workloads)*len(levels))
 	err := e.forEach(ctx, len(arts), func(i int) error {
-		a, err := BuildWorkload(workloads[i/len(levels)], levels[i%len(levels)])
+		a, err := e.buildWorkload(workloads[i/len(levels)], levels[i%len(levels)])
 		if err != nil {
 			return err
 		}
@@ -184,7 +200,7 @@ func (e Engine) Figure2(ctx context.Context, workloadName string, cfg Config) (s
 	if workloadName == "" {
 		workloadName = "sieve"
 	}
-	art, err := BuildWorkload(workloadName, LevelStack)
+	art, err := e.buildWorkload(workloadName, LevelStack)
 	if err != nil {
 		return "", nil, err
 	}
@@ -241,7 +257,7 @@ func (e Engine) Empirical(ctx context.Context, workloads []string, cfg Config) (
 	}
 	arts := make([]*Artifact, len(workloads))
 	err := e.forEach(ctx, len(arts), func(i int) error {
-		a, err := BuildWorkload(workloads[i], LevelStack)
+		a, err := e.buildWorkload(workloads[i], LevelStack)
 		if err != nil {
 			return err
 		}
@@ -290,7 +306,7 @@ func (e Engine) Compaction(ctx context.Context, workloads []string, level Level)
 	}
 	rows := make([]CompactionRow, len(workloads))
 	err := e.forEach(ctx, len(rows), func(i int) error {
-		art, err := BuildWorkload(workloads[i], level)
+		art, err := e.buildWorkload(workloads[i], level)
 		if err != nil {
 			return err
 		}

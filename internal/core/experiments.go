@@ -11,9 +11,7 @@ import (
 	"uhm/internal/metrics"
 	"uhm/internal/perfmodel"
 	"uhm/internal/psder"
-	"uhm/internal/sim"
 	"uhm/internal/translate"
-	"uhm/internal/workload"
 )
 
 // This file contains one entry point per table and figure of the paper's
@@ -137,12 +135,26 @@ type Figure3Activity struct {
 }
 
 // Figure3 runs one workload under the DTB organisation and reports the
-// activity of every block in Figure 3's diagram.
+// activity of every block in Figure 3's diagram, on the default engine.
 func Figure3(workloadName string, cfg Config) (*Figure3Activity, error) {
+	return defaultEngine.Figure3(context.Background(), workloadName, cfg)
+}
+
+// Figure3 is the engine form of the per-unit activity experiment; the
+// workload is resolved through the engine's Build hook, so a registry-backed
+// engine reuses the shared artifact.
+func (e Engine) Figure3(ctx context.Context, workloadName string, cfg Config) (*Figure3Activity, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if workloadName == "" {
 		workloadName = "fib"
 	}
-	dp := workload.MustCompileAt(workloadName, LevelStack)
+	art, err := e.buildWorkload(workloadName, LevelStack)
+	if err != nil {
+		return nil, err
+	}
+	dp := art.DIR
 	// Drive the host machine directly so IU1/IU2 activity can be captured,
 	// then run the simulator for the memory-system numbers.
 	machine := host.New(dp, host.Options{})
@@ -163,7 +175,7 @@ func Figure3(workloadName string, cfg Config) (*Figure3Activity, error) {
 		}
 		pc = res.NextPC
 	}
-	rep, err := sim.Run(dp, WithDTB, cfg)
+	rep, err := Run(art, WithDTB, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -259,12 +271,22 @@ type Figure4Stats struct {
 	TranslateAvg float64
 }
 
-// Figure4 measures the INTERP hit and miss paths on one workload.
+// Figure4 measures the INTERP hit and miss paths on one workload, on the
+// default engine.
 func Figure4(workloadName string, cfg Config) (*Figure4Stats, error) {
+	return defaultEngine.Figure4(context.Background(), workloadName, cfg)
+}
+
+// Figure4 is the engine form of the INTERP path experiment; the workload is
+// resolved through the engine's Build hook.
+func (e Engine) Figure4(ctx context.Context, workloadName string, cfg Config) (*Figure4Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if workloadName == "" {
 		workloadName = "sieve"
 	}
-	art, err := BuildWorkload(workloadName, LevelStack)
+	art, err := e.buildWorkload(workloadName, LevelStack)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,40 @@
+package core
+
+import "fmt"
+
+// The one source of truth for turning user-facing names (CLI flags, HTTP
+// request fields) into enumerators.  Every front end — uhmrun, uhmasm, uhmd —
+// parses through these, so a renamed or added enumerator cannot drift
+// between the CLI and the server.
+
+// ParseLevel resolves a semantic-level name (stack, mem2, mem3).
+func ParseLevel(name string) (Level, error) {
+	for _, l := range Levels() {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q", name)
+}
+
+// ParseDegree resolves an encoding-degree name (packed, contour, huffman,
+// pair).
+func ParseDegree(name string) (Degree, error) {
+	for _, d := range Degrees() {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown degree %q", name)
+}
+
+// ParseStrategy resolves an organisation name (conventional, dtb, cache,
+// expanded, compiled).
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q", name)
+}

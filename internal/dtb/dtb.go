@@ -3,6 +3,8 @@ package dtb
 import (
 	"errors"
 	"fmt"
+
+	"uhm/internal/memory"
 )
 
 // Policy selects the buffer-array allocation policy of §5.1.
@@ -85,7 +87,7 @@ func (c Config) CapacityWords() int {
 }
 
 // CapacityBytes returns the buffer-array capacity in bytes.
-func (c Config) CapacityBytes() int { return c.CapacityWords() * 4 }
+func (c Config) CapacityBytes() int { return c.CapacityWords() * memory.WordBytes }
 
 // Stats reports DTB behaviour.
 type Stats struct {

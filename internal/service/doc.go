@@ -1,0 +1,24 @@
+// Package service is the concurrency-safe service layer over the pipeline:
+// it lifts the paper's amortisation argument from "one process run" to "a
+// long-running process serving many requests".  The binding work the paper
+// buffers — fetch, decode, translate, and in this reproduction also parse,
+// compile, predecode and closure-compile — is done once per distinct program
+// and shared across every request that needs it.
+//
+// Three pieces compose:
+//
+//   - Registry: a content-addressed artifact cache keyed by
+//     (sha256(source), level).  Concurrent requests for the same program are
+//     collapsed into one build (singleflight); completed artifacts are kept
+//     under a byte-accounted LRU budget, with hit/miss/eviction statistics.
+//   - Pool: warmed sim.Replayers keyed by (predecoded program, strategy,
+//     config fingerprint).  A checked-out replayer has its memory hierarchy,
+//     DTB/cache, host machine and report already built, so steady-state
+//     request handling inherits the 0 allocs/op replay loop.
+//   - Service: the façade tying the two together with request-level
+//     parallelism bounded like core.Engine, plus a registry-backed
+//     core.Engine so the named experiments share the same artifact cache.
+//
+// cmd/uhmd serves this layer over HTTP; cmd/uhmrun and cmd/uhmbench run the
+// identical code path in-process, so the CLI and the server cannot drift.
+package service

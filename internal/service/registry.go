@@ -1,0 +1,267 @@
+package service
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"uhm/internal/core"
+	"uhm/internal/workload"
+)
+
+// Key identifies an artifact by content, not by name: the SHA-256 of its
+// MiniLang source text plus the semantic level it is compiled at.  Two
+// requests that submit byte-identical programs share one artifact regardless
+// of what they call it.
+type Key struct {
+	Hash  [sha256.Size]byte
+	Level core.Level
+}
+
+// KeyOf computes the content address of a source program at a level.
+func KeyOf(src string, level core.Level) Key {
+	return Key{Hash: sha256.Sum256([]byte(src)), Level: level}
+}
+
+// String renders the key short enough for logs and stats.
+func (k Key) String() string { return fmt.Sprintf("%x/%s", k.Hash[:6], k.Level) }
+
+// RegistryStats are the registry's observability counters.
+type RegistryStats struct {
+	// Hits counts lookups served from the cache, including singleflight
+	// waiters that blocked on an in-flight build instead of duplicating it.
+	Hits int64
+	// Misses counts lookups that started a build.
+	Misses int64
+	// Builds counts builds started (== Misses); it is the "artifact rebuild
+	// work" counter a warmed cache must not increment.
+	Builds int64
+	// BuildErrors counts builds that failed; failed builds are not cached.
+	BuildErrors int64
+	// Evictions counts artifacts dropped by the byte-budget LRU.
+	Evictions int64
+	// Entries and Bytes describe the current residency; CapacityBytes is the
+	// configured budget (0 = unbounded).
+	Entries       int
+	Bytes         int64
+	CapacityBytes int64
+}
+
+// regEntry is one registry slot.  ready is closed when the build completes
+// (the singleflight barrier); art/err must only be read after that.
+type regEntry struct {
+	key      Key
+	name     string
+	srcBytes int64
+	art      *core.Artifact
+	err      error
+	ready    chan struct{}
+	bytes    int64 // last accounted footprint, including srcBytes
+	lastUse  int64 // recency stamp from Registry.clock
+	building bool
+}
+
+// Registry is the content-addressed artifact cache.  All methods are safe
+// for concurrent use.
+type Registry struct {
+	capacity int64
+	// onEvict, if set, is called (outside the registry lock) with each
+	// artifact dropped by the LRU; the service layer uses it to invalidate
+	// pooled replayers built on the artifact's predecoded programs.
+	onEvict func(*core.Artifact)
+
+	mu      sync.Mutex
+	entries map[Key]*regEntry
+	byArt   map[*core.Artifact]*regEntry
+	clock   int64
+	bytes   int64
+	stats   RegistryStats
+}
+
+// NewRegistry returns a registry with the given byte budget (0 = unbounded).
+func NewRegistry(capacityBytes int64) *Registry {
+	return &Registry{
+		capacity: capacityBytes,
+		entries:  make(map[Key]*regEntry),
+		byArt:    make(map[*core.Artifact]*regEntry),
+	}
+}
+
+// SetOnEvict installs the eviction callback.  It must be set before the
+// registry is shared between goroutines.
+func (r *Registry) SetOnEvict(fn func(*core.Artifact)) { r.onEvict = fn }
+
+// Source returns the artifact for the given source text at the given level,
+// building it exactly once per content address: concurrent callers with the
+// same program block on one build.  name labels the artifact on first build
+// only (content addressing means later callers may arrive with a different
+// name for the same program).
+func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, error) {
+	key := KeyOf(src, level)
+
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		e.lastUse = r.tick()
+		r.stats.Hits++
+		r.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.art, nil
+	}
+	e := &regEntry{key: key, name: name, srcBytes: int64(len(src)),
+		ready: make(chan struct{}), building: true, lastUse: r.tick()}
+	r.entries[key] = e
+	r.stats.Misses++
+	r.stats.Builds++
+	r.mu.Unlock()
+
+	art, err := core.BuildSource(name, src, level)
+
+	r.mu.Lock()
+	e.art, e.err = art, err
+	e.building = false
+	var evicted []*core.Artifact
+	if err != nil {
+		// Failed builds are reported to every waiter but not cached: the
+		// failure may be transient only in the sense that the caller fixes
+		// the program, and a fixed program has a different content address
+		// anyway — but holding error entries would let garbage requests
+		// squat on the budget.
+		r.stats.BuildErrors++
+		delete(r.entries, key)
+	} else {
+		r.byArt[art] = e
+		e.bytes = int64(art.FootprintBytes()) + e.srcBytes
+		r.bytes += e.bytes
+		evicted = r.evictLocked(e)
+	}
+	r.mu.Unlock()
+	close(e.ready)
+	r.notifyEvicted(evicted)
+	if err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// Workload resolves a built-in workload's source and caches it like any
+// submitted program: the CLI experiment sweeps and the server share these
+// entries.
+func (r *Registry) Workload(name string, level core.Level) (*core.Artifact, error) {
+	src, err := workload.Source(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.Source(name, src, level)
+}
+
+// Sync re-reads the artifact's footprint — which grows as predecoded and
+// compiled forms materialise — refreshes its recency, and enforces the byte
+// budget.  The service layer calls it after every run.  Unknown artifacts
+// (evicted, or never registered) are ignored.
+func (r *Registry) Sync(art *core.Artifact) {
+	r.mu.Lock()
+	e, ok := r.byArt[art]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	nb := int64(art.FootprintBytes()) + e.srcBytes
+	r.bytes += nb - e.bytes
+	e.bytes = nb
+	e.lastUse = r.tick()
+	evicted := r.evictLocked(e)
+	r.mu.Unlock()
+	r.notifyEvicted(evicted)
+}
+
+// SyncAll re-reads every resident artifact's footprint and enforces the
+// byte budget.  Experiment sweeps grow artifacts outside the per-request
+// Sync path (the engine's Build hook returns the artifact, then predecodes
+// it at several degrees during the grid); calling SyncAll after a sweep
+// keeps the LRU accounting honest under experiment-heavy traffic.
+func (r *Registry) SyncAll() {
+	r.mu.Lock()
+	for _, e := range r.entries {
+		if e.building || e.err != nil {
+			continue
+		}
+		nb := int64(e.art.FootprintBytes()) + e.srcBytes
+		r.bytes += nb - e.bytes
+		e.bytes = nb
+	}
+	evicted := r.evictLocked(nil)
+	r.mu.Unlock()
+	r.notifyEvicted(evicted)
+}
+
+// Live reports whether the artifact is currently resident in the registry.
+// The service uses it at replayer check-in: a replayer warmed on an evicted
+// artifact's program must be discarded, not repooled, or it would sit under
+// a retired key (evicted artifacts rebuild to a fresh instance) holding the
+// whole structure chain alive for the process lifetime.
+func (r *Registry) Live(art *core.Artifact) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byArt[art]
+	return ok
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Entries = len(r.entries)
+	s.Bytes = r.bytes
+	s.CapacityBytes = r.capacity
+	return s
+}
+
+func (r *Registry) tick() int64 {
+	r.clock++
+	return r.clock
+}
+
+// evictLocked drops least-recently-used completed entries until the budget
+// is met, never dropping in-flight builds or the entry just touched (keep).
+// A single over-budget artifact is retained rather than thrashing: the cache
+// must always be able to serve the request that filled it.  Callers invoke
+// notifyEvicted on the returned artifacts after releasing the lock.
+func (r *Registry) evictLocked(keep *regEntry) []*core.Artifact {
+	if r.capacity <= 0 {
+		return nil
+	}
+	var evicted []*core.Artifact
+	for r.bytes > r.capacity {
+		var victim *regEntry
+		for _, e := range r.entries {
+			if e == keep || e.building {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break
+		}
+		delete(r.entries, victim.key)
+		delete(r.byArt, victim.art)
+		r.bytes -= victim.bytes
+		r.stats.Evictions++
+		evicted = append(evicted, victim.art)
+	}
+	return evicted
+}
+
+func (r *Registry) notifyEvicted(arts []*core.Artifact) {
+	if r.onEvict == nil {
+		return
+	}
+	for _, a := range arts {
+		r.onEvict(a)
+	}
+}

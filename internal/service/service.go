@@ -1,0 +1,292 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"uhm/internal/core"
+	"uhm/internal/sim"
+)
+
+// Options configures a Service.
+type Options struct {
+	// CapacityBytes is the registry's byte budget (0 = unbounded).
+	CapacityBytes int64
+	// MaxIdlePerKey bounds the warmed replayers kept per (program, strategy,
+	// config) class; zero selects runtime.GOMAXPROCS(0).
+	MaxIdlePerKey int
+	// Workers bounds concurrent requests, like core.Engine bounds grid
+	// cells; zero selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Stats snapshots every counter the service exposes.
+type Stats struct {
+	Registry RegistryStats
+	Pool     PoolStats
+}
+
+// Service is the façade over the registry and the pool: one instance serves
+// any number of concurrent requests, building each distinct program once and
+// replaying it on warmed simulators.  cmd/uhmd exposes it over HTTP;
+// cmd/uhmrun and cmd/uhmbench drive it in-process.
+type Service struct {
+	registry *Registry
+	pool     *Pool
+	workers  int
+	slots    chan struct{}
+	// exclusiveMu serializes AdmitExclusive callers so two multi-slot
+	// acquirers cannot interleave partial acquisitions and deadlock.
+	exclusiveMu sync.Mutex
+}
+
+// New constructs a Service and wires the registry's eviction callback to the
+// pool, so evicting an artifact also retires the replayers warmed on its
+// predecoded programs.
+func New(opts Options) *Service {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{
+		registry: NewRegistry(opts.CapacityBytes),
+		pool:     NewPool(opts.MaxIdlePerKey),
+		workers:  workers,
+		slots:    make(chan struct{}, workers),
+	}
+	s.registry.SetOnEvict(func(a *core.Artifact) {
+		for _, pp := range a.CachedPredecoded() {
+			s.pool.Invalidate(pp)
+		}
+	})
+	return s
+}
+
+// Registry returns the artifact registry (shared, concurrency-safe).
+func (s *Service) Registry() *Registry { return s.registry }
+
+// Pool returns the replayer pool (shared, concurrency-safe).
+func (s *Service) Pool() *Pool { return s.pool }
+
+// Workers returns the request-parallelism bound.
+func (s *Service) Workers() int { return s.workers }
+
+// Stats snapshots the registry and pool counters.
+func (s *Service) Stats() Stats {
+	return Stats{Registry: s.registry.Stats(), Pool: s.pool.Stats()}
+}
+
+// Engine returns a core.Engine whose workload builds go through the
+// registry: experiment sweeps run by the CLI and by the server share the
+// same artifact cache and therefore the same code path.
+func (s *Service) Engine() core.Engine {
+	return core.Engine{Workers: s.workers, Build: s.registry.Workload}
+}
+
+// acquire takes a request slot, honouring cancellation while waiting.  An
+// already-cancelled context is refused before a slot is taken (select picks
+// randomly among ready cases, so the explicit check is load-bearing).
+func (s *Service) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) release() { <-s.slots }
+
+// AdmitExclusive runs fn holding every request slot.  Work that fans out
+// internally to the full worker width — an experiment sweep through
+// Engine() — must be admitted here, not through Admit: holding one slot
+// while spawning Workers goroutines would put workers² of simulation on an
+// N-worker box.  With all slots held, total concurrency stays exactly at
+// the configured bound.  Acquisition honours cancellation; concurrent
+// exclusive callers are serialized so partial acquisitions cannot deadlock
+// against each other, and plain requests drain independently.
+func (s *Service) AdmitExclusive(ctx context.Context, fn func(ctx context.Context) error) error {
+	s.exclusiveMu.Lock()
+	defer s.exclusiveMu.Unlock()
+	acquired := 0
+	defer func() {
+		for ; acquired > 0; acquired-- {
+			s.release()
+		}
+	}()
+	for i := 0; i < s.workers; i++ {
+		if err := s.acquire(ctx); err != nil {
+			return err
+		}
+		acquired++
+	}
+	return fn(ctx)
+}
+
+// ArtifactSource returns the (possibly cached) artifact for source text.
+func (s *Service) ArtifactSource(name, src string, level core.Level) (*core.Artifact, error) {
+	return s.registry.Source(name, src, level)
+}
+
+// ArtifactWorkload returns the (possibly cached) artifact for a built-in
+// workload.
+func (s *Service) ArtifactWorkload(name string, level core.Level) (*core.Artifact, error) {
+	return s.registry.Workload(name, level)
+}
+
+// RunArtifact simulates the artifact under one organisation on a pooled
+// replayer.  The returned report is the caller's own copy.
+func (s *Service) RunArtifact(ctx context.Context, art *core.Artifact, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return s.runPooled(art, strategy, cfg)
+}
+
+// runPooled is the request hot path: predecode (cached on the artifact),
+// check out a warmed replayer, replay, clone the report, check the replayer
+// back in, and refresh the registry's byte accounting.
+func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
+	pp, err := art.Predecoded(cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	lease, err := s.pool.Acquire(pp, strategy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := lease.R.Replay()
+	if err != nil {
+		// A failed replay leaves the replayer's structures in a defined but
+		// partially-run state; Replay resets everything up front, so reuse
+		// is still sound — check in normally.
+		s.checkin(art, lease)
+		return nil, err
+	}
+	out := rep.Clone()
+	s.checkin(art, lease)
+	s.registry.Sync(art)
+	return out, nil
+}
+
+// checkin returns a lease, repooling only when the artifact is still
+// resident in the registry.  The liveness check closes the eviction race
+// Pool.Invalidate alone cannot see: a lease taken on a stale artifact after
+// its eviction (no outstanding lease existed at invalidation time, so no
+// dead mark) would otherwise repopulate an unreachable pool key.  An
+// eviction racing this check is still safe — the lease is outstanding until
+// checkin runs, so Invalidate marks the program dead and the check-in
+// discards.
+func (s *Service) checkin(art *core.Artifact, lease *Lease) {
+	if s.registry.Live(art) {
+		lease.Release()
+	} else {
+		lease.Discard()
+	}
+}
+
+// RunSource builds (or finds) the artifact for the source text and runs it.
+func (s *Service) RunSource(ctx context.Context, name, src string, level core.Level, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	art, err := s.registry.Source(name, src, level)
+	if err != nil {
+		return nil, err
+	}
+	return s.runPooled(art, strategy, cfg)
+}
+
+// RunWorkload builds (or finds) a built-in workload's artifact and runs it.
+func (s *Service) RunWorkload(ctx context.Context, name string, level core.Level, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	art, err := s.registry.Workload(name, level)
+	if err != nil {
+		return nil, err
+	}
+	return s.runPooled(art, strategy, cfg)
+}
+
+// CompareArtifact runs every organisation on pooled replayers and verifies
+// the paper's equivalence invariant.  Reports come back in core.Strategies()
+// order; on divergence they are returned alongside the error so the caller
+// can render a diff.
+func (s *Service) CompareArtifact(ctx context.Context, art *core.Artifact, cfg sim.Config) ([]*sim.Report, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return s.comparePooled(ctx, art, cfg)
+}
+
+// comparePooled runs all strategies under an already-held request slot.
+func (s *Service) comparePooled(ctx context.Context, art *core.Artifact, cfg sim.Config) ([]*sim.Report, error) {
+	var reports []*sim.Report
+	for _, strategy := range core.Strategies() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rep, err := s.runPooled(art, strategy, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", strategy, err)
+		}
+		reports = append(reports, rep)
+	}
+	if err := sim.VerifyOutputs(reports); err != nil {
+		return reports, err
+	}
+	return reports, nil
+}
+
+// CompareSource builds (or finds) the artifact for the source text and
+// compares every organisation on it.
+func (s *Service) CompareSource(ctx context.Context, name, src string, level core.Level, cfg sim.Config) ([]*sim.Report, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	art, err := s.registry.Source(name, src, level)
+	if err != nil {
+		return nil, err
+	}
+	return s.comparePooled(ctx, art, cfg)
+}
+
+// CompareWorkload builds (or finds) a built-in workload's artifact and
+// compares every organisation on it.
+func (s *Service) CompareWorkload(ctx context.Context, name string, level core.Level, cfg sim.Config) ([]*sim.Report, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	art, err := s.registry.Workload(name, level)
+	if err != nil {
+		return nil, err
+	}
+	return s.comparePooled(ctx, art, cfg)
+}
+
+// Conformance runs the full differential cross-product on one source
+// program.  It deliberately does not use the registry or the pool: the
+// harness's value is that it rebuilds everything from scratch and checks the
+// cached paths against the fresh ones.
+func (s *Service) Conformance(ctx context.Context, name, src string, cfg sim.Config) ([]core.Divergence, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.CheckConformance(name, src, cfg)
+}

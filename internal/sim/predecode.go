@@ -10,8 +10,10 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"uhm/internal/dir"
+	"uhm/internal/memory"
 	"uhm/internal/psder"
 	"uhm/internal/translate"
 )
@@ -31,10 +33,12 @@ type PredecodedProgram struct {
 	costs         []dir.DecodeCost // decode cost of each instruction
 	encoded       [][]uint32       // buffer-array image of each translation
 	expandedWords int              // total PSDER words of the full expansion
+	baseBytes     int              // resident bytes of the eagerly built forms
 
-	compileOnce sync.Once
-	compiled    *dir.CompiledProgram
-	compileErr  error
+	compileOnce   sync.Once
+	compiled      *dir.CompiledProgram
+	compileErr    error
+	compiledWords atomic.Int64 // footprint of the lazily built compiled form
 }
 
 // Predecode encodes the program at the given degree and predecodes the
@@ -73,8 +77,22 @@ func PredecodeBinary(bin *dir.Binary) (*PredecodedProgram, error) {
 		pp.seqs[pc] = seq
 		pp.encoded[pc] = enc
 		pp.expandedWords += seq.Words()
+		pp.baseBytes += len(enc) * 4
 	}
+	// The byte accounting the service registry evicts on: the encoded static
+	// representation, the per-pc PSDER sequences and buffer-array images, and
+	// the recorded decode costs (two machine ints per pc).
+	pp.baseBytes += bin.SizeBytes() + pp.expandedWords*memory.WordBytes + len(pd.Costs)*16
 	return pp, nil
+}
+
+// FootprintBytes estimates the resident size of the predecoded forms: the
+// encoded binary, the PSDER sequences, the buffer-array images, the decode
+// costs, and — once built — the closure-compiled program.  The service
+// registry charges this against its byte budget when deciding what to evict.
+// Safe for concurrent use with Compiled.
+func (pp *PredecodedProgram) FootprintBytes() int {
+	return pp.baseBytes + int(pp.compiledWords.Load())*memory.WordBytes
 }
 
 // Degree returns the encoding degree of the predecoded binary.
@@ -106,6 +124,11 @@ func (pp *PredecodedProgram) ExpandedWords() int { return pp.expandedWords }
 // program is immutable and may back any number of concurrent runs; each run
 // supplies its own dir.MachineState.
 func (pp *PredecodedProgram) Compiled() (*dir.CompiledProgram, error) {
-	pp.compileOnce.Do(func() { pp.compiled, pp.compileErr = dir.Compile(pp.Program) })
+	pp.compileOnce.Do(func() {
+		pp.compiled, pp.compileErr = dir.Compile(pp.Program)
+		if pp.compileErr == nil {
+			pp.compiledWords.Store(int64(pp.compiled.FootprintWords()))
+		}
+	})
 	return pp.compiled, pp.compileErr
 }

@@ -88,6 +88,36 @@ func DefaultConfig() Config {
 	}
 }
 
+// Normalize returns the configuration with every defaulted field resolved
+// (zero MaxInstructions and MaxDepth select the defaults), so two
+// configurations that select identical behaviour compare equal.
+func (c Config) Normalize() Config {
+	if c.MaxInstructions <= 0 {
+		c.MaxInstructions = DefaultConfig().MaxInstructions
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = DefaultConfig().MaxDepth
+	}
+	return c
+}
+
+// Fingerprint is a cheap comparable identity for a Config: two configurations
+// with the same fingerprint select byte-identical simulation behaviour.  It
+// is valid as a map key, which is exactly how the service layer's replayer
+// pool uses it.
+type Fingerprint struct {
+	cfg Config
+}
+
+// Fingerprint returns the configuration's identity.  Every Config field is a
+// flat value type, so the fingerprint is a plain struct comparison — no
+// hashing, no allocation.
+func (c Config) Fingerprint() Fingerprint { return Fingerprint{cfg: c.Normalize()} }
+
+// Equivalent reports whether two configurations select identical simulation
+// behaviour (they normalize to the same configuration).
+func (c Config) Equivalent(o Config) bool { return c.Fingerprint() == o.Fingerprint() }
+
 // Measured are the §7 model parameters as actually observed during the run.
 type Measured struct {
 	D  float64 // average decode steps per decoded instruction
@@ -132,6 +162,16 @@ type Report struct {
 	DTBStats   dtb.Stats
 	CacheStats cache.Stats
 	Memory     memory.Stats
+}
+
+// Clone returns a deep copy of the report.  Replayer.Replay returns a report
+// owned by the Replayer and overwritten by the next Replay; callers that hand
+// the Replayer back to a pool (or replay again) while keeping the report must
+// clone it first.
+func (r *Report) Clone() *Report {
+	c := *r
+	c.Output = slices.Clone(r.Output)
+	return &c
 }
 
 // Errors.
@@ -209,12 +249,7 @@ func NewReplayer(pp *PredecodedProgram, strategy Strategy, cfg Config) (*Replaye
 		return nil, fmt.Errorf("sim: config degree %v does not match predecoded degree %v",
 			cfg.Degree, pp.Degree())
 	}
-	if cfg.MaxInstructions <= 0 {
-		cfg.MaxInstructions = DefaultConfig().MaxInstructions
-	}
-	if cfg.MaxDepth <= 0 {
-		cfg.MaxDepth = DefaultConfig().MaxDepth
-	}
+	cfg = cfg.Normalize()
 	r := &Replayer{cfg: cfg, strategy: strategy, pp: pp}
 
 	p, bin := pp.Program, pp.Binary
