@@ -450,6 +450,68 @@ func BenchmarkReplayCompiled(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceRecord measures the "trace once" half of the trace-once/
+// cost-many split: one canonical execution (the closure-compiled backend)
+// recording the dynamic pc stream, output, peak depth and semantic cost.
+// This is the amortised cost every derived report shares.
+func BenchmarkTraceRecord(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := benchConfig()
+	pp, err := sim.Predecode(dp, cfg.Degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pp.Trace(); err != nil { // build the compiled form outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := pp.RecordTrace()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(tr.Instructions()), "instrs/trace")
+		}
+	}
+}
+
+// BenchmarkDeriveReport measures the "cost many" half: streaming the recorded
+// trace through each organisation's cost model on a warm Replayer.  Against
+// BenchmarkReplaySteadyState this is the per-strategy speedup the tentpole
+// buys — no semantics re-run, just the DTB/cache state machines and the
+// per-pc cost tables.
+func BenchmarkDeriveReport(b *testing.B) {
+	dp := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := benchConfig()
+	pp, err := sim.Predecode(dp, cfg.Degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pp.Trace(); err != nil { // record outside the timer
+		b.Fatal(err)
+	}
+	for _, strategy := range sim.Strategies() {
+		b.Run(strategy.String(), func(b *testing.B) {
+			rep, err := sim.NewReplayer(pp, strategy, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rep.Derive(); err != nil { // warm-up
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rep.Derive(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompileProgram measures dir.Compile throughput: the one-time cost
 // of lowering a workload to direct-threaded closures, the compiled
 // organisation's analogue of BenchmarkPredecode.

@@ -7,6 +7,11 @@
 // CPU); -parallel=false selects the serial engine, which produces the same
 // bytes cell for cell.  An interrupt (Ctrl-C) cancels the sweep.
 //
+// Grid cells derive their cost reports from each program's shared execution
+// trace by default (-mode derived); -mode simulated restores the full
+// interleaved execute-and-cost loop, and -mode crosscheck runs both and fails
+// on any field divergence.  All three produce identical reports.
+//
 // Usage:
 //
 //	uhmbench -exp all
@@ -61,6 +66,7 @@ func realMain() int {
 	workloadName := flag.String("workload", "", "workload for the figure experiments (default chosen per experiment)")
 	parallel := flag.Bool("parallel", true, "run experiment grids on the parallel engine")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel engine and the conformance sweep (0 = one per CPU)")
+	mode := flag.String("mode", "derived", "how grid cells produce reports: derived (trace-once, cost-many), simulated (full interleaved loop), crosscheck (both, fail on divergence)")
 	genCount := flag.Int("gen", 0, "conformance mode: check this many generated programs instead of running experiments")
 	genSeed := flag.Int64("seed", 1, "first seed of the conformance sweep")
 	noMinimize := flag.Bool("nominimize", false, "conformance mode: skip shrinking failing programs")
@@ -95,8 +101,13 @@ func realMain() int {
 	}
 	svc := service.New(service.Options{Workers: engineWorkers})
 	engine := svc.Engine()
+	runMode, err := core.ParseRunMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uhmbench: -mode:", err)
+		return 1
+	}
+	engine.Mode = runMode
 	cfg := core.DefaultConfig()
-	var err error
 	if *genCount > 0 {
 		err = runConformance(ctx, *genSeed, *genCount, *workers, !*noMinimize, cfg)
 	} else {

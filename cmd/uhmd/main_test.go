@@ -211,6 +211,12 @@ func TestCompareEndpoint(t *testing.T) {
 		if !slices.Equal(rep.Output, resp.Output) {
 			t.Fatalf("%s output %v, want %v", rep.Strategy, rep.Output, resp.Output)
 		}
+		// The service hot path serves trace-derived reports; the trace is
+		// recorded under the artifact's sync.Once on the cold request, so
+		// even a comparison's first report is derived.
+		if !rep.Derived {
+			t.Fatalf("%s report not trace-derived", rep.Strategy)
+		}
 	}
 }
 

@@ -48,6 +48,10 @@ type reportJSON struct {
 	// the dtb and cache strategies respectively.
 	DTBHitRatio   float64 `json:"dtb_hit_ratio"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Derived reports that the costs were derived from the program's shared
+	// execution trace rather than a full simulation (the two are
+	// field-for-field identical; this records which path served the request).
+	Derived bool `json:"derived"`
 }
 
 func reportToJSON(program string, level core.Level, rep *sim.Report) reportJSON {
@@ -70,6 +74,7 @@ func reportToJSON(program string, level core.Level, rep *sim.Report) reportJSON 
 		CompiledWords:   rep.CompiledWords,
 		DTBHitRatio:     rep.Measured.HD,
 		CacheHitRatio:   rep.Measured.HC,
+		Derived:         rep.Derived,
 	}
 }
 

@@ -157,6 +157,24 @@ func (c *Cache) Access(addr uint64) bool {
 	return false
 }
 
+// ChargeSpan advances the cache state machine over the consecutive words
+// [firstWord, lastWord] of the cached segment (each wordBytes wide) exactly
+// as per-word Access calls would, and reports how many hit and how many
+// missed.  It is the pure cost-replay entry point of the trace-once/cost-many
+// split: a derivation streaming a recorded fetch trace through ChargeSpan
+// leaves the directory, recency and statistics in the same state as the fully
+// simulated fetch loop.
+func (c *Cache) ChargeSpan(firstWord, lastWord, wordBytes int) (hits, misses int) {
+	for w := firstWord; w <= lastWord; w++ {
+		if c.Access(uint64(w * wordBytes)) {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	return hits, misses
+}
+
 // Contains reports whether the line holding addr is currently resident,
 // without updating recency or statistics.
 func (c *Cache) Contains(addr uint64) bool {

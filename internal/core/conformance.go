@@ -11,6 +11,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -53,6 +54,7 @@ const (
 	DivergeSimError   = "sim-error"   // a strategy failed outright
 	DivergeCompile    = "compile"     // compilation failed at one level
 	DivergeOutputSize = "output-size" // a strategy printed a different number of values
+	DivergeDerived    = "derived"     // the trace-derived report differs from the simulated one
 )
 
 func (d Divergence) String() string {
@@ -248,6 +250,22 @@ func checkStrategy(name string, pp *sim.PredecodedProgram, want []int64, wantIns
 	// interpreter (and hence across every strategy).
 	if instrs1 != wantInstrs {
 		report(DivergeSimCount, fmt.Sprintf("executed %d instructions, reference DIR executed %d", instrs1, wantInstrs))
+	}
+
+	// Invariant (d), the trace-once/cost-many contract: the report derived
+	// from the shared execution trace must equal the simulated one in every
+	// field.  Derive overwrites the Replayer-owned report, so the simulated
+	// one is cloned first.  A declined trace (ErrNoTrace) is not a
+	// divergence — it is the documented fallback —  but any other failure or
+	// field difference is.
+	sim1 := r1.Clone()
+	der, err := rp.Derive()
+	if err != nil && !errors.Is(err, sim.ErrNoTrace) {
+		report(DivergeDerived, fmt.Sprintf("derive: %v", err))
+	} else if err == nil {
+		if diff := sim.DiffReports(der, sim1); diff != "" {
+			report(DivergeDerived, fmt.Sprintf("derived report differs from simulated: %s", diff))
+		}
 	}
 
 	// Replay determinism: a second Replay on the reused structures must be

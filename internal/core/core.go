@@ -183,14 +183,96 @@ func (a *Artifact) Encode(degree Degree) (*dir.Binary, error) {
 // Disassemble returns the DIR program listing.
 func (a *Artifact) Disassemble() string { return a.DIR.Disassemble() }
 
+// RunMode selects how a simulation's cost report is produced: derived from
+// the artifact's shared execution trace (the default — the trace-once,
+// cost-many fast path, falling back to full simulation whenever the trace
+// cannot answer exactly), fully simulated, or both with a field-for-field
+// cross-check.
+type RunMode int
+
+const (
+	// ModeDerived derives reports from the shared execution trace, falling
+	// back to full simulation when no exact trace is available.
+	ModeDerived RunMode = iota
+	// ModeSimulated always runs the full simulation.
+	ModeSimulated
+	// ModeCrossCheck runs both paths and errors if any report field differs.
+	ModeCrossCheck
+)
+
+// String names the mode as ParseRunMode accepts it.
+func (m RunMode) String() string {
+	switch m {
+	case ModeDerived:
+		return "derived"
+	case ModeSimulated:
+		return "simulated"
+	case ModeCrossCheck:
+		return "crosscheck"
+	}
+	return fmt.Sprintf("RunMode(%d)", int(m))
+}
+
+// ParseRunMode parses a RunMode name as accepted on the command line.
+func ParseRunMode(s string) (RunMode, error) {
+	switch s {
+	case "derived":
+		return ModeDerived, nil
+	case "simulated":
+		return ModeSimulated, nil
+	case "crosscheck":
+		return ModeCrossCheck, nil
+	}
+	return 0, fmt.Errorf("core: unknown run mode %q (want derived, simulated or crosscheck)", s)
+}
+
 // Run simulates the artifact under one machine organisation, sharing the
-// artifact's cached predecoded program.
+// artifact's cached predecoded program.  The report is derived from the
+// artifact's shared execution trace when the trace can answer exactly, and
+// fully simulated otherwise — the two are field-for-field identical, so
+// callers need not care which path ran (Report.Derived records it).
 func Run(a *Artifact, strategy Strategy, cfg Config) (*Report, error) {
 	pp, err := a.Predecoded(cfg.Degree)
 	if err != nil {
 		return nil, err
 	}
+	return sim.RunDerived(pp, strategy, cfg)
+}
+
+// RunSimulated simulates the artifact under one machine organisation with the
+// full interleaved execution-and-costing loop, bypassing the trace fast path.
+func RunSimulated(a *Artifact, strategy Strategy, cfg Config) (*Report, error) {
+	pp, err := a.Predecoded(cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
 	return sim.RunPredecoded(pp, strategy, cfg)
+}
+
+// RunCrossChecked runs both the derived and the fully simulated path and
+// verifies they agree on every report field; any divergence is an error.  The
+// simulated report is returned, so a cross-checked sweep is byte-identical to
+// a simulated one.
+func RunCrossChecked(a *Artifact, strategy Strategy, cfg Config) (*Report, error) {
+	pp, err := a.Predecoded(cfg.Degree)
+	if err != nil {
+		return nil, err
+	}
+	simulated, err := sim.RunPredecoded(pp, strategy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	derived, err := sim.RunDerived(pp, strategy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if derived.Derived {
+		if diff := sim.DiffReports(derived, simulated); diff != "" {
+			return nil, fmt.Errorf("core: %s/%v/%v: derived report diverges from simulation: %s",
+				a.Name, strategy, cfg.Degree, diff)
+		}
+	}
+	return simulated, nil
 }
 
 // Compare simulates the artifact under every organisation and verifies that

@@ -34,6 +34,25 @@ type Engine struct {
 	// the CLI and from the long-running server share one artifact cache and
 	// exercise the same code path.
 	Build func(name string, level Level) (*Artifact, error)
+
+	// Mode selects how each grid cell's report is produced.  The zero value is
+	// ModeDerived: cost reports stream from each artifact's shared execution
+	// trace, recorded once, and fall back to full simulation when the trace
+	// cannot answer exactly.  ModeSimulated restores the interleaved loop;
+	// ModeCrossCheck runs both and fails the sweep on any field divergence.
+	Mode RunMode
+}
+
+// run produces one grid cell's report under the engine's Mode.
+func (e Engine) run(a *Artifact, strategy Strategy, cfg Config) (*Report, error) {
+	switch e.Mode {
+	case ModeSimulated:
+		return RunSimulated(a, strategy, cfg)
+	case ModeCrossCheck:
+		return RunCrossChecked(a, strategy, cfg)
+	default:
+		return Run(a, strategy, cfg)
+	}
 }
 
 // SerialEngine returns the engine that runs every grid cell sequentially.
@@ -165,7 +184,7 @@ func (e Engine) Figure1(ctx context.Context, workloads []string, cfg Config) ([]
 		art, degree := arts[i/len(degrees)], degrees[i%len(degrees)]
 		runCfg := cfg
 		runCfg.Degree = degree
-		rep, err := Run(art, Conventional, runCfg)
+		rep, err := e.run(art, Conventional, runCfg)
 		if err != nil {
 			return fmt.Errorf("figure1 %s/%v/%v: %w", art.Name, art.Level, degree, err)
 		}
@@ -218,7 +237,7 @@ func (e Engine) Figure2(ctx context.Context, workloadName string, cfg Config) (s
 		if runCfg.DTB.UnitWords == 0 {
 			runCfg.DTB.UnitWords = 4
 		}
-		rep, err := Run(art, WithDTB, runCfg)
+		rep, err := e.run(art, WithDTB, runCfg)
 		if err != nil {
 			return err
 		}
@@ -275,7 +294,7 @@ func (e Engine) Empirical(ctx context.Context, workloads []string, cfg Config) (
 	reports := make([]*Report, len(arts)*len(strategies))
 	err = e.forEach(ctx, len(reports), func(i int) error {
 		art, strategy := arts[i/len(strategies)], strategies[i%len(strategies)]
-		rep, err := Run(art, strategy, cfg)
+		rep, err := e.run(art, strategy, cfg)
 		if err != nil {
 			return fmt.Errorf("empirical %s: %v: %w", art.Name, strategy, err)
 		}

@@ -902,6 +902,45 @@ func (c *CompiledProgram) Run(m *MachineState, maxInstrs int64, maxDepth int) (C
 	}
 }
 
+// RunTraced executes exactly like Run while appending the DIR index of every
+// retired instruction to pcs (a fused superinstruction appends both of its
+// constituent pcs, preserving the interpreted dynamic order — fusion never
+// spans a control transfer).  The grown slice is returned along with the same
+// statistics Run would report.  This is the canonical-execution entry point of
+// the trace-once/cost-many split: one traced run feeds every organisation's
+// cost derivation.
+func (c *CompiledProgram) RunTraced(m *MachineState, maxInstrs int64, maxDepth int, pcs []int32) ([]int32, CompiledRunStats, error) {
+	if maxInstrs <= 0 {
+		maxInstrs = DefaultExecOptions().MaxSteps
+	}
+	if maxDepth <= 0 {
+		maxDepth = DefaultExecOptions().MaxDepth
+	}
+	var stats CompiledRunStats
+	idx := c.entry
+	for {
+		if stats.Instructions >= maxInstrs {
+			return pcs, stats, fmt.Errorf("%w after %d instructions", ErrStepLimit, stats.Instructions)
+		}
+		op := &c.ops[idx]
+		stats.Instructions += op.instrs
+		stats.SemanticCost += op.cost
+		stats.Fetches++
+		pcs = append(pcs, int32(op.pc))
+		if op.instrs == 2 {
+			pcs = append(pcs, int32(op.pc+1))
+		}
+		next, err := op.fn(m, maxDepth)
+		if err != nil {
+			return pcs, stats, fmt.Errorf("dir: compiled pc %d (%s): %w", op.pc, c.prog.Instrs[op.pc], err)
+		}
+		if next == haltIndex {
+			return pcs, stats, nil
+		}
+		idx = next
+	}
+}
+
 // Execute compiles nothing further: it runs the compiled program on a fresh
 // machine state, returning the same observables as the reference interpreter
 // (Execute) so the two can be differentially compared.  OpcodeCounts is not

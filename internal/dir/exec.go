@@ -112,6 +112,7 @@ type MachineState struct {
 	stack   []int64
 	current *Frame
 	frames  int
+	peak    int // high-water mark of frames, for bounds-equivalence checks
 	output  []int64
 	pool    []*Frame // recycled activation records (see newFrame)
 }
@@ -120,7 +121,7 @@ type MachineState struct {
 // procedure.
 func NewMachineState(p *Program) *MachineState {
 	main := &Frame{Proc: 0, Slots: make([]int64, p.Procs[0].FrameSlots), RetAddr: -1}
-	return &MachineState{prog: p, current: main, frames: 1}
+	return &MachineState{prog: p, current: main, frames: 1, peak: 1}
 }
 
 // newFrame produces a zeroed activation record for proc, recycling a frame
@@ -156,6 +157,7 @@ func (m *MachineState) Reset() {
 	m.current = m.newFrame(0, m.prog.Procs[0].FrameSlots)
 	m.current.RetAddr = -1
 	m.frames = 1
+	m.peak = 1
 	m.stack = m.stack[:0]
 	m.output = m.output[:0]
 }
@@ -168,6 +170,13 @@ func (m *MachineState) StackDepth() int { return len(m.stack) }
 
 // CallDepth returns the activation-stack depth.
 func (m *MachineState) CallDepth() int { return m.frames }
+
+// PeakDepth returns the deepest activation-stack depth the run has reached.
+// A run succeeds under a depth limit d exactly when PeakDepth ≤ d (Call
+// rejects the frame that would make the depth exceed d), which is what lets a
+// recorded execution trace answer "would this run fit in limit d?" without
+// re-executing.
+func (m *MachineState) PeakDepth() int { return m.peak }
 
 // CurrentFrame returns the active frame (for tests and diagnostics).
 func (m *MachineState) CurrentFrame() *Frame { return m.current }
@@ -272,6 +281,9 @@ func (m *MachineState) Call(proc, nargs, retAddr, maxDepth int) (int, error) {
 	frame.caller = m.current
 	m.current = frame
 	m.frames++
+	if m.frames > m.peak {
+		m.peak = m.frames
+	}
 	return info.Entry, nil
 }
 

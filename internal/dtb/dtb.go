@@ -283,13 +283,51 @@ func (d *DTB) read(e *entry) []uint32 {
 // VariableOverflow additional blocks are taken from the overflow area.
 // Install returns the number of buffer-array words written.
 func (d *DTB) Install(dirAddr uint64, words []uint32) (int, error) {
-	if len(words) == 0 {
-		return 0, errors.New("dtb: empty translation")
+	e, err := d.install(dirAddr, len(words))
+	if err != nil {
+		return 0, err
 	}
-	needUnits := (len(words) + d.cfg.UnitWords - 1) / d.cfg.UnitWords
+	// Write the words into the primary unit, then into overflow blocks.
+	written := 0
+	writeUnit := func(unit int) {
+		base := unit * d.cfg.UnitWords
+		for i := 0; i < d.cfg.UnitWords && written < len(words); i++ {
+			d.buffer[base+i] = words[written]
+			written++
+		}
+	}
+	writeUnit(e.bufUnit)
+	for _, ov := range e.overflow {
+		writeUnit(ov)
+	}
+	return written, nil
+}
+
+// InstallLen performs exactly the allocation, replacement and statistics
+// bookkeeping of Install for a translation of n words, without copying a word
+// image into the buffer array.  It is the pure cost-replay entry point of the
+// trace-once/cost-many split: every placement decision (victim choice,
+// overflow allocation, rejection) depends only on translation lengths, so a
+// cost derivation driving InstallLen leaves the DTB in a state
+// hit/miss-indistinguishable from a run that installed real words.
+func (d *DTB) InstallLen(dirAddr uint64, n int) (int, error) {
+	if _, err := d.install(dirAddr, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// install is the shared allocation core of Install and InstallLen: it selects
+// and prepares the entry for an n-word translation of dirAddr, updating every
+// statistic, and returns the entry words should be written into.
+func (d *DTB) install(dirAddr uint64, n int) (*entry, error) {
+	if n == 0 {
+		return nil, errors.New("dtb: empty translation")
+	}
+	needUnits := (n + d.cfg.UnitWords - 1) / d.cfg.UnitWords
 	if d.cfg.Policy == Fixed && needUnits > 1 {
 		d.stats.RejectedSize++
-		return 0, fmt.Errorf("%w: %d words > unit of %d", ErrTooLarge, len(words), d.cfg.UnitWords)
+		return nil, fmt.Errorf("%w: %d words > unit of %d", ErrTooLarge, n, d.cfg.UnitWords)
 	}
 
 	set := d.sets[d.setOf(dirAddr)]
@@ -328,7 +366,7 @@ func (d *DTB) Install(dirAddr uint64, words []uint32) (int, error) {
 			// Not enough overflow space: leave the entry invalid and report.
 			e.valid = false
 			d.stats.RejectedSize++
-			return 0, fmt.Errorf("%w: need %d blocks, %d free", ErrNoOverflow, overflowNeeded, len(d.free))
+			return nil, fmt.Errorf("%w: need %d blocks, %d free", ErrNoOverflow, overflowNeeded, len(d.free))
 		}
 		// Pop from the end of the free list and reuse the entry's overflow
 		// slice: neither side allocates in the steady state, and slicing
@@ -343,25 +381,11 @@ func (d *DTB) Install(dirAddr uint64, words []uint32) (int, error) {
 
 	e.valid = true
 	e.tag = dirAddr
-	e.length = len(words)
+	e.length = n
 	d.clock++
 	e.lastUse = d.clock
 	d.stats.Installs++
-
-	// Write the words into the primary unit, then into overflow blocks.
-	written := 0
-	writeUnit := func(unit int) {
-		base := unit * d.cfg.UnitWords
-		for i := 0; i < d.cfg.UnitWords && written < len(words); i++ {
-			d.buffer[base+i] = words[written]
-			written++
-		}
-	}
-	writeUnit(e.bufUnit)
-	for _, ov := range e.overflow {
-		writeUnit(ov)
-	}
-	return written, nil
+	return e, nil
 }
 
 // releaseOverflow returns an entry's overflow blocks to the free list.  The

@@ -150,8 +150,12 @@ func (s *Service) RunArtifact(ctx context.Context, art *core.Artifact, strategy 
 }
 
 // runPooled is the request hot path: predecode (cached on the artifact),
-// check out a warmed replayer, replay, clone the report, check the replayer
-// back in, and refresh the registry's byte accounting.
+// check out a warmed replayer, derive the report from the artifact's shared
+// execution trace (recorded once per predecoded program, counted in its
+// footprint, falling back to a full replay when the trace cannot answer
+// exactly), clone the report, check the replayer back in, and refresh the
+// registry's byte accounting — which now includes the cached trace, so it is
+// evicted with its artifact.
 func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
 	pp, err := art.Predecoded(cfg.Degree)
 	if err != nil {
@@ -161,7 +165,7 @@ func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.C
 	if err != nil {
 		return nil, err
 	}
-	rep, err := lease.R.Replay()
+	rep, err := lease.R.ReplayDerived()
 	if err != nil {
 		// A failed replay leaves the replayer's structures in a defined but
 		// partially-run state; Replay resets everything up front, so reuse

@@ -625,3 +625,125 @@ func TestServiceEvictionRetiresPooledReplayers(t *testing.T) {
 		t.Fatalf("eviction did not retire pooled replayers: %+v", st.Pool)
 	}
 }
+
+// TestServiceRequestsAreDerived: the request hot path serves trace-derived
+// reports — the trace is recorded once on the cold request and every
+// organisation's report streams from it thereafter.
+func TestServiceRequestsAreDerived(t *testing.T) {
+	svc := New(Options{})
+	ctx := context.Background()
+	cfg := testConfig()
+	for _, strategy := range core.Strategies() {
+		rep, err := svc.RunWorkload(ctx, "fib", core.LevelStack, strategy, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Derived {
+			t.Errorf("%v: pooled report not trace-derived", strategy)
+		}
+	}
+}
+
+// TestRegistryAccountsTraceFootprint: the recorded trace is charged to the
+// registry's byte budget.  After a derived request the artifact's accounted
+// bytes cover the trace's SizeBytes, so the LRU sees it.
+func TestRegistryAccountsTraceFootprint(t *testing.T) {
+	svc := New(Options{})
+	ctx := context.Background()
+	cfg := testConfig()
+
+	art, err := svc.ArtifactWorkload("loopsum", core.LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Registry().Stats().Bytes
+
+	// The first derived request records the trace (and builds the compiled
+	// backend it runs on); Sync folds both into the accounting.
+	if _, err := svc.RunArtifact(ctx, art, sim.Conventional, cfg); err != nil {
+		t.Fatal(err)
+	}
+	after := svc.Registry().Stats().Bytes
+
+	pp, err := art.Predecoded(cfg.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pp.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if growth := after - before; growth < int64(tr.SizeBytes()) {
+		t.Errorf("registry bytes grew by %d after the derived request, want at least the trace's %d",
+			growth, tr.SizeBytes())
+	}
+	// The registry accounts the footprint plus the cached source text, so its
+	// total must cover the grown footprint in full.
+	if after < int64(art.FootprintBytes()) {
+		t.Errorf("registry accounts %d bytes, artifact footprint is %d — Sync out of date", after, art.FootprintBytes())
+	}
+}
+
+// TestTraceDiesWithEvictedArtifact closes the ownership chain for the trace:
+// when the registry evicts an artifact, the trace cached on its predecoded
+// program goes with it — the registry's accounted bytes drop by the full
+// footprint including the trace, and nothing retains the predecoded program.
+func TestTraceDiesWithEvictedArtifact(t *testing.T) {
+	svc := New(Options{CapacityBytes: 1})
+	ctx := context.Background()
+	cfg := testConfig()
+
+	// Cold request: builds loopsum, records its trace, serves derived.
+	if _, err := svc.RunWorkload(ctx, "loopsum", core.LevelStack, sim.WithDTB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	art, err := svc.ArtifactWorkload("loopsum", core.LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := art.Predecoded(cfg.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pp.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTrace := svc.Registry().Stats().Bytes
+	if withTrace < int64(tr.SizeBytes()) {
+		t.Fatalf("accounted bytes %d below the trace size %d", withTrace, tr.SizeBytes())
+	}
+
+	// A different program over the 1-byte budget evicts loopsum; its bytes —
+	// trace included — leave the budget in one piece.
+	if _, err := svc.RunWorkload(ctx, "fib", core.LevelStack, sim.WithDTB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Registry().Live(art) {
+		t.Fatal("test premise: loopsum should have been evicted")
+	}
+	dropped := withTrace - svc.Registry().Stats().Bytes + foot(t, svc, "fib", cfg)
+	if dropped < int64(tr.SizeBytes()) {
+		t.Errorf("eviction released %d bytes, want at least the traced artifact's %d-byte trace",
+			dropped, tr.SizeBytes())
+	}
+	// A fresh request for loopsum rebuilds and re-records from scratch: the
+	// evicted trace is gone, not resurrected from a side cache.
+	art2, err := svc.ArtifactWorkload("loopsum", core.LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art2 == art {
+		t.Fatal("evicted artifact was returned again")
+	}
+}
+
+// foot returns the accounted footprint of one resident workload artifact.
+func foot(t *testing.T, svc *Service, name string, cfg sim.Config) int64 {
+	t.Helper()
+	a, err := svc.ArtifactWorkload(name, core.LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(a.FootprintBytes())
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"uhm/internal/compile"
+	"uhm/internal/dir"
+	"uhm/internal/workload"
+)
+
+// TestDeriveMatchesReplay is the tentpole's exactness claim: for every
+// workload, encoding degree and strategy, the report derived from the shared
+// execution trace equals the fully simulated report in every field except the
+// Derived marker.
+func TestDeriveMatchesReplay(t *testing.T) {
+	for _, wl := range []string{"loopsum", "fib", "sieve", "callheavy"} {
+		p := workload.MustCompileAt(wl, compile.LevelStack)
+		for _, degree := range dir.Degrees() {
+			cfg := DefaultConfig()
+			cfg.Degree = degree
+			pp, err := Predecode(p, degree)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", wl, degree, err)
+			}
+			for _, strategy := range Strategies() {
+				rep, err := NewReplayer(pp, strategy, cfg)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", wl, degree, strategy, err)
+				}
+				simulated, err := rep.Replay()
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", wl, degree, strategy, err)
+				}
+				want := simulated.Clone()
+				derived, err := rep.Derive()
+				if err != nil {
+					t.Fatalf("%s/%v/%v: Derive: %v", wl, degree, strategy, err)
+				}
+				if !derived.Derived {
+					t.Errorf("%s/%v/%v: derived report not marked Derived", wl, degree, strategy)
+				}
+				if diff := DiffReports(derived, want); diff != "" {
+					t.Errorf("%s/%v/%v: derived report diverges from simulation: %s",
+						wl, degree, strategy, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveIsRepeatable checks that deriving twice from the same Replayer
+// (state machines reset per derivation) gives identical reports.
+func TestDeriveIsRepeatable(t *testing.T) {
+	p := workload.MustCompileAt("fib", compile.LevelStack)
+	cfg := DefaultConfig()
+	pp, err := Predecode(p, cfg.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range Strategies() {
+		rep, err := NewReplayer(pp, strategy, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := rep.Derive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := first.Clone()
+		second, err := rep.Derive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := DiffReports(second, want); diff != "" {
+			t.Errorf("%v: second derivation diverges: %s", strategy, diff)
+		}
+	}
+}
+
+// TestDeriveDeclinesOutOfBoundsTrace checks the decline rule: a configuration
+// whose bounds the recorded trace exceeds must get ErrNoTrace (and
+// ReplayDerived must fall back to full simulation, reproducing the live
+// error or result exactly).
+func TestDeriveDeclinesOutOfBoundsTrace(t *testing.T) {
+	p := workload.MustCompileAt("fib", compile.LevelStack)
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 10 // far below the real run length
+	pp, err := Predecode(p, cfg.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(pp, Conventional, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Derive(); !errors.Is(err, ErrNoTrace) {
+		t.Fatalf("Derive under a 10-instruction limit: got %v, want ErrNoTrace", err)
+	}
+	// The fallback must reproduce the live limit error.
+	if _, err := rep.ReplayDerived(); !errors.Is(err, ErrInstructionLimit) {
+		t.Fatalf("ReplayDerived fallback: got %v, want ErrInstructionLimit", err)
+	}
+}
+
+// TestRunDerivedMatchesRunPredecoded pins the package-level helper to the
+// simulated path across strategies.
+func TestRunDerivedMatchesRunPredecoded(t *testing.T) {
+	p := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := DefaultConfig()
+	pp, err := Predecode(p, cfg.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range Strategies() {
+		want, err := RunPredecoded(pp, strategy, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunDerived(pp, strategy, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Derived {
+			t.Errorf("%v: RunDerived fell back to simulation unexpectedly", strategy)
+		}
+		if diff := DiffReports(got, want); diff != "" {
+			t.Errorf("%v: %s", strategy, diff)
+		}
+	}
+}
+
+// TestTraceFootprintAccounting checks the satellite's size-accounting claim:
+// once the trace is recorded, FootprintBytes grows by exactly the trace's
+// SizeBytes — so the service registry's eviction budget sees the cached trace.
+func TestTraceFootprintAccounting(t *testing.T) {
+	p := workload.MustCompileAt("loopsum", compile.LevelStack)
+	pp, err := Predecode(p, dir.DegreeHuffman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pp.FootprintBytes()
+	tr, err := pp.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical execution prefers the compiled backend, which is built
+	// (and charged) as a side effect; measure against the footprint after
+	// compilation so the delta isolates the trace itself.
+	comp, err := pp.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterCompile := before
+	if comp != nil {
+		afterCompile = pp.FootprintBytes() - tr.SizeBytes()
+	}
+	got := pp.FootprintBytes() - afterCompile
+	if got != tr.SizeBytes() {
+		t.Errorf("footprint grew by %d bytes after tracing, want trace SizeBytes %d", got, tr.SizeBytes())
+	}
+	wantSize := 64 + len(tr.PCs)*4 + len(tr.Output)*8
+	if tr.SizeBytes() != wantSize {
+		t.Errorf("SizeBytes = %d, want %d (64 + 4·%d PCs + 8·%d outputs)",
+			tr.SizeBytes(), wantSize, len(tr.PCs), len(tr.Output))
+	}
+	// Recording again must not double-charge: Trace is cached.
+	if _, err := pp.Trace(); err != nil {
+		t.Fatal(err)
+	}
+	if pp.FootprintBytes() != afterCompile+tr.SizeBytes() {
+		t.Errorf("second Trace() changed the footprint: %d != %d",
+			pp.FootprintBytes(), afterCompile+tr.SizeBytes())
+	}
+}
+
+// TestDeriveDoesNotAllocate pins the derived path to the same steady-state
+// discipline as Replay: once the trace is recorded and the Replayer is warm,
+// a derivation performs zero heap allocations.
+func TestDeriveDoesNotAllocate(t *testing.T) {
+	p := workload.MustCompileAt("loopsum", compile.LevelStack)
+	cfg := DefaultConfig()
+	pp, err := Predecode(p, cfg.Degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Trace(); err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range Strategies() {
+		rep, err := NewReplayer(pp, strategy, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rep.Derive(); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := rep.Derive(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: steady-state Derive allocates %.1f objects per run, want 0", strategy, allocs)
+		}
+	}
+}

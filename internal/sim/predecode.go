@@ -15,6 +15,7 @@ import (
 	"uhm/internal/dir"
 	"uhm/internal/memory"
 	"uhm/internal/psder"
+	"uhm/internal/trace"
 	"uhm/internal/translate"
 )
 
@@ -35,10 +36,21 @@ type PredecodedProgram struct {
 	expandedWords int              // total PSDER words of the full expansion
 	baseBytes     int              // resident bytes of the eagerly built forms
 
+	// Static fetch geometry of each instruction in the encoded binary: the
+	// first level-2 word its bit range touches and how many words it spans.
+	// Cost derivations stream these instead of re-walking the bit ranges.
+	fetchFirst []int32
+	fetchWords []int32
+
 	compileOnce   sync.Once
 	compiled      *dir.CompiledProgram
 	compileErr    error
 	compiledWords atomic.Int64 // footprint of the lazily built compiled form
+
+	traceOnce  sync.Once
+	trace      *trace.Trace
+	traceErr   error
+	traceBytes atomic.Int64 // footprint of the lazily recorded trace
 }
 
 // Predecode encodes the program at the given degree and predecodes the
@@ -59,11 +71,13 @@ func PredecodeBinary(bin *dir.Binary) (*PredecodedProgram, error) {
 		return nil, err
 	}
 	pp := &PredecodedProgram{
-		Program: bin.Program,
-		Binary:  bin,
-		seqs:    make([]psder.Sequence, len(pd.Instrs)),
-		costs:   pd.Costs,
-		encoded: make([][]uint32, len(pd.Instrs)),
+		Program:    bin.Program,
+		Binary:     bin,
+		seqs:       make([]psder.Sequence, len(pd.Instrs)),
+		costs:      pd.Costs,
+		encoded:    make([][]uint32, len(pd.Instrs)),
+		fetchFirst: make([]int32, len(pd.Instrs)),
+		fetchWords: make([]int32, len(pd.Instrs)),
 	}
 	for pc, in := range pd.Instrs {
 		seq, err := translate.Translate(in, pc)
@@ -78,21 +92,37 @@ func PredecodeBinary(bin *dir.Binary) (*PredecodedProgram, error) {
 		pp.encoded[pc] = enc
 		pp.expandedWords += seq.Words()
 		pp.baseBytes += len(enc) * 4
+
+		// Record the instruction's static fetch geometry (mirroring the
+		// fetch loop's zero-length rule for degenerate encodings).
+		offset, length, err := bin.InstrBitRange(pc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: predecode instruction %d (%s): %w", pc, in, err)
+		}
+		if length == 0 {
+			length = 1
+		}
+		firstWord := offset / (memory.WordBytes * 8)
+		lastWord := (offset + length - 1) / (memory.WordBytes * 8)
+		pp.fetchFirst[pc] = int32(firstWord)
+		pp.fetchWords[pc] = int32(lastWord - firstWord + 1)
 	}
 	// The byte accounting the service registry evicts on: the encoded static
-	// representation, the per-pc PSDER sequences and buffer-array images, and
-	// the recorded decode costs (two machine ints per pc).
-	pp.baseBytes += bin.SizeBytes() + pp.expandedWords*memory.WordBytes + len(pd.Costs)*16
+	// representation, the per-pc PSDER sequences and buffer-array images, the
+	// recorded decode costs (two machine ints per pc) and the fetch-geometry
+	// tables (two int32 per pc).
+	pp.baseBytes += bin.SizeBytes() + pp.expandedWords*memory.WordBytes + len(pd.Costs)*16 + len(pd.Instrs)*8
 	return pp, nil
 }
 
 // FootprintBytes estimates the resident size of the predecoded forms: the
 // encoded binary, the PSDER sequences, the buffer-array images, the decode
-// costs, and — once built — the closure-compiled program.  The service
-// registry charges this against its byte budget when deciding what to evict.
-// Safe for concurrent use with Compiled.
+// costs, and — once built — the closure-compiled program and the recorded
+// execution trace.  The service registry charges this against its byte budget
+// when deciding what to evict, so a cached trace lives and dies with its
+// artifact.  Safe for concurrent use with Compiled and Trace.
 func (pp *PredecodedProgram) FootprintBytes() int {
-	return pp.baseBytes + int(pp.compiledWords.Load())*memory.WordBytes
+	return pp.baseBytes + int(pp.compiledWords.Load())*memory.WordBytes + int(pp.traceBytes.Load())
 }
 
 // Degree returns the encoding degree of the predecoded binary.
@@ -131,4 +161,35 @@ func (pp *PredecodedProgram) Compiled() (*dir.CompiledProgram, error) {
 		}
 	})
 	return pp.compiled, pp.compileErr
+}
+
+// Trace returns the shared execution trace of the program, recording it on
+// first use — the "trace once" half of the trace-once/cost-many split.  The
+// recording runs at the default simulation bounds, so any configuration whose
+// bounds the trace satisfies can derive from it; Replayer.Derive rechecks the
+// recorded length and peak depth against its own configuration and declines
+// otherwise.  Like the compiled form, the trace is immutable, shared by any
+// number of concurrent derivations, and counted in FootprintBytes.
+func (pp *PredecodedProgram) Trace() (*trace.Trace, error) {
+	pp.traceOnce.Do(func() {
+		pp.trace, pp.traceErr = pp.RecordTrace()
+		if pp.traceErr == nil {
+			pp.traceBytes.Store(int64(pp.trace.SizeBytes()))
+		}
+	})
+	return pp.trace, pp.traceErr
+}
+
+// RecordTrace records a fresh execution trace without touching the cache —
+// the canonical execution runs on the closure-compiled backend when the
+// program compiles and on the reference DIR interpreter otherwise.  Most
+// callers want the cached Trace; this entry point exists for benchmarks and
+// tests that measure the recording itself.
+func (pp *PredecodedProgram) RecordTrace() (*trace.Trace, error) {
+	comp, err := pp.Compiled()
+	if err != nil {
+		comp = nil
+	}
+	def := DefaultConfig()
+	return trace.Record(pp.Program, comp, pp.seqs, def.MaxInstructions, def.MaxDepth)
 }

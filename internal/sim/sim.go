@@ -162,6 +162,12 @@ type Report struct {
 	DTBStats   dtb.Stats
 	CacheStats cache.Stats
 	Memory     memory.Stats
+
+	// Derived reports that this report was derived from the shared execution
+	// trace (Replayer.Derive) rather than produced by a full simulation.  It
+	// is the only field the two paths may differ on — DiffReports compares
+	// every other field exactly.
+	Derived bool
 }
 
 // Clone returns a deep copy of the report.  Replayer.Replay returns a report
