@@ -29,6 +29,17 @@
 //
 //	uhmbench -gen 1000 -seed 1
 //
+// The -chaos flag runs the service layer's chaos conformance sweep instead:
+// N seeded fault-injection plans (starting at -seed), each driving a
+// concurrent mixed workload against a fresh service while faults — build
+// failures, forced evictions, checkout failures, trace storms, run panics —
+// fire deterministically, asserting the robustness invariants (no leaked
+// replayers, exact footprint accounting, retry-after-failure, correct-or-
+// structured-error, drain termination).  On violation it prints the
+// reproducer seed and exits nonzero:
+//
+//	uhmbench -chaos 200 -seed 1
+//
 // The -cpuprofile and -memprofile flags write pprof profiles of the run, so
 // performance work on the experiment engine can be driven by evidence:
 //
@@ -49,6 +60,7 @@ import (
 	"sync"
 
 	"uhm/internal/core"
+	"uhm/internal/faultinject"
 	"uhm/internal/service"
 	"uhm/internal/workload/gen"
 )
@@ -68,7 +80,8 @@ func realMain() int {
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel engine and the conformance sweep (0 = one per CPU)")
 	mode := flag.String("mode", "derived", "how grid cells produce reports: derived (trace-once, cost-many), simulated (full interleaved loop), crosscheck (both, fail on divergence)")
 	genCount := flag.Int("gen", 0, "conformance mode: check this many generated programs instead of running experiments")
-	genSeed := flag.Int64("seed", 1, "first seed of the conformance sweep")
+	chaosCount := flag.Int("chaos", 0, "chaos mode: run this many seeded fault-injection plans instead of experiments")
+	genSeed := flag.Int64("seed", 1, "first seed of the conformance or chaos sweep")
 	noMinimize := flag.Bool("nominimize", false, "conformance mode: skip shrinking failing programs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -108,9 +121,12 @@ func realMain() int {
 	}
 	engine.Mode = runMode
 	cfg := core.DefaultConfig()
-	if *genCount > 0 {
+	switch {
+	case *chaosCount > 0:
+		err = runChaos(ctx, *genSeed, *chaosCount)
+	case *genCount > 0:
 		err = runConformance(ctx, *genSeed, *genCount, *workers, !*noMinimize, cfg)
-	} else {
+	default:
 		err = run(ctx, engine, *exp, *workloadName, cfg)
 	}
 
@@ -182,6 +198,46 @@ func run(ctx context.Context, engine core.Engine, exp, workloadName string, cfg 
 		fmt.Println()
 	}
 	return nil
+}
+
+// runChaos is the -chaos mode: n seeded fault plans through the service
+// layer's chaos harness, reporting every broken robustness invariant.
+func runChaos(ctx context.Context, seed int64, n int) error {
+	fmt.Printf("chaos: running %d seeded fault plans (seeds %d..%d)\n", n, seed, seed+int64(n)-1)
+	lastPct := -1
+	res, err := service.ChaosSweep(ctx, seed, n, service.ChaosOptions{}, func(done, violations int) {
+		pct := done * 100 / n
+		if pct/10 > lastPct/10 {
+			lastPct = pct
+			fmt.Printf("  %3d%% (%d/%d plans, %d violations)\n", pct, done, n, violations)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos: %d plans, %d requests, %d injected faults across %d sites\n",
+		res.Plans, res.Requests, sumFires(res.Fired), len(res.Fired))
+	if len(res.Violations) == 0 {
+		fmt.Println("chaos: every invariant held on every plan")
+		return nil
+	}
+	for i, v := range res.Violations {
+		if i >= 16 {
+			fmt.Printf("  ... %d more\n", len(res.Violations)-i)
+			break
+		}
+		fmt.Printf("  %s\n", v)
+		fmt.Printf("  reproduce: uhmbench -chaos 1 -seed %d\n", v.Seed)
+	}
+	return fmt.Errorf("chaos: %d invariant violation(s) across %d plans", len(res.Violations), res.Plans)
+}
+
+func sumFires(fired map[faultinject.Site]int64) int64 {
+	var total int64
+	for _, c := range fired {
+		total += c
+	}
+	return total
 }
 
 // runConformance is the -gen mode: a differential sweep of the generator's

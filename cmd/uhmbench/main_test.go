@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"slices"
 	"testing"
 )
@@ -43,5 +44,15 @@ func TestKnownExperimentsDistinctAndParsable(t *testing.T) {
 		if !slices.Equal(got, []string{e}) {
 			t.Errorf("parseExperiments(%q) = %v", e, got)
 		}
+	}
+}
+
+// TestRunChaosSinglePlan drives the -chaos mode end to end on one seeded
+// plan: it must complete without violations (the chaos invariants are pinned
+// exhaustively by the service package's TestChaosSmoke; this covers the CLI
+// wiring and its error contract).
+func TestRunChaosSinglePlan(t *testing.T) {
+	if err := runChaos(context.Background(), 1, 1); err != nil {
+		t.Fatalf("runChaos: %v", err)
 	}
 }

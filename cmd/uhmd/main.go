@@ -23,6 +23,13 @@
 //	curl -s localhost:8080/v1/run -d '{"workload":"sieve","strategy":"dtb"}'
 //	curl -s localhost:8080/v1/stats
 //
+// Overload is answered, not queued forever: a request that cannot get a
+// worker slot within -queue-timeout receives a structured 503 with a
+// Retry-After header.  Every response carries an X-Request-ID (echoed from
+// the request, or generated) that also tags the access log line and the JSON
+// error body.  -faults activates the deterministic fault-injection plan from
+// internal/faultinject — a test-and-chaos facility, never set in production.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: listeners close, in-
 // flight requests run to completion (bounded by -drain), new work is
 // refused.
@@ -41,28 +48,58 @@ import (
 	"syscall"
 	"time"
 
+	"uhm/internal/faultinject"
 	"uhm/internal/service"
 )
 
+// options carries the parsed uhmd flags into run.
+type options struct {
+	addr           string
+	workers        int
+	cacheBytes     int64
+	poolIdle       int
+	drain          time.Duration
+	queueTimeout   time.Duration
+	requestTimeout time.Duration
+	faults         string
+	faultSeed      int64
+}
+
 func main() {
-	addr := flag.String("addr", "localhost:8080", "listen address")
-	workers := flag.Int("workers", 0, "bound on concurrently served requests (0 = one per CPU)")
-	cacheBytes := flag.Int64("cache-bytes", 256<<20, "artifact-registry byte budget (0 = unbounded)")
-	poolIdle := flag.Int("pool-idle", 0, "idle replayers kept per (program, strategy, config) class (0 = one per CPU)")
-	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "localhost:8080", "listen address")
+	flag.IntVar(&opts.workers, "workers", 0, "bound on concurrently served requests (0 = one per CPU)")
+	flag.Int64Var(&opts.cacheBytes, "cache-bytes", 256<<20, "artifact-registry byte budget (0 = unbounded)")
+	flag.IntVar(&opts.poolIdle, "pool-idle", 0, "idle replayers kept per (program, strategy, config) class (0 = one per CPU)")
+	flag.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	flag.DurationVar(&opts.queueTimeout, "queue-timeout", 10*time.Second, "bound on waiting for a worker slot before answering 503 (0 = wait forever)")
+	flag.DurationVar(&opts.requestTimeout, "request-timeout", 0, "per-request deadline (0 = none)")
+	flag.StringVar(&opts.faults, "faults", "", "fault-injection plan spec, e.g. 'registry/build:p=0.1,count=3' (testing only)")
+	flag.Int64Var(&opts.faultSeed, "fault-seed", 1, "seed for the -faults plan's PRNG streams")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheBytes, *poolIdle, *drain); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "uhmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, cacheBytes int64, poolIdle int, drain time.Duration) error {
+func run(opts options) error {
+	if opts.faults != "" {
+		plan, err := faultinject.ParseSpec(opts.faultSeed, opts.faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		restore := faultinject.Activate(plan)
+		defer restore()
+		log.Printf("uhmd: FAULT INJECTION ACTIVE: seed=%d plan=%s", opts.faultSeed, plan)
+	}
+
 	svc := service.New(service.Options{
-		CapacityBytes: cacheBytes,
-		MaxIdlePerKey: poolIdle,
-		Workers:       workers,
+		CapacityBytes: opts.cacheBytes,
+		MaxIdlePerKey: opts.poolIdle,
+		Workers:       opts.workers,
+		QueueTimeout:  opts.queueTimeout,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -74,17 +111,20 @@ func run(addr string, workers int, cacheBytes int64, poolIdle int, drain time.Du
 	baseCtx, interruptInflight := context.WithCancel(context.Background())
 	defer interruptInflight()
 
+	handler := newServer(svc)
+	handler.requestTimeout = opts.requestTimeout
+
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           newServer(svc),
+		Addr:              opts.addr,
+		Handler:           handler,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("uhmd: serving on %s (%d workers, %d MiB artifact budget)",
-			addr, svc.Workers(), cacheBytes>>20)
+		log.Printf("uhmd: serving on %s (%d workers, %d MiB artifact budget, queue timeout %s)",
+			opts.addr, svc.Workers(), opts.cacheBytes>>20, opts.queueTimeout)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -97,8 +137,8 @@ func run(addr string, workers int, cacheBytes int64, poolIdle int, drain time.Du
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("uhmd: shutting down, draining in-flight requests (budget %s)", drain)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("uhmd: shutting down, draining in-flight requests (budget %s)", opts.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		// Drain budget exhausted: cancel the stragglers' contexts and close

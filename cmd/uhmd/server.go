@@ -2,12 +2,18 @@ package main
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
+	"time"
 
 	"uhm/internal/core"
+	"uhm/internal/faultinject"
 	"uhm/internal/service"
 	"uhm/internal/workload/gen"
 )
@@ -22,10 +28,20 @@ const maxRequestBytes = 1 << 20
 // dispatch, and the between-strategy checks of a comparison.  An individual
 // replay is not interruptible mid-run — it is bounded instead, by the
 // server-side max_instructions cap enforced in validateRun.
+//
+// ServeHTTP wraps every handler in the robustness envelope: a request ID
+// (accepted from X-Request-ID or generated) that tags the access log line and
+// every error response, an optional per-request deadline, and a last-resort
+// panic backstop.  Run-path panics are normally recovered a layer down, in
+// service.Service, which also quarantines the offending artifact; the
+// backstop here only catches handler bugs, so no panic ever kills the
+// listener.
 type server struct {
 	svc    *service.Service
 	engine core.Engine
 	mux    *http.ServeMux
+	// requestTimeout, when positive, bounds each request's context.
+	requestTimeout time.Duration
 }
 
 func newServer(svc *service.Service) *server {
@@ -42,7 +58,86 @@ func newServer(svc *service.Service) *server {
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// requestIDKey carries the request's ID in its context.
+type requestIDKey struct{}
+
+// requestIDFrom returns the ID ServeHTTP attached to the request context, or
+// "" for a context that never passed through the envelope (tests constructing
+// bare requests).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-digit random ID for requests that arrive
+// without an X-Request-ID header.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// The process rand source failing is unheard of; fall back to a
+		// monotone-ish stamp rather than refuse the request.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the status and whether a body write started, so the
+// access log can report what was sent and the panic backstop knows whether a
+// structured error response is still possible.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+	if s.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+		defer cancel()
+	}
+	r = r.WithContext(ctx)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			// Last-resort isolation: run-path panics are recovered (and the
+			// artifact quarantined) inside service.Service, so anything
+			// reaching here is a handler bug.  Answer structurally if the
+			// response has not started, and keep the listener alive either way.
+			log.Printf("uhmd: panic serving %s %s id=%s: %v", r.Method, r.URL.Path, id, v)
+			if !sw.wrote {
+				writeError(sw, r, http.StatusInternalServerError,
+					fmt.Errorf("internal error: %v", v))
+			}
+		}
+		log.Printf("uhmd: %s %s -> %d (%s) id=%s",
+			r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), id)
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -52,14 +147,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	var overload *service.OverloadError
+	if errors.As(err, &overload) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(overload.RetryAfter/time.Second)))
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), RequestID: requestIDFrom(r.Context())})
 }
 
 // decodeBody parses the JSON request body strictly: unknown fields are
 // rejected so a misspelled parameter fails loudly instead of silently
 // selecting a default.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	if ferr := faultinject.Fire(faultinject.SiteDecode); ferr != nil {
+		return fmt.Errorf("malformed request body: %w", ferr)
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -139,17 +241,17 @@ func validateRun(req *runRequest) (*program, error) {
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	p, err := validateRun(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	// Build and run both happen inside the service's request slot, so the
@@ -161,7 +263,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		rep, err = s.svc.RunSource(r.Context(), p.name, p.source, p.level, strategy, p.cfg)
 	}
 	if err != nil {
-		writeError(w, statusFor(r, err), err)
+		writeError(w, r, statusFor(r, err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, runResponse{Report: reportToJSON(p.name, p.level, rep)})
@@ -170,16 +272,16 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Strategy != "" {
-		writeError(w, http.StatusBadRequest, errors.New("compare runs every strategy; drop the strategy field"))
+		writeError(w, r, http.StatusBadRequest, errors.New("compare runs every strategy; drop the strategy field"))
 		return
 	}
 	p, err := validateRun(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	var reports []*core.Report
@@ -190,7 +292,7 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		reports, cmpErr = s.svc.CompareSource(r.Context(), p.name, p.source, p.level, p.cfg)
 	}
 	if cmpErr != nil && len(reports) == 0 {
-		writeError(w, statusFor(r, cmpErr), cmpErr)
+		writeError(w, r, statusFor(r, cmpErr), cmpErr)
 		return
 	}
 	resp := compareResponse{Agree: cmpErr == nil}
@@ -211,18 +313,18 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {
 	var req conformanceRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	name, src := req.Name, req.Source
 	switch {
 	case req.Source != "" && req.Seed != nil:
-		writeError(w, http.StatusBadRequest, errors.New("specify either source or seed, not both"))
+		writeError(w, r, http.StatusBadRequest, errors.New("specify either source or seed, not both"))
 		return
 	case req.Seed != nil:
 		p, err := gen.Generate(*req.Seed)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		name, src = p.Name, p.Source
@@ -231,12 +333,12 @@ func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {
 			name = "submitted"
 		}
 	default:
-		writeError(w, http.StatusBadRequest, errors.New("specify source or seed"))
+		writeError(w, r, http.StatusBadRequest, errors.New("specify source or seed"))
 		return
 	}
 	divs, err := s.svc.Conformance(r.Context(), name, src, core.DefaultConfig())
 	if err != nil {
-		writeError(w, statusFor(r, err), err)
+		writeError(w, r, statusFor(r, err), err)
 		return
 	}
 	resp := conformanceResponse{Name: name, Conforms: len(divs) == 0}
@@ -249,7 +351,7 @@ func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	var req experimentRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	// An experiment fans out to the engine's full worker width, so it is
@@ -269,7 +371,7 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, errUnknownExperiment) {
 			status = http.StatusBadRequest
 		}
-		writeError(w, status, err)
+		writeError(w, r, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, experimentResponse{Name: req.Name, Text: text})
@@ -343,13 +445,27 @@ func (s *server) runExperiment(r *http.Request, name, workloadName string) (stri
 	}
 }
 
-// statusFor maps an error to an HTTP status: cancellation — whether observed
-// on the request's own context or surfaced as a context error from the
-// service — is the client's doing (or server shutdown), everything else is
-// an unprocessable program or a simulator failure.
+// statusFor maps an error to an HTTP status.  The typed service errors come
+// first: an overload is 503 (writeError adds the Retry-After header), an
+// isolated run panic is 500, a quarantined artifact is 422 (the program is
+// poisoned until an operator intervenes, so retrying it is futile).  After
+// those, cancellation — whether observed on the request's own context or
+// surfaced as a context error from the service — is the client's doing (or
+// server shutdown), and everything else is an unprocessable program or a
+// simulator failure.
 func statusFor(r *http.Request, err error) int {
-	if r.Context().Err() != nil ||
-		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	var overload *service.OverloadError
+	var panicked *service.PanicError
+	var quarantined *service.QuarantineError
+	switch {
+	case errors.As(err, &overload):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &panicked):
+		return http.StatusInternalServerError
+	case errors.As(err, &quarantined):
+		return http.StatusUnprocessableEntity
+	case r.Context().Err() != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity

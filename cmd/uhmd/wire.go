@@ -41,8 +41,8 @@ type reportJSON struct {
 	PerInstruction  float64 `json:"cycles_per_instruction"`
 	StaticBits      int     `json:"static_bits"`
 	CodebookBits    int     `json:"codebook_bits"`
-	ExpandedWords int `json:"expanded_words,omitempty"`
-	CompiledWords int `json:"compiled_words,omitempty"`
+	ExpandedWords   int     `json:"expanded_words,omitempty"`
+	CompiledWords   int     `json:"compiled_words,omitempty"`
 	// The hit ratios are always present (a measured 0.0 is a legitimate
 	// value, distinct from "not applicable"); they are meaningful only for
 	// the dtb and cache strategies respectively.
@@ -122,6 +122,9 @@ type experimentResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's X-Request-ID (or the server-generated
+	// one) so a failed call can be correlated with its access log line.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Request-field parsers: an omitted field selects the same default the

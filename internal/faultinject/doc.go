@@ -1,0 +1,15 @@
+// Package faultinject is a deterministic, seedable fault-injection framework
+// for the service stack.  A Plan is a set of rules over named injection
+// Sites — registry builds, pool checkouts, trace recording, derive fallback,
+// request admission and decode — each firing with a configured probability,
+// arming delay and fire budget, driven by per-site PRNG streams seeded from
+// one plan seed: the same seed always produces the same plan, so every chaos
+// failure is a reproducible seed, like the program generator of
+// internal/workload/gen.
+//
+// Sites consult the process-global active plan through Fire, which is a
+// single atomic load (nil) when no plan is active, so production code pays
+// nothing for carrying the sites.  Chaos tests Activate a plan, drive the
+// stack, and restore; cmd/uhmd activates one at startup from the -faults
+// flag, so operational failure drills run against real binaries.
+package faultinject

@@ -1,0 +1,172 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSequence pins seed reproducibility: two plans with the
+// same seed and rules make identical fire decisions over any visit sequence.
+func TestDeterministicSequence(t *testing.T) {
+	mk := func() *Plan {
+		return NewPlan(42,
+			Rule{Site: SiteRegistryBuild, Probability: 0.3},
+			Rule{Site: SitePoolAcquire, Probability: 0.7, After: 2},
+		)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		site := SiteRegistryBuild
+		if i%3 == 0 {
+			site = SitePoolAcquire
+		}
+		ea, eb := a.fire(site), b.fire(site)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("visit %d at %s: plans diverged (%v vs %v)", i, site, ea, eb)
+		}
+	}
+	if len(a.Fires()) == 0 {
+		t.Fatal("no site ever fired over 200 visits at these probabilities")
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	p := NewPlan(1, Rule{Site: SiteDerive, After: 3, Count: 2})
+	var fires int
+	for i := 0; i < 10; i++ {
+		err := p.fire(SiteDerive)
+		if i < 3 && err != nil {
+			t.Fatalf("visit %d fired inside the After window", i)
+		}
+		if err != nil {
+			fires++
+			if !Injected(err) {
+				t.Fatalf("fired error %v is not ErrInjected", err)
+			}
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("fired %d times, want exactly Count=2", fires)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	p := NewPlan(1, Rule{Site: SiteRegistryBuild, Err: custom, Count: 1})
+	err := p.fire(SiteRegistryBuild)
+	if !errors.Is(err, custom) || !Injected(err) {
+		t.Fatalf("got %v, want both the custom error and ErrInjected", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	p := NewPlan(1, Rule{Site: SiteServiceRun, Mode: ModePanic, Count: 1})
+	func() {
+		defer func() {
+			v := recover()
+			ip, ok := v.(InjectedPanic)
+			if !ok || ip.Site != SiteServiceRun {
+				t.Fatalf("recovered %v, want InjectedPanic at %s", v, SiteServiceRun)
+			}
+		}()
+		p.fire(SiteServiceRun)
+		t.Fatal("panic-mode fire returned")
+	}()
+	// The Count budget is spent: the next visit is clean.
+	if err := p.fire(SiteServiceRun); err != nil {
+		t.Fatalf("visit after exhausted panic budget: %v", err)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	p := NewPlan(1, Rule{Site: SiteAdmission, Mode: ModeDelay, Delay: 20 * time.Millisecond, Count: 1})
+	start := time.Now()
+	if err := p.fire(SiteAdmission); err != nil {
+		t.Fatalf("delay fire returned error %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay fire slept %v, want ~20ms", d)
+	}
+}
+
+func TestBeforeSeam(t *testing.T) {
+	ran := false
+	p := NewPlan(1, Rule{Site: SiteRegistryBuild, Count: 1, Before: func() { ran = true }})
+	if err := p.fire(SiteRegistryBuild); err == nil || !ran {
+		t.Fatalf("fire err=%v before-ran=%v, want error and callback", err, ran)
+	}
+}
+
+func TestGlobalActivation(t *testing.T) {
+	if Enabled() {
+		t.Fatal("a plan is active before the test installed one")
+	}
+	if err := Fire(SiteRegistryBuild); err != nil {
+		t.Fatalf("inactive Fire returned %v", err)
+	}
+	restore := Activate(NewPlan(1, Rule{Site: SiteRegistryBuild}))
+	if !Enabled() {
+		t.Fatal("Activate did not enable the plan")
+	}
+	if err := Fire(SiteRegistryBuild); err == nil {
+		t.Fatal("active always-fire plan did not fire")
+	}
+	restore()
+	if Enabled() {
+		t.Fatal("restore did not deactivate the plan")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "registry/build:p=0.5,count=3;service/run:p=1,after=2,mode=panic;service/admission:p=1,mode=delay,delay=2s"
+	p, err := ParseSpec(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := p.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	p2, err := ParseSpec(7, p.String())
+	if err != nil {
+		t.Fatalf("re-parsing rendered spec %q: %v", p.String(), err)
+	}
+	if p.String() != p2.String() {
+		t.Fatalf("spec did not round-trip: %q vs %q", p.String(), p2.String())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"no/such/site:p=1",
+		"registry/build:p=banana",
+		"registry/build:mode=verbose",
+		"registry/build:p",
+		"service/admission:mode=delay", // delay mode without a duration
+	} {
+		if _, err := ParseSpec(1, spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+// TestRandomPlanReproducible pins the chaos sweep's contract: a seed is a
+// complete description of the plan.
+func TestRandomPlanReproducible(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := RandomPlan(seed), RandomPlan(seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: %q vs %q", seed, a, b)
+		}
+		if len(a.Rules()) == 0 {
+			t.Fatalf("seed %d drew an empty plan", seed)
+		}
+		for _, r := range a.Rules() {
+			if r.Mode == ModePanic && r.Site != SiteServiceRun {
+				t.Fatalf("seed %d put a panic rule at %s", seed, r.Site)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec builds a plan from a textual rule list, the form the cmd flags
+// accept:
+//
+//	site:p=0.5,count=3;site2:p=1,after=2,mode=panic;site3:p=1,mode=delay,delay=2s
+//
+// Each rule is site:key=value,...; rules are joined with ";".  Keys are p
+// (probability), after, count, mode (error, panic, delay) and delay (a Go
+// duration).  An omitted p fires on every armed visit.
+func ParseSpec(seed int64, spec string) (*Plan, error) {
+	known := make(map[Site]bool)
+	for _, s := range Sites() {
+		known[s] = true
+	}
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, params, _ := strings.Cut(part, ":")
+		r := Rule{Site: Site(strings.TrimSpace(site)), Probability: 1}
+		if !known[r.Site] {
+			return nil, fmt.Errorf("faultinject: unknown site %q", site)
+		}
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("faultinject: %s: malformed parameter %q", site, kv)
+				}
+				var err error
+				switch k {
+				case "p":
+					r.Probability, err = strconv.ParseFloat(v, 64)
+				case "after":
+					r.After, err = strconv.Atoi(v)
+				case "count":
+					r.Count, err = strconv.Atoi(v)
+				case "mode":
+					switch v {
+					case "error":
+						r.Mode = ModeError
+					case "panic":
+						r.Mode = ModePanic
+					case "delay":
+						r.Mode = ModeDelay
+					default:
+						err = fmt.Errorf("unknown mode %q", v)
+					}
+				case "delay":
+					r.Delay, err = time.ParseDuration(v)
+				default:
+					err = fmt.Errorf("unknown parameter %q", k)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %s: %s: %v", site, kv, err)
+				}
+			}
+		}
+		if r.Mode == ModeDelay && r.Delay <= 0 {
+			return nil, fmt.Errorf("faultinject: %s: mode=delay needs delay=<duration>", site)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty spec")
+	}
+	return NewPlan(seed, rules...), nil
+}
+
+// RandomPlan draws a reproducible plan for the seed: a random subset of the
+// canonical sites, each with a random probability, arming delay and fire
+// budget.  Panic rules are confined to SiteServiceRun and delay rules are
+// kept short, so a random plan is always safe to run against a real service
+// under a test deadline.  The same seed always yields the same plan.
+func RandomPlan(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	sites := Sites()
+	var rules []Rule
+	for _, site := range sites {
+		// Roughly half the sites participate in any one plan, so plans
+		// combine faults without saturating every path at once.
+		if rng.Float64() < 0.5 {
+			continue
+		}
+		r := Rule{
+			Site:        site,
+			Probability: 0.05 + 0.45*rng.Float64(),
+			After:       rng.Intn(4),
+			Count:       1 + rng.Intn(6),
+		}
+		if site == SiteServiceRun && rng.Float64() < 0.3 {
+			r.Mode = ModePanic
+			r.Count = 1 + rng.Intn(2)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		// Every plan injects something; an empty draw degenerates to one
+		// bounded build failure.
+		rules = append(rules, Rule{Site: SiteRegistryBuild, Probability: 0.5, Count: 2})
+	}
+	return NewPlan(seed, rules...)
+}

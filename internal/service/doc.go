@@ -19,6 +19,17 @@
 //     parallelism bounded like core.Engine, plus a registry-backed
 //     core.Engine so the named experiments share the same artifact cache.
 //
+// The layer is hardened against partial failure: admission waiting is
+// bounded by a queue timeout (typed *OverloadError with a Retry-After
+// hint), run-path panics are recovered at the service boundary (typed
+// *PanicError) and quarantine the offending artifact as a poison pill
+// (typed *QuarantineError on retry), failed builds are reported to every
+// singleflight waiter without being cached, and a derive-decline storm
+// trips a degradation ladder that sheds derivation in favour of plain
+// replays.  ChaosSweep replays seeded internal/faultinject plans against
+// concurrent workloads and asserts the robustness invariants; Registry and
+// Pool expose VerifyAccounting for byte- and lease-exactness checks.
+//
 // cmd/uhmd serves this layer over HTTP; cmd/uhmrun and cmd/uhmbench run the
 // identical code path in-process, so the CLI and the server cannot drift.
 package service

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// OverloadError reports that a request was shed at admission: every request
+// slot stayed occupied for the whole queue timeout.  It is the typed form of
+// the load-shedding contract — cmd/uhmd maps it to a structured 503 with a
+// Retry-After hint rather than letting the client block unboundedly.
+type OverloadError struct {
+	// Waited is how long admission queued before giving up.
+	Waited time.Duration
+	// RetryAfter is the suggested client back-off.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded: no request slot freed within %s (retry after %s)",
+		e.Waited, e.RetryAfter)
+}
+
+// PanicError is a request panic caught at the service boundary.  The request
+// slot and the replayer lease are already accounted for by the time callers
+// see it; the offending artifact has been quarantined so the same program
+// cannot repeatedly kill workers.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery, for the server log.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("service: request panicked: %v", e.Value)
+}
+
+// QuarantineError reports that the requested program is a poison pill: a
+// previous build or run of it panicked, and the registry refuses to touch it
+// again for the process lifetime.
+type QuarantineError struct {
+	Key Key
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("service: program %s is quarantined after a crash; it will not be rebuilt or rerun", e.Key)
+}

@@ -1,9 +1,11 @@
 package service
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
+	"uhm/internal/faultinject"
 	"uhm/internal/sim"
 )
 
@@ -101,6 +103,9 @@ type Lease struct {
 // and configuration, constructing one only when no idle replayer of the
 // exact class exists.
 func (p *Pool) Acquire(pp *sim.PredecodedProgram, strategy sim.Strategy, cfg sim.Config) (*Lease, error) {
+	if ferr := faultinject.Fire(faultinject.SitePoolAcquire); ferr != nil {
+		return nil, fmt.Errorf("service: replayer checkout: %w", ferr)
+	}
 	key := poolKey{pp: pp, strategy: strategy, fp: cfg.Fingerprint()}
 	p.mu.Lock()
 	if rs := p.idle[key]; len(rs) > 0 {
@@ -152,6 +157,12 @@ func (l *Lease) checkin(discard bool) {
 		return
 	}
 	l.released = true
+	// A check-in fault forces the discard path: the replayer is dropped
+	// instead of repooled, which must only cost a rebuild on the next
+	// checkout, never unbalance the lease accounting.
+	if !discard && faultinject.Fire(faultinject.SitePoolCheckin) != nil {
+		discard = true
+	}
 	p := l.pool
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -232,4 +243,41 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// VerifyAccounting cross-checks the pool's books: the Idle counter must equal
+// the replayers actually parked, the Leased counter must equal the per-program
+// lease counts, and dead marks may exist only for programs with outstanding
+// leases.  The chaos harness calls it after every drained fault plan, when
+// Leased must additionally be zero — a nonzero residue there is a leaked or
+// double-returned replayer.
+func (p *Pool) VerifyAccounting() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idle := 0
+	for key, rs := range p.idle {
+		if len(rs) == 0 {
+			return fmt.Errorf("pool: empty idle list left under key %v", key)
+		}
+		idle += len(rs)
+	}
+	if idle != p.stats.Idle {
+		return fmt.Errorf("pool: Idle counter %d, %d replayers actually parked", p.stats.Idle, idle)
+	}
+	var leased int64
+	for pp, n := range p.leased {
+		if n <= 0 {
+			return fmt.Errorf("pool: non-positive lease count %d retained for %p", n, pp)
+		}
+		leased += int64(n)
+	}
+	if leased != int64(p.stats.Leased) {
+		return fmt.Errorf("pool: Leased counter %d, per-program counts sum to %d", p.stats.Leased, leased)
+	}
+	for pp := range p.dead {
+		if p.leased[pp] == 0 {
+			return fmt.Errorf("pool: dead mark retained for %p with no outstanding lease", pp)
+		}
+	}
+	return nil
 }

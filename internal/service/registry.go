@@ -2,10 +2,13 @@ package service
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"uhm/internal/core"
+	"uhm/internal/faultinject"
 	"uhm/internal/workload"
 )
 
@@ -40,6 +43,11 @@ type RegistryStats struct {
 	BuildErrors int64
 	// Evictions counts artifacts dropped by the byte-budget LRU.
 	Evictions int64
+	// Quarantines counts programs marked as poison pills after a build or
+	// run panicked on them; Quarantined is the current count of keys the
+	// registry refuses to rebuild.
+	Quarantines int64
+	Quarantined int
 	// Entries and Bytes describe the current residency; CapacityBytes is the
 	// configured budget (0 = unbounded).
 	Entries       int
@@ -73,17 +81,22 @@ type Registry struct {
 	mu      sync.Mutex
 	entries map[Key]*regEntry
 	byArt   map[*core.Artifact]*regEntry
-	clock   int64
-	bytes   int64
-	stats   RegistryStats
+	// quarantined holds poison-pill keys: programs whose build or run
+	// panicked.  A quarantined key is never rebuilt, so one bad program
+	// cannot repeatedly kill workers.
+	quarantined map[Key]bool
+	clock       int64
+	bytes       int64
+	stats       RegistryStats
 }
 
 // NewRegistry returns a registry with the given byte budget (0 = unbounded).
 func NewRegistry(capacityBytes int64) *Registry {
 	return &Registry{
-		capacity: capacityBytes,
-		entries:  make(map[Key]*regEntry),
-		byArt:    make(map[*core.Artifact]*regEntry),
+		capacity:    capacityBytes,
+		entries:     make(map[Key]*regEntry),
+		byArt:       make(map[*core.Artifact]*regEntry),
+		quarantined: make(map[Key]bool),
 	}
 }
 
@@ -100,6 +113,10 @@ func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, e
 	key := KeyOf(src, level)
 
 	r.mu.Lock()
+	if r.quarantined[key] {
+		r.mu.Unlock()
+		return nil, &QuarantineError{Key: key}
+	}
 	if e, ok := r.entries[key]; ok {
 		e.lastUse = r.tick()
 		r.stats.Hits++
@@ -117,7 +134,7 @@ func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, e
 	r.stats.Builds++
 	r.mu.Unlock()
 
-	art, err := core.BuildSource(name, src, level)
+	art, err := build(name, src, level)
 
 	r.mu.Lock()
 	e.art, e.err = art, err
@@ -128,9 +145,16 @@ func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, e
 		// failure may be transient only in the sense that the caller fixes
 		// the program, and a fixed program has a different content address
 		// anyway — but holding error entries would let garbage requests
-		// squat on the budget.
+		// squat on the budget.  A build that *panicked* is worse than
+		// failed — the program is a poison pill, quarantined so it can
+		// never be resubmitted to kill another worker.
 		r.stats.BuildErrors++
 		delete(r.entries, key)
+		var pe *PanicError
+		if errors.As(err, &pe) && !r.quarantined[key] {
+			r.quarantined[key] = true
+			r.stats.Quarantines++
+		}
 	} else {
 		r.byArt[art] = e
 		e.bytes = int64(art.FootprintBytes()) + e.srcBytes
@@ -144,6 +168,23 @@ func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, e
 		return nil, err
 	}
 	return art, nil
+}
+
+// build runs the compile pipeline with the build fault site armed and panic
+// isolation on: a panicking compiler — or an injected crash — surfaces as a
+// *PanicError to every singleflight waiter instead of wedging the entry with
+// its ready channel never closed (which would hang every waiter and make
+// graceful drain impossible).
+func build(name, src string, level core.Level) (art *core.Artifact, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			art, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.SiteRegistryBuild); ferr != nil {
+		return nil, fmt.Errorf("service: build %s: %w", name, ferr)
+	}
+	return core.BuildSource(name, src, level)
 }
 
 // Workload resolves a built-in workload's source and caches it like any
@@ -162,6 +203,11 @@ func (r *Registry) Workload(name string, level core.Level) (*core.Artifact, erro
 // budget.  The service layer calls it after every run.  Unknown artifacts
 // (evicted, or never registered) are ignored.
 func (r *Registry) Sync(art *core.Artifact) {
+	// The chaos evict site fires here, outside the lock: an injected fault
+	// force-evicts the LRU artifact even under budget, so eviction and pool
+	// invalidation are exercised without byte pressure.
+	forceEvict := faultinject.Fire(faultinject.SiteRegistryEvict) != nil
+
 	r.mu.Lock()
 	e, ok := r.byArt[art]
 	if !ok {
@@ -173,6 +219,12 @@ func (r *Registry) Sync(art *core.Artifact) {
 	e.bytes = nb
 	e.lastUse = r.tick()
 	evicted := r.evictLocked(e)
+	if forceEvict {
+		if victim := r.victimLocked(nil); victim != nil {
+			r.dropLocked(victim)
+			evicted = append(evicted, victim.art)
+		}
+	}
 	r.mu.Unlock()
 	r.notifyEvicted(evicted)
 }
@@ -217,6 +269,7 @@ func (r *Registry) Stats() RegistryStats {
 	s.Entries = len(r.entries)
 	s.Bytes = r.bytes
 	s.CapacityBytes = r.capacity
+	s.Quarantined = len(r.quarantined)
 	return s
 }
 
@@ -236,25 +289,111 @@ func (r *Registry) evictLocked(keep *regEntry) []*core.Artifact {
 	}
 	var evicted []*core.Artifact
 	for r.bytes > r.capacity {
-		var victim *regEntry
-		for _, e := range r.entries {
-			if e == keep || e.building {
-				continue
-			}
-			if victim == nil || e.lastUse < victim.lastUse {
-				victim = e
-			}
-		}
+		victim := r.victimLocked(keep)
 		if victim == nil {
 			break
 		}
-		delete(r.entries, victim.key)
-		delete(r.byArt, victim.art)
-		r.bytes -= victim.bytes
-		r.stats.Evictions++
+		r.dropLocked(victim)
 		evicted = append(evicted, victim.art)
 	}
 	return evicted
+}
+
+// victimLocked picks the least-recently-used completed entry, never keep or
+// an in-flight build; nil when no entry is evictable.
+func (r *Registry) victimLocked(keep *regEntry) *regEntry {
+	var victim *regEntry
+	for _, e := range r.entries {
+		if e == keep || e.building {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// dropLocked removes a completed entry and its byte accounting.  The caller
+// must invoke notifyEvicted on the entry's artifact after unlocking.
+func (r *Registry) dropLocked(e *regEntry) {
+	delete(r.entries, e.key)
+	delete(r.byArt, e.art)
+	r.bytes -= e.bytes
+	r.stats.Evictions++
+}
+
+// Quarantine marks a key as a poison pill — the registry will never rebuild
+// it — and evicts its resident artifact so pooled replayers warmed on it are
+// retired through the usual eviction callback.  It reports whether the key
+// was newly quarantined.
+func (r *Registry) Quarantine(key Key) bool {
+	r.mu.Lock()
+	if r.quarantined[key] {
+		r.mu.Unlock()
+		return false
+	}
+	r.quarantined[key] = true
+	r.stats.Quarantines++
+	var evicted []*core.Artifact
+	if e, ok := r.entries[key]; ok && !e.building {
+		r.dropLocked(e)
+		evicted = append(evicted, e.art)
+	}
+	r.mu.Unlock()
+	r.notifyEvicted(evicted)
+	return true
+}
+
+// QuarantineArtifact quarantines the key of a resident artifact — the form
+// the service's run-panic recovery uses, where only the artifact is in hand.
+// An artifact no longer resident cannot be mapped to its key and is left
+// alone: if it is requested and crashes again, it will be resident then.
+func (r *Registry) QuarantineArtifact(art *core.Artifact) bool {
+	r.mu.Lock()
+	e, ok := r.byArt[art]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return r.Quarantine(e.key)
+}
+
+// VerifyAccounting cross-checks the registry's books: the byte total must
+// equal the sum of per-entry accounts, the key and artifact indexes must
+// mirror each other, and no quarantined key may be resident.  The chaos
+// harness calls it after every drained fault plan; any inconsistency is an
+// invariant violation, not a recoverable condition.
+func (r *Registry) VerifyAccounting() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum int64
+	built := 0
+	for key, e := range r.entries {
+		if e.building {
+			continue
+		}
+		sum += e.bytes
+		built++
+		if e.err == nil {
+			if got, ok := r.byArt[e.art]; !ok || got != e {
+				return fmt.Errorf("registry: entry %s not mirrored in the artifact index", key)
+			}
+		}
+		if r.quarantined[key] {
+			return fmt.Errorf("registry: quarantined key %s is still resident", key)
+		}
+	}
+	if sum != r.bytes {
+		return fmt.Errorf("registry: accounted %d bytes, entries sum to %d", r.bytes, sum)
+	}
+	if built != len(r.byArt) {
+		return fmt.Errorf("registry: %d completed entries but %d artifact-index entries", built, len(r.byArt))
+	}
+	if r.bytes < 0 {
+		return fmt.Errorf("registry: negative byte account %d", r.bytes)
+	}
+	return nil
 }
 
 func (r *Registry) notifyEvicted(arts []*core.Artifact) {

@@ -4,9 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"uhm/internal/core"
+	"uhm/internal/faultinject"
 	"uhm/internal/sim"
 )
 
@@ -20,12 +24,40 @@ type Options struct {
 	// Workers bounds concurrent requests, like core.Engine bounds grid
 	// cells; zero selects runtime.GOMAXPROCS(0).
 	Workers int
+	// QueueTimeout bounds how long admission may queue for a request slot
+	// when all are occupied; past it the request is shed with a typed
+	// *OverloadError instead of blocking unboundedly.  Zero waits as long as
+	// the request context allows (the pre-timeout behaviour).
+	QueueTimeout time.Duration
+	// ShedAfterDeclines is the degradation-ladder threshold: after this many
+	// consecutive trace-derivation declines (an ErrNoTrace storm), requests
+	// skip the derive attempt and go straight to plain Replay, probing
+	// periodically to recover.  Zero selects the default (8); negative
+	// disables shedding.
+	ShedAfterDeclines int
 }
 
 // Stats snapshots every counter the service exposes.
 type Stats struct {
 	Registry RegistryStats
 	Pool     PoolStats
+	Requests RequestStats
+}
+
+// RequestStats are the service-level robustness counters.
+type RequestStats struct {
+	// Overloads counts requests shed at admission because no slot freed
+	// within the queue timeout.
+	Overloads int64
+	// Panics counts request panics recovered at the service boundary (each
+	// also quarantines its artifact).
+	Panics int64
+	// DeriveFallbacks counts requests whose trace derivation declined and
+	// fell back to a full replay.
+	DeriveFallbacks int64
+	// Shed counts requests that skipped the derive attempt entirely because
+	// the degradation ladder had tripped.
+	Shed int64
 }
 
 // Service is the façade over the registry and the pool: one instance serves
@@ -33,13 +65,27 @@ type Stats struct {
 // replaying it on warmed simulators.  cmd/uhmd exposes it over HTTP;
 // cmd/uhmrun and cmd/uhmbench drive it in-process.
 type Service struct {
-	registry *Registry
-	pool     *Pool
-	workers  int
-	slots    chan struct{}
+	registry     *Registry
+	pool         *Pool
+	workers      int
+	slots        chan struct{}
+	queueTimeout time.Duration
+	shedAfter    int64
 	// exclusiveMu serializes AdmitExclusive callers so two multi-slot
 	// acquirers cannot interleave partial acquisitions and deadlock.
 	exclusiveMu sync.Mutex
+
+	// declineStreak counts consecutive requests whose trace derivation fell
+	// back to full replay; past shedAfter the ladder trips and requests shed
+	// the derive attempt.  probe counts shed-mode requests so every 16th one
+	// still tries to derive, recovering the fast path when the storm ends.
+	declineStreak atomic.Int64
+	probe         atomic.Int64
+
+	overloads       atomic.Int64
+	panics          atomic.Int64
+	deriveFallbacks atomic.Int64
+	shed            atomic.Int64
 }
 
 // New constructs a Service and wires the registry's eviction callback to the
@@ -50,11 +96,17 @@ func New(opts Options) *Service {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	shedAfter := int64(opts.ShedAfterDeclines)
+	if shedAfter == 0 {
+		shedAfter = 8
+	}
 	s := &Service{
-		registry: NewRegistry(opts.CapacityBytes),
-		pool:     NewPool(opts.MaxIdlePerKey),
-		workers:  workers,
-		slots:    make(chan struct{}, workers),
+		registry:     NewRegistry(opts.CapacityBytes),
+		pool:         NewPool(opts.MaxIdlePerKey),
+		workers:      workers,
+		slots:        make(chan struct{}, workers),
+		queueTimeout: opts.QueueTimeout,
+		shedAfter:    shedAfter,
 	}
 	s.registry.SetOnEvict(func(a *core.Artifact) {
 		for _, pp := range a.CachedPredecoded() {
@@ -73,9 +125,18 @@ func (s *Service) Pool() *Pool { return s.pool }
 // Workers returns the request-parallelism bound.
 func (s *Service) Workers() int { return s.workers }
 
-// Stats snapshots the registry and pool counters.
+// Stats snapshots the registry, pool and request counters.
 func (s *Service) Stats() Stats {
-	return Stats{Registry: s.registry.Stats(), Pool: s.pool.Stats()}
+	return Stats{
+		Registry: s.registry.Stats(),
+		Pool:     s.pool.Stats(),
+		Requests: RequestStats{
+			Overloads:       s.overloads.Load(),
+			Panics:          s.panics.Load(),
+			DeriveFallbacks: s.deriveFallbacks.Load(),
+			Shed:            s.shed.Load(),
+		},
+	}
 }
 
 // Engine returns a core.Engine whose workload builds go through the
@@ -87,17 +148,53 @@ func (s *Service) Engine() core.Engine {
 
 // acquire takes a request slot, honouring cancellation while waiting.  An
 // already-cancelled context is refused before a slot is taken (select picks
-// randomly among ready cases, so the explicit check is load-bearing).
+// randomly among ready cases, so the explicit check is load-bearing).  With a
+// queue timeout configured, waiting is bounded: when every slot stays
+// occupied for the whole window the request is shed with a typed
+// *OverloadError rather than queueing unboundedly.
 func (s *Service) acquire(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if ferr := faultinject.Fire(faultinject.SiteAdmission); ferr != nil {
+		s.overloads.Add(1)
+		return &OverloadError{Waited: 0, RetryAfter: s.retryAfter()}
+	}
+	// Free slot: admit without arming the timer at all.
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queueTimeout <= 0 {
+		select {
+		case s.slots <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(s.queueTimeout)
+	defer t.Stop()
 	select {
 	case s.slots <- struct{}{}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-t.C:
+		s.overloads.Add(1)
+		return &OverloadError{Waited: s.queueTimeout, RetryAfter: s.retryAfter()}
 	}
+}
+
+// retryAfter suggests a client back-off: the queue timeout rounded up to a
+// whole second (the granularity of the HTTP Retry-After header), at least 1s.
+func (s *Service) retryAfter() time.Duration {
+	ra := s.queueTimeout.Round(time.Second)
+	if ra < s.queueTimeout || ra < time.Second {
+		ra += time.Second
+	}
+	return ra
 }
 
 func (s *Service) release() { <-s.slots }
@@ -128,6 +225,13 @@ func (s *Service) AdmitExclusive(ctx context.Context, fn func(ctx context.Contex
 	return fn(ctx)
 }
 
+// QuarantineSource marks the program's content address as a poison pill: it
+// will never be rebuilt or rerun by this process.  cmd/uhmd's last-resort
+// panic recovery uses it when a crash escapes the service-level isolation.
+func (s *Service) QuarantineSource(src string, level core.Level) bool {
+	return s.registry.Quarantine(KeyOf(src, level))
+}
+
 // ArtifactSource returns the (possibly cached) artifact for source text.
 func (s *Service) ArtifactSource(name, src string, level core.Level) (*core.Artifact, error) {
 	return s.registry.Source(name, src, level)
@@ -156,7 +260,23 @@ func (s *Service) RunArtifact(ctx context.Context, art *core.Artifact, strategy 
 // exactly), clone the report, check the replayer back in, and refresh the
 // registry's byte accounting — which now includes the cached trace, so it is
 // evicted with its artifact.
-func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
+//
+// The whole path runs under panic isolation: a crash anywhere inside —
+// predecode, checkout, replay — is recovered into a typed *PanicError, the
+// artifact is quarantined as a poison pill (so the same program cannot
+// repeatedly kill workers), and the deferred lease discard guarantees no
+// replayer leaks on the way out.
+func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.Config) (rep *sim.Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.registry.QuarantineArtifact(art)
+			rep, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.SiteServiceRun); ferr != nil {
+		return nil, ferr
+	}
 	pp, err := art.Predecoded(cfg.Degree)
 	if err != nil {
 		return nil, err
@@ -165,7 +285,11 @@ func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.C
 	if err != nil {
 		return nil, err
 	}
-	rep, err := lease.R.ReplayDerived()
+	// Discard is idempotent with the checkin below: on the normal and error
+	// paths it is a no-op, and on a panic it is the backstop that keeps the
+	// lease accounting exact.
+	defer lease.Discard()
+	out, err := s.replayLease(lease)
 	if err != nil {
 		// A failed replay leaves the replayer's structures in a defined but
 		// partially-run state; Replay resets everything up front, so reuse
@@ -173,10 +297,36 @@ func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.C
 		s.checkin(art, lease)
 		return nil, err
 	}
-	out := rep.Clone()
+	out = out.Clone()
 	s.checkin(art, lease)
 	s.registry.Sync(art)
 	return out, nil
+}
+
+// replayLease runs one checked-out replayer through the degradation ladder.
+// Healthy steady state attempts the trace derivation (falling back to full
+// replay when the trace cannot answer); under an ErrNoTrace storm —
+// shedAfter consecutive fallbacks — it sheds the derive attempt entirely and
+// replays directly, probing every 16th request so the fast path recovers as
+// soon as derivations succeed again.  Replay and ReplayDerived answer
+// identical reports, so shedding trades only derivation speed, never
+// correctness or availability.
+func (s *Service) replayLease(lease *Lease) (*sim.Report, error) {
+	if s.shedAfter > 0 && s.declineStreak.Load() >= s.shedAfter && s.probe.Add(1)%16 != 0 {
+		s.shed.Add(1)
+		return lease.R.Replay()
+	}
+	rep, err := lease.R.ReplayDerived()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Derived {
+		s.declineStreak.Store(0)
+	} else {
+		s.declineStreak.Add(1)
+		s.deriveFallbacks.Add(1)
+	}
+	return rep, nil
 }
 
 // checkin returns a lease, repooling only when the artifact is still
@@ -188,6 +338,13 @@ func (s *Service) runPooled(art *core.Artifact, strategy sim.Strategy, cfg sim.C
 // checkin runs, so Invalidate marks the program dead and the check-in
 // discards.
 func (s *Service) checkin(art *core.Artifact, lease *Lease) {
+	// The spurious-invalidation chaos site: invalidating the program while
+	// its own lease is still outstanding exercises the dead-marking that
+	// normally only registry evictions drive — the checkin below must then
+	// discard, and the accounting must stay exact.
+	if faultinject.Fire(faultinject.SitePoolInvalidate) != nil {
+		s.pool.Invalidate(lease.key.pp)
+	}
 	if s.registry.Live(art) {
 		lease.Release()
 	} else {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"uhm/internal/dtb"
+	"uhm/internal/faultinject"
 	"uhm/internal/memory"
 )
 
@@ -58,6 +59,9 @@ func (r *Replayer) ReplayDerived() (*Report, error) {
 // live fallback then reproduces exactly what full simulation would do,
 // success or error.
 func (r *Replayer) Derive() (*Report, error) {
+	if ferr := faultinject.Fire(faultinject.SiteDerive); ferr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoTrace, ferr)
+	}
 	tr, err := r.pp.Trace()
 	if err != nil {
 		return nil, fmt.Errorf("%w: recording failed: %v", ErrNoTrace, err)

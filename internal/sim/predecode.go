@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"uhm/internal/dir"
+	"uhm/internal/faultinject"
 	"uhm/internal/memory"
 	"uhm/internal/psder"
 	"uhm/internal/trace"
@@ -172,6 +173,13 @@ func (pp *PredecodedProgram) Compiled() (*dir.CompiledProgram, error) {
 // number of concurrent derivations, and counted in FootprintBytes.
 func (pp *PredecodedProgram) Trace() (*trace.Trace, error) {
 	pp.traceOnce.Do(func() {
+		// An injected recording failure is cached like a real one — the
+		// program declines every future derivation (an ErrNoTrace storm) and
+		// ReplayDerived serves it by full replay for its lifetime.
+		if ferr := faultinject.Fire(faultinject.SiteTraceRecord); ferr != nil {
+			pp.traceErr = ferr
+			return
+		}
 		pp.trace, pp.traceErr = pp.RecordTrace()
 		if pp.traceErr == nil {
 			pp.traceBytes.Store(int64(pp.trace.SizeBytes()))
