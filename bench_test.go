@@ -17,6 +17,7 @@ import (
 	"uhm/internal/psder"
 	"uhm/internal/service"
 	"uhm/internal/sim"
+	"uhm/internal/store"
 	"uhm/internal/translate"
 	"uhm/internal/workload"
 )
@@ -590,5 +591,75 @@ func BenchmarkRunSharedPredecode(b *testing.B) {
 		if _, err := sim.RunPredecoded(pp, sim.WithDTB, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkingSet is the working set the start-up benchmarks bring online:
+// three workloads, each run once under DTB at the stack level.
+var benchWorkingSet = []string{"loopsum", "fib", "sieve"}
+
+// BenchmarkColdStart measures bringing the working set online in a fresh
+// process with nothing persisted: every request pays the full compile
+// pipeline (parse, translate, encode, predecode).
+func BenchmarkColdStart(b *testing.B) {
+	cfg := benchConfig()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svc := service.New(service.Options{})
+		for _, w := range benchWorkingSet {
+			if _, err := svc.RunWorkload(ctx, w, core.LevelStack, sim.WithDTB, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWarmStart measures the same working set in a restarted process:
+// the artifacts (including recorded traces) are preloaded from the disk tier,
+// so no request touches the compile pipeline.  The delta against
+// BenchmarkColdStart is the value of persistence.
+func BenchmarkWarmStart(b *testing.B) {
+	cfg := benchConfig()
+	ctx := context.Background()
+	dir := b.TempDir()
+
+	// Populate the store once, outside the timer.  Two runs per workload so
+	// the recorded trace is synced into the container and the warm-started
+	// process derives instead of re-executing.
+	tier, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := service.New(service.Options{Store: tier})
+	for _, w := range benchWorkingSet {
+		for j := 0; j < 2; j++ {
+			if _, err := seed.RunWorkload(ctx, w, core.LevelStack, sim.WithDTB, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	var svc *service.Service
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tier, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc = service.New(service.Options{Store: tier})
+		if _, err := svc.Warmstart(-1); err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range benchWorkingSet {
+			if _, err := svc.RunWorkload(ctx, w, core.LevelStack, sim.WithDTB, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if st := svc.Registry().Stats(); st.Builds != 0 {
+		b.Fatalf("warm start rebuilt %d artifacts, want 0", st.Builds)
 	}
 }

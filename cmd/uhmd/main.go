@@ -50,6 +50,7 @@ import (
 
 	"uhm/internal/faultinject"
 	"uhm/internal/service"
+	"uhm/internal/store"
 )
 
 // options carries the parsed uhmd flags into run.
@@ -63,20 +64,46 @@ type options struct {
 	requestTimeout time.Duration
 	faults         string
 	faultSeed      int64
+	storeDir       string
+	warmStart      int
+}
+
+// registerFlags binds the uhmd flags to opts on the given flag set, so tests
+// can parse argument vectors without touching the process-global set.
+func registerFlags(fs *flag.FlagSet, opts *options) {
+	fs.StringVar(&opts.addr, "addr", "localhost:8080", "listen address")
+	fs.IntVar(&opts.workers, "workers", 0, "bound on concurrently served requests (0 = one per CPU)")
+	fs.Int64Var(&opts.cacheBytes, "cache-bytes", 256<<20, "artifact-registry byte budget (0 = unbounded)")
+	fs.IntVar(&opts.poolIdle, "pool-idle", 0, "idle replayers kept per (program, strategy, config) class (0 = one per CPU)")
+	fs.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	fs.DurationVar(&opts.queueTimeout, "queue-timeout", 10*time.Second, "bound on waiting for a worker slot before answering 503 (0 = wait forever)")
+	fs.DurationVar(&opts.requestTimeout, "request-timeout", 0, "per-request deadline (0 = none)")
+	fs.StringVar(&opts.faults, "faults", "", "fault-injection plan spec, e.g. 'registry/build:p=0.1,count=3' (testing only)")
+	fs.Int64Var(&opts.faultSeed, "fault-seed", 1, "seed for the -faults plan's PRNG streams")
+	fs.StringVar(&opts.storeDir, "store-dir", "", "persistent artifact-store directory; built artifacts are written through to it and misses read through it (empty = memory-only)")
+	fs.IntVar(&opts.warmStart, "warm-start", 0, "preload the hottest N artifacts from -store-dir before serving (-1 = all, 0 = none)")
+}
+
+// validate rejects flag combinations run could only fail on later.
+func (o *options) validate() error {
+	if o.warmStart != 0 && o.storeDir == "" {
+		return fmt.Errorf("-warm-start requires -store-dir")
+	}
+	if o.warmStart < -1 {
+		return fmt.Errorf("-warm-start must be -1, 0 or positive (got %d)", o.warmStart)
+	}
+	return nil
 }
 
 func main() {
 	var opts options
-	flag.StringVar(&opts.addr, "addr", "localhost:8080", "listen address")
-	flag.IntVar(&opts.workers, "workers", 0, "bound on concurrently served requests (0 = one per CPU)")
-	flag.Int64Var(&opts.cacheBytes, "cache-bytes", 256<<20, "artifact-registry byte budget (0 = unbounded)")
-	flag.IntVar(&opts.poolIdle, "pool-idle", 0, "idle replayers kept per (program, strategy, config) class (0 = one per CPU)")
-	flag.DurationVar(&opts.drain, "drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
-	flag.DurationVar(&opts.queueTimeout, "queue-timeout", 10*time.Second, "bound on waiting for a worker slot before answering 503 (0 = wait forever)")
-	flag.DurationVar(&opts.requestTimeout, "request-timeout", 0, "per-request deadline (0 = none)")
-	flag.StringVar(&opts.faults, "faults", "", "fault-injection plan spec, e.g. 'registry/build:p=0.1,count=3' (testing only)")
-	flag.Int64Var(&opts.faultSeed, "fault-seed", 1, "seed for the -faults plan's PRNG streams")
-	flag.Parse()
+	fs := flag.NewFlagSet("uhmd", flag.ExitOnError)
+	registerFlags(fs, &opts)
+	fs.Parse(os.Args[1:])
+	if err := opts.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "uhmd:", err)
+		os.Exit(2)
+	}
 
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "uhmd:", err)
@@ -95,12 +122,28 @@ func run(opts options) error {
 		log.Printf("uhmd: FAULT INJECTION ACTIVE: seed=%d plan=%s", opts.faultSeed, plan)
 	}
 
+	var tier *store.Store
+	if opts.storeDir != "" {
+		var err error
+		if tier, err = store.Open(opts.storeDir); err != nil {
+			return fmt.Errorf("-store-dir: %w", err)
+		}
+	}
+
 	svc := service.New(service.Options{
 		CapacityBytes: opts.cacheBytes,
 		MaxIdlePerKey: opts.poolIdle,
 		Workers:       opts.workers,
 		QueueTimeout:  opts.queueTimeout,
+		Store:         tier,
 	})
+	if opts.warmStart != 0 {
+		loaded, err := svc.Warmstart(opts.warmStart)
+		if err != nil {
+			return fmt.Errorf("-warm-start: %w", err)
+		}
+		log.Printf("uhmd: warm start loaded %d artifacts from %s", loaded, opts.storeDir)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -9,6 +10,7 @@ import (
 	"uhm/internal/dir"
 	"uhm/internal/hlr"
 	"uhm/internal/sim"
+	"uhm/internal/trace"
 	"uhm/internal/workload"
 )
 
@@ -72,6 +74,14 @@ type Artifact struct {
 	HLR   *hlr.Program
 	DIR   *dir.Program
 
+	// bins holds encoded forms rehydrated from a persisted snapshot, keyed
+	// by degree; Predecoded consumes them instead of re-encoding.  tr is the
+	// rehydrated canonical execution trace, adopted by every predecoded form
+	// so warm-started artifacts derive reports without re-executing.  Both
+	// are immutable after Rehydrate and nil on freshly built artifacts.
+	bins map[Degree]*dir.Binary
+	tr   *trace.Trace
+
 	preMu sync.Mutex
 	pre   map[Degree]*predecodeEntry
 }
@@ -104,7 +114,14 @@ func (a *Artifact) Predecoded(degree Degree) (*sim.PredecodedProgram, error) {
 	}
 	a.preMu.Unlock()
 	e.once.Do(func() {
-		e.pp, e.err = sim.Predecode(a.DIR, degree)
+		if bin, ok := a.bins[degree]; ok {
+			e.pp, e.err = sim.PredecodeBinary(bin)
+		} else {
+			e.pp, e.err = sim.Predecode(a.DIR, degree)
+		}
+		if e.err == nil && a.tr != nil {
+			e.pp.AdoptTrace(a.tr)
+		}
 		e.done.Store(true)
 	})
 	return e.pp, e.err
@@ -182,6 +199,117 @@ func (a *Artifact) Encode(degree Degree) (*dir.Binary, error) {
 
 // Disassemble returns the DIR program listing.
 func (a *Artifact) Disassemble() string { return a.DIR.Disassemble() }
+
+// Snapshot is the portable form of an Artifact: everything the binary
+// interchange container persists.  The DIR program is authoritative; the
+// encoded binaries and the trace are the cached binding work a loading
+// process gets back without re-paying it.  The closure-compiled form cannot
+// leave the process (it is Go closures), so only its footprint travels, as
+// metadata.
+type Snapshot struct {
+	Name  string
+	Level Level
+	DIR   *dir.Program
+	// Binaries are the encoded static representations cached so far, in
+	// ascending degree order (at most one per degree).
+	Binaries []*dir.Binary
+	// Trace is the canonical execution trace, when one has been recorded.
+	Trace *trace.Trace
+	// CompiledWords is the footprint of the closure-compiled form when it has
+	// been built — metadata only.
+	CompiledWords int
+}
+
+// Snapshot captures the artifact's persistable state: the DIR program plus
+// every encoded form and trace materialised so far.  It never triggers new
+// binding work — forms not yet built are simply absent — and is safe to call
+// concurrently with requests running on the artifact.
+func (a *Artifact) Snapshot() *Snapshot {
+	s := &Snapshot{Name: a.Name, Level: a.Level, DIR: a.DIR}
+	bins := make(map[Degree]*dir.Binary, len(a.bins))
+	for d, bin := range a.bins {
+		bins[d] = bin
+	}
+	s.Trace = a.tr
+	for _, pp := range a.CachedPredecoded() {
+		bins[pp.Degree()] = pp.Binary
+		if t := pp.CachedTrace(); t != nil && s.Trace == nil {
+			s.Trace = t
+		}
+		if w := pp.CachedCompiledWords(); w > s.CompiledWords {
+			s.CompiledWords = w
+		}
+	}
+	for _, bin := range bins {
+		s.Binaries = append(s.Binaries, bin)
+	}
+	sort.Slice(s.Binaries, func(i, j int) bool { return s.Binaries[i].Degree < s.Binaries[j].Degree })
+	return s
+}
+
+// PersistableForms counts the forms a Snapshot taken now would carry: the
+// DIR program, each cached encoded degree, and the trace.  The registry's
+// write-through compares it against what it last persisted to decide whether
+// an artifact's container is worth rewriting, without building the snapshot.
+func (a *Artifact) PersistableForms() int {
+	degrees := make(map[Degree]bool, len(a.bins))
+	for d := range a.bins {
+		degrees[d] = true
+	}
+	forms := 1
+	traced := a.tr != nil
+	for _, pp := range a.CachedPredecoded() {
+		degrees[pp.Degree()] = true
+		traced = traced || pp.CachedTrace() != nil
+	}
+	forms += len(degrees)
+	if traced {
+		forms++
+	}
+	return forms
+}
+
+// Rehydrate rebuilds an Artifact from a persisted snapshot without re-running
+// the compiler: the HLR is re-parsed from the source text (the oracle and the
+// conformance paths need it), the DIR program is adopted as-is after
+// validation, and the cached encoded forms and trace are seeded so the
+// predecode chain resumes exactly where the persisting process left off.  A
+// snapshot whose trace references instructions outside the program is
+// rejected — a malformed container must never become a partial artifact.
+func Rehydrate(snap *Snapshot, src string) (*Artifact, error) {
+	if snap == nil || snap.DIR == nil {
+		return nil, fmt.Errorf("core: rehydrate: snapshot has no DIR program")
+	}
+	if err := snap.DIR.Validate(); err != nil {
+		return nil, fmt.Errorf("core: rehydrate %s: %w", snap.Name, err)
+	}
+	prog, err := hlr.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: rehydrate %s: parse: %w", snap.Name, err)
+	}
+	a := &Artifact{Name: snap.Name, Level: snap.Level, HLR: prog, DIR: snap.DIR}
+	if len(snap.Binaries) > 0 {
+		a.bins = make(map[Degree]*dir.Binary, len(snap.Binaries))
+		for _, bin := range snap.Binaries {
+			if bin == nil || bin.Program != snap.DIR {
+				return nil, fmt.Errorf("core: rehydrate %s: binary not built on the snapshot's program", snap.Name)
+			}
+			if _, dup := a.bins[bin.Degree]; dup {
+				return nil, fmt.Errorf("core: rehydrate %s: duplicate degree %v", snap.Name, bin.Degree)
+			}
+			a.bins[bin.Degree] = bin
+		}
+	}
+	if snap.Trace != nil {
+		for _, pc := range snap.Trace.PCs {
+			if pc < 0 || int(pc) >= len(snap.DIR.Instrs) {
+				return nil, fmt.Errorf("core: rehydrate %s: trace pc %d out of range", snap.Name, pc)
+			}
+		}
+		a.tr = snap.Trace
+	}
+	return a, nil
+}
 
 // RunMode selects how a simulation's cost report is produced: derived from
 // the artifact's shared execution trace (the default — the trace-once,

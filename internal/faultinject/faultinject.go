@@ -52,6 +52,17 @@ const (
 	SiteAdmission Site = "service/admission"
 	// SiteDecode fails a uhmd request-body decode, as malformed JSON would.
 	SiteDecode Site = "uhmd/decode"
+	// SiteStoreWrite fails a disk-tier container write: write-through
+	// persists nothing for that build, and the in-memory tier keeps serving
+	// with books intact.
+	SiteStoreWrite Site = "store/write"
+	// SiteStoreRead fails a disk-tier container read, as an I/O error would:
+	// the registry treats the entry as a disk miss and rebuilds from source.
+	SiteStoreRead Site = "store/read"
+	// SiteStoreVerify fails a disk-tier load's hash verification, as a
+	// corrupt container would: the registry drops the entry and rebuilds
+	// from source, and write-through replaces the bad file.
+	SiteStoreVerify Site = "store/verify"
 )
 
 // Sites lists every canonical site, in a fixed order (RandomPlan draws from
@@ -62,6 +73,9 @@ func Sites() []Site {
 		SitePoolAcquire, SitePoolCheckin, SitePoolInvalidate,
 		SiteTraceRecord, SiteDerive,
 		SiteServiceRun, SiteAdmission, SiteDecode,
+		// The disk-tier sites are appended, not interleaved, so plans drawn
+		// for pre-existing seeds keep their rules for the original sites.
+		SiteStoreWrite, SiteStoreRead, SiteStoreVerify,
 	}
 }
 

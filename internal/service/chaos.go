@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"slices"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"uhm/internal/core"
 	"uhm/internal/faultinject"
 	"uhm/internal/sim"
+	"uhm/internal/store"
 )
 
 // chaosSources are the sweep's mixed workload: small, quick programs (a
@@ -230,11 +232,23 @@ func runChaosPlan(ctx context.Context, seed int64, progs []chaosProgram,
 		mu.Unlock()
 	}
 
+	// Each plan gets its own disk tier in a throwaway directory, so the
+	// store fault sites (write, read, verify) fire against real files and a
+	// corrupt or unwritable tier must degrade to clean rebuilds — never to a
+	// wrong answer or an unclassified error.  If the temp dir cannot be made
+	// the plan simply runs memory-only, as a store-less service would.
+	var tier *store.Store
+	if dir, derr := os.MkdirTemp("", "uhm-chaos-store-*"); derr == nil {
+		defer os.RemoveAll(dir)
+		tier, _ = store.Open(dir)
+	}
+
 	svc := New(Options{
 		CapacityBytes: capacity,
 		Workers:       max(2, opts.Clients-1), // fewer slots than clients: admission queues
 		MaxIdlePerKey: 2,
 		QueueTimeout:  opts.QueueTimeout,
+		Store:         tier,
 	})
 	restore := faultinject.Activate(plan)
 	var requests int64

@@ -11,6 +11,10 @@
 //     (sha256(source), level).  Concurrent requests for the same program are
 //     collapsed into one build (singleflight); completed artifacts are kept
 //     under a byte-accounted LRU budget, with hit/miss/eviction statistics.
+//     With a store attached (internal/store) it is two-tiered: builds and
+//     enrichments write containers through to disk, memory misses read
+//     through with verify-by-hash (corrupt containers degrade to clean
+//     rebuilds), and Warmstart preloads the hottest containers at startup.
 //   - Pool: warmed sim.Replayers keyed by (predecoded program, strategy,
 //     config fingerprint).  A checked-out replayer has its memory hierarchy,
 //     DTB/cache, host machine and report already built, so steady-state

@@ -9,6 +9,7 @@ import (
 
 	"uhm/internal/core"
 	"uhm/internal/faultinject"
+	"uhm/internal/store"
 	"uhm/internal/workload"
 )
 
@@ -34,10 +35,12 @@ type RegistryStats struct {
 	// Hits counts lookups served from the cache, including singleflight
 	// waiters that blocked on an in-flight build instead of duplicating it.
 	Hits int64
-	// Misses counts lookups that started a build.
+	// Misses counts lookups not resident in memory (served from the disk
+	// tier or built).
 	Misses int64
-	// Builds counts builds started (== Misses); it is the "artifact rebuild
-	// work" counter a warmed cache must not increment.
+	// Builds counts compile-pipeline builds started; it is the "artifact
+	// rebuild work" counter a warmed cache must not increment.  A lookup
+	// served by the disk tier counts a Miss but not a Build.
 	Builds int64
 	// BuildErrors counts builds that failed; failed builds are not cached.
 	BuildErrors int64
@@ -53,6 +56,13 @@ type RegistryStats struct {
 	Entries       int
 	Bytes         int64
 	CapacityBytes int64
+	// WarmLoads counts artifacts preloaded from the disk tier by Warmstart.
+	WarmLoads int64
+	// Disk mirrors the disk tier's own counters; DiskEntries and DiskBytes
+	// describe its current residency.  All zero when no store is attached.
+	Disk        store.TierStats
+	DiskEntries int
+	DiskBytes   int64
 }
 
 // regEntry is one registry slot.  ready is closed when the build completes
@@ -60,6 +70,7 @@ type RegistryStats struct {
 type regEntry struct {
 	key      Key
 	name     string
+	src      string // source text, kept for disk-tier write-through
 	srcBytes int64
 	art      *core.Artifact
 	err      error
@@ -67,6 +78,11 @@ type regEntry struct {
 	bytes    int64 // last accounted footprint, including srcBytes
 	lastUse  int64 // recency stamp from Registry.clock
 	building bool
+	// persisted is the PersistableForms count of the last container written
+	// for this entry; persisting serializes concurrent write-through so two
+	// Syncs cannot encode the same artifact at once.
+	persisted  int
+	persisting bool
 }
 
 // Registry is the content-addressed artifact cache.  All methods are safe
@@ -77,6 +93,13 @@ type Registry struct {
 	// artifact dropped by the LRU; the service layer uses it to invalidate
 	// pooled replayers built on the artifact's predecoded programs.
 	onEvict func(*core.Artifact)
+	// disk, if set, is the second tier: misses read through it before
+	// building, successful builds write through to it, and enrichment (new
+	// predecoded degrees, a recorded trace) re-persists on Sync.  Disk
+	// failures never surface to requests — a bad read or a corrupt container
+	// degrades to a clean rebuild, a failed write leaves the memory tier
+	// serving — so the tier adds durability without adding a failure mode.
+	disk *store.Store
 
 	mu      sync.Mutex
 	entries map[Key]*regEntry
@@ -104,6 +127,10 @@ func NewRegistry(capacityBytes int64) *Registry {
 // registry is shared between goroutines.
 func (r *Registry) SetOnEvict(fn func(*core.Artifact)) { r.onEvict = fn }
 
+// SetStore attaches the disk tier.  It must be set before the registry is
+// shared between goroutines.
+func (r *Registry) SetStore(st *store.Store) { r.disk = st }
+
 // Source returns the artifact for the given source text at the given level,
 // building it exactly once per content address: concurrent callers with the
 // same program block on one build.  name labels the artifact on first build
@@ -127,18 +154,27 @@ func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, e
 		}
 		return e.art, nil
 	}
-	e := &regEntry{key: key, name: name, srcBytes: int64(len(src)),
+	e := &regEntry{key: key, name: name, src: src, srcBytes: int64(len(src)),
 		ready: make(chan struct{}), building: true, lastUse: r.tick()}
 	r.entries[key] = e
 	r.stats.Misses++
-	r.stats.Builds++
 	r.mu.Unlock()
 
-	art, err := build(name, src, level)
+	art, built, err := r.provide(key, name, src, level)
 
 	r.mu.Lock()
 	e.art, e.err = art, err
 	e.building = false
+	if built {
+		r.stats.Builds++
+	}
+	e.persisted = 0
+	if !built && err == nil {
+		// A disk-served artifact is already persisted in its loaded form;
+		// write-through would only rewrite identical bytes until enrichment
+		// materialises something new.
+		e.persisted = art.PersistableForms()
+	}
 	var evicted []*core.Artifact
 	if err != nil {
 		// Failed builds are reported to every waiter but not cached: the
@@ -154,6 +190,10 @@ func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, e
 		if errors.As(err, &pe) && !r.quarantined[key] {
 			r.quarantined[key] = true
 			r.stats.Quarantines++
+			// A poison pill must not survive on disk to wedge a warm start.
+			if r.disk != nil {
+				defer r.disk.Delete(key.Hash, key.Level)
+			}
 		}
 	} else {
 		r.byArt[art] = e
@@ -167,7 +207,138 @@ func (r *Registry) Source(name, src string, level core.Level) (*core.Artifact, e
 	if err != nil {
 		return nil, err
 	}
+	if built {
+		// Write-through: persist the freshly built artifact after the waiters
+		// are released, so the disk write is off every singleflight path.
+		r.maybePersist(e)
+	}
 	return art, nil
+}
+
+// provide fills a registry miss: read through the disk tier when one is
+// attached, fall back to the compile pipeline.  built reports whether the
+// pipeline ran (the disk path costs no build work).  Any disk failure —
+// missing, unreadable, corrupt, or failing rehydration — degrades to a clean
+// rebuild; a container that failed verification is deleted so the
+// write-through below replaces it.
+func (r *Registry) provide(key Key, name, src string, level core.Level) (art *core.Artifact, built bool, err error) {
+	if r.disk != nil {
+		if img, gerr := r.disk.Get(key.Hash, key.Level); gerr == nil {
+			if art, rerr := img.Artifact(); rerr == nil {
+				return art, false, nil
+			}
+			// The container verified but would not rehydrate — a writer bug
+			// or format drift.  Drop it and rebuild.
+			r.disk.Delete(key.Hash, key.Level)
+		} else if !errors.Is(gerr, store.ErrNotFound) {
+			r.disk.Delete(key.Hash, key.Level)
+		}
+	}
+	art, err = build(name, src, level)
+	return art, true, err
+}
+
+// maybePersist writes the entry's artifact through to the disk tier when its
+// persistable forms have grown past what the last container captured.  The
+// persisting flag serializes writers per entry; the forms count is captured
+// before the snapshot, so a concurrent enrichment at worst triggers one more
+// rewrite.  Growth is bounded — the DIR, each encoding degree, the trace —
+// so an artifact is rewritten a handful of times and then never again.  Put
+// failures are counted in the tier stats and otherwise ignored: the memory
+// tier keeps serving.
+func (r *Registry) maybePersist(e *regEntry) {
+	if r.disk == nil {
+		return
+	}
+	r.mu.Lock()
+	if e.building || e.err != nil || e.persisting || r.quarantined[e.key] {
+		r.mu.Unlock()
+		return
+	}
+	forms := e.art.PersistableForms()
+	if forms <= e.persisted {
+		r.mu.Unlock()
+		return
+	}
+	e.persisting = true
+	art, src := e.art, e.src
+	r.mu.Unlock()
+
+	err := r.disk.Put(art.Snapshot(), src)
+
+	r.mu.Lock()
+	e.persisting = false
+	if err == nil && forms > e.persisted {
+		e.persisted = forms
+	}
+	r.mu.Unlock()
+}
+
+// Warmstart preloads the hottest max artifacts (max < 0 = all) from the disk
+// tier into memory, stopping early when the byte budget fills.  Quarantined
+// keys and already-resident entries are skipped; containers that fail to
+// verify or rehydrate are deleted.  It returns how many artifacts were
+// loaded.  Call it before serving traffic — a restarted process then answers
+// its previous working set with zero rebuilds.
+func (r *Registry) Warmstart(max int) (int, error) {
+	if r.disk == nil || max == 0 {
+		return 0, nil
+	}
+	list, err := r.disk.List()
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, se := range list {
+		if max >= 0 && loaded >= max {
+			break
+		}
+		key := Key{Hash: se.Hash, Level: se.Level}
+		r.mu.Lock()
+		_, resident := r.entries[key]
+		quarantined := r.quarantined[key]
+		full := r.capacity > 0 && r.bytes >= r.capacity
+		r.mu.Unlock()
+		if full {
+			break
+		}
+		if resident || quarantined {
+			continue
+		}
+		img, gerr := r.disk.Get(se.Hash, se.Level)
+		if gerr != nil {
+			if !errors.Is(gerr, store.ErrNotFound) {
+				r.disk.Delete(se.Hash, se.Level)
+			}
+			continue
+		}
+		art, rerr := img.Artifact()
+		if rerr != nil {
+			r.disk.Delete(se.Hash, se.Level)
+			continue
+		}
+		ready := make(chan struct{})
+		close(ready)
+		e := &regEntry{key: key, name: img.Name(), src: img.Source,
+			srcBytes: int64(len(img.Source)), art: art, ready: ready,
+			lastUse: 0, persisted: art.PersistableForms()}
+		e.bytes = int64(art.FootprintBytes()) + e.srcBytes
+		r.mu.Lock()
+		if _, ok := r.entries[key]; ok {
+			r.mu.Unlock()
+			continue
+		}
+		e.lastUse = r.tick()
+		r.entries[key] = e
+		r.byArt[art] = e
+		r.bytes += e.bytes
+		r.stats.WarmLoads++
+		evicted := r.evictLocked(e)
+		r.mu.Unlock()
+		r.notifyEvicted(evicted)
+		loaded++
+	}
+	return loaded, nil
 }
 
 // build runs the compile pipeline with the build fault site armed and panic
@@ -227,6 +398,10 @@ func (r *Registry) Sync(art *core.Artifact) {
 	}
 	r.mu.Unlock()
 	r.notifyEvicted(evicted)
+	// Enrichment write-through: a footprint that grew usually means a new
+	// predecoded degree or a freshly recorded trace — exactly the forms worth
+	// carrying across a restart.
+	r.maybePersist(e)
 }
 
 // SyncAll re-reads every resident artifact's footprint and enforces the
@@ -270,6 +445,10 @@ func (r *Registry) Stats() RegistryStats {
 	s.Bytes = r.bytes
 	s.CapacityBytes = r.capacity
 	s.Quarantined = len(r.quarantined)
+	if r.disk != nil {
+		s.Disk = r.disk.Stats()
+		s.DiskEntries, s.DiskBytes = r.disk.Usage()
+	}
 	return s
 }
 
@@ -342,6 +521,11 @@ func (r *Registry) Quarantine(key Key) bool {
 	}
 	r.mu.Unlock()
 	r.notifyEvicted(evicted)
+	if r.disk != nil {
+		// The container must go too: a warm start that reloaded a poison pill
+		// would hand the next process a primed crash.
+		r.disk.Delete(key.Hash, key.Level)
+	}
 	return true
 }
 

@@ -12,6 +12,7 @@ import (
 	"uhm/internal/core"
 	"uhm/internal/faultinject"
 	"uhm/internal/sim"
+	"uhm/internal/store"
 )
 
 // Options configures a Service.
@@ -35,6 +36,11 @@ type Options struct {
 	// periodically to recover.  Zero selects the default (8); negative
 	// disables shedding.
 	ShedAfterDeclines int
+	// Store, if set, attaches a content-addressed disk tier behind the
+	// registry's in-memory LRU: misses read through it, builds write through
+	// to it, and Warmstart preloads from it.  Nil runs memory-only (the
+	// pre-persistence behaviour).
+	Store *store.Store
 }
 
 // Stats snapshots every counter the service exposes.
@@ -108,12 +114,21 @@ func New(opts Options) *Service {
 		queueTimeout: opts.QueueTimeout,
 		shedAfter:    shedAfter,
 	}
+	if opts.Store != nil {
+		s.registry.SetStore(opts.Store)
+	}
 	s.registry.SetOnEvict(func(a *core.Artifact) {
 		for _, pp := range a.CachedPredecoded() {
 			s.pool.Invalidate(pp)
 		}
 	})
 	return s
+}
+
+// Warmstart preloads the hottest max artifacts (max < 0 = all) from the
+// attached disk tier; see Registry.Warmstart.  A no-op without a store.
+func (s *Service) Warmstart(max int) (int, error) {
+	return s.registry.Warmstart(max)
 }
 
 // Registry returns the artifact registry (shared, concurrency-safe).

@@ -51,6 +51,7 @@ type PredecodedProgram struct {
 	traceOnce  sync.Once
 	trace      *trace.Trace
 	traceErr   error
+	traceDone  atomic.Bool  // set (release) once a trace is recorded or adopted
 	traceBytes atomic.Int64 // footprint of the lazily recorded trace
 }
 
@@ -183,9 +184,44 @@ func (pp *PredecodedProgram) Trace() (*trace.Trace, error) {
 		pp.trace, pp.traceErr = pp.RecordTrace()
 		if pp.traceErr == nil {
 			pp.traceBytes.Store(int64(pp.trace.SizeBytes()))
+			pp.traceDone.Store(true)
 		}
 	})
 	return pp.trace, pp.traceErr
+}
+
+// AdoptTrace installs a previously recorded trace — a persisted artifact's
+// canonical execution reloaded from the store — as this program's shared
+// trace, so a warm-started artifact derives reports without ever re-executing
+// the program.  The adoption loses the race against any recording already in
+// flight (the sync.Once arbitrates); the trace must have been recorded on
+// this same program, which the store's verify-by-hash load guarantees.
+func (pp *PredecodedProgram) AdoptTrace(t *trace.Trace) {
+	if t == nil {
+		return
+	}
+	pp.traceOnce.Do(func() {
+		pp.trace = t
+		pp.traceBytes.Store(int64(t.SizeBytes()))
+		pp.traceDone.Store(true)
+	})
+}
+
+// CachedTrace returns the shared trace if one has already been recorded or
+// adopted, without triggering a recording; it returns nil otherwise.
+// Artifact snapshotting uses it so persistence never forces an execution.
+func (pp *PredecodedProgram) CachedTrace() *trace.Trace {
+	if pp.traceDone.Load() {
+		return pp.trace
+	}
+	return nil
+}
+
+// CachedCompiledWords returns the footprint in words of the closure-compiled
+// form if it has been built, and 0 otherwise — compiled-form metadata for the
+// persistence layer (closures themselves cannot be serialized).
+func (pp *PredecodedProgram) CachedCompiledWords() int {
+	return int(pp.compiledWords.Load())
 }
 
 // RecordTrace records a fresh execution trace without touching the cache —

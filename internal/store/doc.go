@@ -1,0 +1,22 @@
+// Package store is the persistence layer of the artifact pipeline: a
+// versioned binary container format for built artifacts and a
+// content-addressed disk tier behind the in-memory registry.
+//
+// The paper's argument is that binding work should be paid once and amortised
+// across many executions.  PRs 5–7 amortised it across requests within one
+// process; this package amortises it across processes and machines.  A
+// container carries everything an artifact's chain has materialised — the
+// compiled DIR program, the encoded static representation at each degree, and
+// the recorded canonical execution trace — so a loading process resumes the
+// chain where the writing process left off: no parse, no compile, no encode,
+// no trace-recording run.
+//
+// The container is defended in depth: a fixed header (magic, version, payload
+// length) gates format skew, a SHA-256 over the whole payload gates
+// corruption, and the section parser bounds-checks every read, so a
+// truncated, flipped or hostile file yields a typed error (ErrBadMagic,
+// ErrVersion, ErrTruncated, ErrHashMismatch, ErrCorrupt) and never a partial
+// artifact.  Store wraps a directory of containers with atomic
+// temp-file+rename writes, verify-by-hash reads and per-tier counters; the
+// service registry stacks it behind its byte-budget LRU as the second tier.
+package store

@@ -1,0 +1,320 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"uhm/internal/core"
+	"uhm/internal/faultinject"
+)
+
+// ErrNotFound reports that the store has no container for the requested key.
+// It is the one Get failure that is not a defect: a cold store answers it for
+// every key.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// fileExt is the container file extension.
+const fileExt = ".uhma"
+
+// TierStats are the disk tier's monotonic counters, mirrored into the
+// service stats next to the in-memory tier's.
+type TierStats struct {
+	// Hits counts Gets that returned a verified container.
+	Hits int64
+	// Misses counts Gets that found no container for the key.
+	Misses int64
+	// Puts counts containers written (including replacements).
+	Puts int64
+	// PutErrors counts failed writes; a failed write leaves either the old
+	// container or nothing — never a torn file.
+	PutErrors int64
+	// ReadErrors counts Gets that failed on I/O with the file present.
+	ReadErrors int64
+	// VerifyFails counts Gets that read a container but failed to verify it
+	// (hash mismatch, truncation, corruption, version skew).
+	VerifyFails int64
+	// BytesWritten and BytesRead total the container bytes moved.
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// tierCounters is TierStats with atomic fields, so the hot path never takes
+// a lock for accounting.
+type tierCounters struct {
+	hits, misses, puts, putErrors, readErrors, verifyFails atomic.Int64
+	bytesWritten, bytesRead                                atomic.Int64
+}
+
+func (c *tierCounters) snapshot() TierStats {
+	return TierStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Puts:         c.puts.Load(),
+		PutErrors:    c.putErrors.Load(),
+		ReadErrors:   c.readErrors.Load(),
+		VerifyFails:  c.verifyFails.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		BytesRead:    c.bytesRead.Load(),
+	}
+}
+
+// Store is a directory of artifact containers addressed by (source hash,
+// level).  Writes are atomic (temp file + rename in the same directory) and
+// reads verify the container hash before anything is handed out, so a
+// concurrent crash or a corrupted file can only ever look like a miss — it
+// can never serve a wrong artifact.  All methods are safe for concurrent
+// use.
+type Store struct {
+	dir string
+	c   tierCounters
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the tier counters.
+func (s *Store) Stats() TierStats { return s.c.snapshot() }
+
+// fileName derives the container file name for a key: the hex source hash
+// and the level, so one source's artifacts at different levels coexist and
+// ls is meaningful without opening files.
+func fileName(hash [sha256.Size]byte, level core.Level) string {
+	return hex.EncodeToString(hash[:]) + "-" + level.String() + fileExt
+}
+
+// parseFileName inverts fileName; ok is false for foreign files.
+func parseFileName(name string) (hash [sha256.Size]byte, level core.Level, ok bool) {
+	base, found := strings.CutSuffix(name, fileExt)
+	if !found {
+		return hash, level, false
+	}
+	hexHash, levelName, found := strings.Cut(base, "-")
+	if !found || len(hexHash) != sha256.Size*2 {
+		return hash, level, false
+	}
+	raw, err := hex.DecodeString(hexHash)
+	if err != nil {
+		return hash, level, false
+	}
+	level, err = core.ParseLevel(levelName)
+	if err != nil {
+		return hash, level, false
+	}
+	copy(hash[:], raw)
+	return hash, level, true
+}
+
+// Put encodes the snapshot and writes its container, replacing any previous
+// container for the same (source, level).  The write is atomic: a temp file
+// in the store directory is renamed over the target, so readers and crashes
+// see either the old complete container or the new one.
+func (s *Store) Put(snap *core.Snapshot, src string) error {
+	data, err := Encode(snap, src)
+	if err != nil {
+		s.c.putErrors.Add(1)
+		return err
+	}
+	return s.putBytes(sha256.Sum256([]byte(src)), snap.Level, data)
+}
+
+// PutRaw verifies a complete container (as exported by uhmart) and writes it
+// under its content-derived name, returning the decoded image.
+func (s *Store) PutRaw(data []byte) (*Image, error) {
+	img, err := Decode(data)
+	if err != nil {
+		s.c.putErrors.Add(1)
+		return nil, err
+	}
+	if err := s.putBytes(img.SourceHash, img.Level(), data); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+func (s *Store) putBytes(hash [sha256.Size]byte, level core.Level, data []byte) error {
+	if err := faultinject.Fire(faultinject.SiteStoreWrite); err != nil {
+		s.c.putErrors.Add(1)
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".put-*"+fileExt+".tmp")
+	if err != nil {
+		s.c.putErrors.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		s.c.putErrors.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		s.c.putErrors.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, fileName(hash, level))); err != nil {
+		os.Remove(tmpName)
+		s.c.putErrors.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	s.c.puts.Add(1)
+	s.c.bytesWritten.Add(int64(len(data)))
+	return nil
+}
+
+// Get reads, verifies and decodes the container for the key.  A missing
+// container returns ErrNotFound; a present-but-unverifiable one returns the
+// typed decode error (the caller should Delete it and rebuild).  A hit
+// freshens the container's mtime, which is the heat signal warm-start ranks
+// by.
+func (s *Store) Get(hash [sha256.Size]byte, level core.Level) (*Image, error) {
+	data, path, err := s.readRaw(hash, level)
+	if err != nil {
+		return nil, err
+	}
+	img, err := s.verify(data)
+	if err != nil {
+		return nil, err
+	}
+	if img.SourceHash != hash || img.Level() != level {
+		s.c.verifyFails.Add(1)
+		return nil, fmt.Errorf("%w: container content does not match its file name", ErrHashMismatch)
+	}
+	s.c.hits.Add(1)
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort heat tracking
+	return img, nil
+}
+
+// GetRaw reads and verifies the container for the key, returning its exact
+// bytes — the uhmart export path.
+func (s *Store) GetRaw(hash [sha256.Size]byte, level core.Level) ([]byte, error) {
+	data, _, err := s.readRaw(hash, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.verify(data); err != nil {
+		return nil, err
+	}
+	s.c.hits.Add(1)
+	return data, nil
+}
+
+func (s *Store) readRaw(hash [sha256.Size]byte, level core.Level) (data []byte, path string, err error) {
+	path = filepath.Join(s.dir, fileName(hash, level))
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		s.c.misses.Add(1)
+		return nil, path, fmt.Errorf("%w: %s at level %s", ErrNotFound, hex.EncodeToString(hash[:8]), level)
+	}
+	if ferr := faultinject.Fire(faultinject.SiteStoreRead); ferr != nil {
+		s.c.readErrors.Add(1)
+		return nil, path, ferr
+	}
+	data, err = os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		// Raced with a Delete between the stat and the read: a clean miss.
+		s.c.misses.Add(1)
+		return nil, path, fmt.Errorf("%w: %s at level %s", ErrNotFound, hex.EncodeToString(hash[:8]), level)
+	}
+	if err != nil {
+		s.c.readErrors.Add(1)
+		return nil, path, fmt.Errorf("store: get: %w", err)
+	}
+	s.c.bytesRead.Add(int64(len(data)))
+	return data, path, nil
+}
+
+// verify decodes (and thereby hash-verifies) container bytes, folding in the
+// injected-verify-failure site and the verify-fail accounting.
+func (s *Store) verify(data []byte) (*Image, error) {
+	if ferr := faultinject.Fire(faultinject.SiteStoreVerify); ferr != nil {
+		s.c.verifyFails.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrHashMismatch, ferr)
+	}
+	img, err := Decode(data)
+	if err != nil {
+		s.c.verifyFails.Add(1)
+		return nil, err
+	}
+	return img, nil
+}
+
+// Delete removes the container for the key; deleting an absent key is a
+// no-op.  The registry calls it for corrupt entries and for quarantined
+// artifacts, whose containers must not survive to poison a warm start.
+func (s *Store) Delete(hash [sha256.Size]byte, level core.Level) error {
+	err := os.Remove(filepath.Join(s.dir, fileName(hash, level)))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
+}
+
+// Entry describes one container in the store listing.
+type Entry struct {
+	Hash    [sha256.Size]byte
+	Level   core.Level
+	Bytes   int64
+	ModTime time.Time
+}
+
+// List returns the store's containers, hottest (most recently used) first.
+// Foreign files and in-flight temp files are ignored.
+func (s *Store) List() ([]Entry, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var out []Entry
+	for _, de := range des {
+		hash, level, ok := parseFileName(de.Name())
+		if !ok || de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Hash: hash, Level: level, Bytes: info.Size(), ModTime: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].ModTime.Equal(out[j].ModTime) {
+			return out[i].ModTime.After(out[j].ModTime)
+		}
+		return fileName(out[i].Hash, out[i].Level) < fileName(out[j].Hash, out[j].Level)
+	})
+	return out, nil
+}
+
+// Usage returns the number of containers and their total size on disk.
+func (s *Store) Usage() (entries int, bytes int64) {
+	list, err := s.List()
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range list {
+		entries++
+		bytes += e.Bytes
+	}
+	return entries, bytes
+}

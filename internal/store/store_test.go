@@ -1,0 +1,225 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uhm/internal/core"
+	"uhm/internal/faultinject"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st := openTestStore(t)
+	art := enrichedArtifact(t, core.LevelStack)
+	key := sha256.Sum256([]byte(testSrc))
+
+	if _, err := st.Get(key, core.LevelStack); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store = %v, want ErrNotFound", err)
+	}
+	if err := st.Put(art.Snapshot(), testSrc); err != nil {
+		t.Fatal(err)
+	}
+	img, err := st.Get(key, core.LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Source != testSrc || img.Level() != core.LevelStack {
+		t.Fatalf("Get returned %q at %v", img.Name(), img.Level())
+	}
+	// The same source at another level is a distinct container.
+	if _, err := st.Get(key, core.LevelMem3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get at other level = %v, want ErrNotFound", err)
+	}
+
+	stats := st.Stats()
+	if stats.Puts != 1 || stats.Hits != 1 || stats.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 put / 1 hit / 2 misses", stats)
+	}
+	if entries, bytes := st.Usage(); entries != 1 || bytes <= 0 {
+		t.Fatalf("usage = %d entries, %d bytes", entries, bytes)
+	}
+}
+
+func TestGetCorruptContainer(t *testing.T) {
+	st := openTestStore(t)
+	art := enrichedArtifact(t, core.LevelStack)
+	key := sha256.Sum256([]byte(testSrc))
+	if err := st.Put(art.Snapshot(), testSrc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on disk: the read must fail verification with a
+	// typed error, never hand back an artifact.
+	path := filepath.Join(st.Dir(), fileName(key, core.LevelStack))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(key, core.LevelStack); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("Get of corrupt container = %v, want ErrHashMismatch", err)
+	}
+	if st.Stats().VerifyFails != 1 {
+		t.Fatalf("stats = %+v, want 1 verify fail", st.Stats())
+	}
+
+	// Delete clears it; a second delete is a no-op.
+	if err := st.Delete(key, core.LevelStack); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete(key, core.LevelStack); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := st.Usage(); entries != 0 {
+		t.Fatalf("%d entries after delete", entries)
+	}
+}
+
+func TestListIgnoresForeignFiles(t *testing.T) {
+	st := openTestStore(t)
+	art := enrichedArtifact(t, core.LevelMem2)
+	if err := st.Put(art.Snapshot(), testSrc); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"README", "x.uhma", ".put-123.uhma.tmp"} {
+		if err := os.WriteFile(filepath.Join(st.Dir(), name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Level != core.LevelMem2 {
+		t.Fatalf("list = %+v, want exactly the one real container", list)
+	}
+}
+
+func TestRawExportImport(t *testing.T) {
+	src := openTestStore(t)
+	dst := openTestStore(t)
+	art := enrichedArtifact(t, core.LevelStack)
+	key := sha256.Sum256([]byte(testSrc))
+	if err := src.Put(art.Snapshot(), testSrc); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := src.GetRaw(key, core.LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := dst.PutRaw(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.SourceHash != key {
+		t.Fatal("imported container has a different content address")
+	}
+	back, err := dst.GetRaw(key, core.LevelStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, raw) {
+		t.Fatal("imported container bytes differ from the export")
+	}
+	// A corrupted bundle entry is refused at import, not written.
+	raw[len(raw)-1] ^= 0x01
+	if _, err := dst.PutRaw(raw); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("PutRaw of corrupt bytes = %v, want ErrHashMismatch", err)
+	}
+}
+
+// TestFaultSites drives each disk-tier injection site and checks that it
+// surfaces as a failed store operation with the right counter — the registry
+// layers the degrade-to-rebuild behaviour on top of these errors.
+func TestFaultSites(t *testing.T) {
+	art := enrichedArtifact(t, core.LevelStack)
+	key := sha256.Sum256([]byte(testSrc))
+
+	t.Run("write", func(t *testing.T) {
+		st := openTestStore(t)
+		restore := faultinject.Activate(faultinject.NewPlan(1,
+			faultinject.Rule{Site: faultinject.SiteStoreWrite, Probability: 1, Count: 1}))
+		defer restore()
+		if err := st.Put(art.Snapshot(), testSrc); !faultinject.Injected(err) {
+			t.Fatalf("Put under write fault = %v, want injected", err)
+		}
+		if entries, _ := st.Usage(); entries != 0 {
+			t.Fatal("failed Put left a file behind")
+		}
+		if st.Stats().PutErrors != 1 {
+			t.Fatalf("stats = %+v, want 1 put error", st.Stats())
+		}
+		// The rule's Count is spent: the retry goes through.
+		if err := st.Put(art.Snapshot(), testSrc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("read", func(t *testing.T) {
+		st := openTestStore(t)
+		if err := st.Put(art.Snapshot(), testSrc); err != nil {
+			t.Fatal(err)
+		}
+		restore := faultinject.Activate(faultinject.NewPlan(1,
+			faultinject.Rule{Site: faultinject.SiteStoreRead, Probability: 1, Count: 1}))
+		defer restore()
+		if _, err := st.Get(key, core.LevelStack); !faultinject.Injected(err) {
+			t.Fatalf("Get under read fault = %v, want injected", err)
+		}
+		if st.Stats().ReadErrors != 1 {
+			t.Fatalf("stats = %+v, want 1 read error", st.Stats())
+		}
+		if _, err := st.Get(key, core.LevelStack); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("verify", func(t *testing.T) {
+		st := openTestStore(t)
+		if err := st.Put(art.Snapshot(), testSrc); err != nil {
+			t.Fatal(err)
+		}
+		restore := faultinject.Activate(faultinject.NewPlan(1,
+			faultinject.Rule{Site: faultinject.SiteStoreVerify, Probability: 1, Count: 1}))
+		defer restore()
+		_, err := st.Get(key, core.LevelStack)
+		if !errors.Is(err, ErrHashMismatch) || !faultinject.Injected(err) {
+			t.Fatalf("Get under verify fault = %v, want injected ErrHashMismatch", err)
+		}
+		if st.Stats().VerifyFails != 1 {
+			t.Fatalf("stats = %+v, want 1 verify fail", st.Stats())
+		}
+		if _, err := st.Get(key, core.LevelStack); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestParseFileName(t *testing.T) {
+	key := sha256.Sum256([]byte("x"))
+	name := fileName(key, core.LevelMem3)
+	hash, level, ok := parseFileName(name)
+	if !ok || hash != key || level != core.LevelMem3 {
+		t.Fatalf("parseFileName(%q) = %x/%v/%v", name, hash[:4], level, ok)
+	}
+	for _, bad := range []string{"", "x.uhma", "deadbeef-stack.uhma", name + ".tmp",
+		"g" + name[1:], name[:len(name)-len(".uhma")] + ".bin"} {
+		if _, _, ok := parseFileName(bad); ok {
+			t.Errorf("parseFileName(%q) accepted a foreign name", bad)
+		}
+	}
+}
