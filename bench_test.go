@@ -20,6 +20,7 @@ import (
 	"uhm/internal/store"
 	"uhm/internal/translate"
 	"uhm/internal/workload"
+	"uhm/internal/workload/gen"
 )
 
 func benchConfig() core.Config {
@@ -590,6 +591,59 @@ func BenchmarkRunSharedPredecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.RunPredecoded(pp, sim.WithDTB, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Archetype experiment benchmarks (generated-population studies) --------
+
+// BenchmarkArchetypeGenerate measures seeded program generation per locality
+// profile, including the oracle-validation retry loop.
+func BenchmarkArchetypeGenerate(b *testing.B) {
+	for _, a := range gen.Archetypes() {
+		b.Run(a.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := a.Generate(int64(1 + i%16))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(p.Source)), "source-bytes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArchetypeSweep regenerates the archetype x DTB-capacity study on
+// a reduced population: one profile, two programs, the full Figure 2 axis.
+func BenchmarkArchetypeSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.ParallelEngine().ArchetypeSweep(context.Background(),
+			[]string{"dispatch"}, 2, 1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkModelValidation regenerates the analytic-model error study on a
+// reduced population: every archetype, one program each, four organisations
+// measured per program.
+func BenchmarkModelValidation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		v, err := core.ParallelEngine().ModelValidation(context.Background(), nil, 1, 1, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v.Samples) == 0 {
+			b.Fatal("empty validation")
 		}
 	}
 }

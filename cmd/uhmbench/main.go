@@ -19,15 +19,28 @@
 //	uhmbench -exp figure2 -workload sieve
 //	uhmbench -exp empirical -parallel=false
 //
+// The archsweep and modelerr experiments extend the evaluation beyond the
+// paper's phase space using the generator's workload archetypes (recursion,
+// kernel, phased, dispatch — controlled locality profiles): archsweep charts
+// DTB hit-ratio sensitivity per archetype over the Figure 2 capacity axis,
+// and modelerr runs the §7 analytic predictions (T1–T4, F1–F3) against
+// measured values over -programs generated programs per archetype, reporting
+// the signed-error distribution (optionally as JSON via -json):
+//
+//	uhmbench -exp archsweep -programs 8
+//	uhmbench -exp modelerr -programs 50 -json MODEL_ERROR.json
+//
 // The -gen flag switches uhmbench into differential-conformance mode: it
 // generates N seeded random MiniLang programs (starting at -seed) and runs
 // each through the full cross-product of semantic levels, encoding degrees
 // and machine organisations — all five, including the closure-compiled
 // backend — checking the paper's equivalence invariant.  On
 // divergence it prints the reproducer seed, shrinks the program to a minimal
-// failing reproducer, and exits nonzero:
+// failing reproducer, and exits nonzero.  -gen-archetype restricts the sweep
+// to one archetype's programs (or "all" for every archetype in turn):
 //
 //	uhmbench -gen 1000 -seed 1
+//	uhmbench -gen 500 -seed 1 -gen-archetype dispatch
 //
 // The -chaos flag runs the service layer's chaos conformance sweep instead:
 // N seeded fault-injection plans (starting at -seed), each driving a
@@ -62,6 +75,7 @@ import (
 	"uhm/internal/core"
 	"uhm/internal/faultinject"
 	"uhm/internal/service"
+	"uhm/internal/workload"
 	"uhm/internal/workload/gen"
 )
 
@@ -74,14 +88,17 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, figure1, figure2, figure3, figure4, empirical, compaction, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, figure1, figure2, figure3, figure4, empirical, compaction, archsweep, modelerr, all")
 	workloadName := flag.String("workload", "", "workload for the figure experiments (default chosen per experiment)")
 	parallel := flag.Bool("parallel", true, "run experiment grids on the parallel engine")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel engine and the conformance sweep (0 = one per CPU)")
 	mode := flag.String("mode", "derived", "how grid cells produce reports: derived (trace-once, cost-many), simulated (full interleaved loop), crosscheck (both, fail on divergence)")
 	genCount := flag.Int("gen", 0, "conformance mode: check this many generated programs instead of running experiments")
+	genArchetype := flag.String("gen-archetype", "", "generator archetype for -gen and the archetype experiments: "+strings.Join(workload.ArchetypeNames(), ", ")+", a comma list, or all (empty = uniform generator / full catalogue)")
+	programs := flag.Int("programs", 0, "archsweep/modelerr: generated programs per archetype (0 = default)")
+	jsonPath := flag.String("json", "", "modelerr: also write the machine-readable error distribution to this file")
 	chaosCount := flag.Int("chaos", 0, "chaos mode: run this many seeded fault-injection plans instead of experiments")
-	genSeed := flag.Int64("seed", 1, "first seed of the conformance or chaos sweep")
+	genSeed := flag.Int64("seed", 1, "first seed of the conformance or chaos sweep, and of archetype program populations")
 	noMinimize := flag.Bool("nominimize", false, "conformance mode: skip shrinking failing programs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -121,13 +138,25 @@ func realMain() int {
 	}
 	engine.Mode = runMode
 	cfg := core.DefaultConfig()
+	archetypes, err := parseArchetypes(*genArchetype)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uhmbench: -gen-archetype:", err)
+		return 1
+	}
+	opts := expOptions{
+		workload:   *workloadName,
+		archetypes: archetypes,
+		programs:   *programs,
+		seed:       *genSeed,
+		jsonPath:   *jsonPath,
+	}
 	switch {
 	case *chaosCount > 0:
 		err = runChaos(ctx, *genSeed, *chaosCount)
 	case *genCount > 0:
-		err = runConformance(ctx, *genSeed, *genCount, *workers, !*noMinimize, cfg)
+		err = runConformance(ctx, archetypes, *genSeed, *genCount, *workers, !*noMinimize, cfg)
 	default:
-		err = run(ctx, engine, *exp, *workloadName, cfg)
+		err = run(ctx, engine, *exp, opts, cfg)
 	}
 
 	// Report a memprofile failure without eclipsing the run's own error —
@@ -161,6 +190,49 @@ var knownExperiments = []string{
 	"table1", "table2", "table3",
 	"figure1", "figure2", "figure3", "figure4",
 	"empirical", "compaction",
+	"archsweep", "modelerr",
+}
+
+// expOptions carries the per-experiment flag surface into runOne.
+type expOptions struct {
+	// workload selects the figure experiments' workload.
+	workload string
+	// archetypes restricts archsweep/modelerr (nil = full catalogue).
+	archetypes []string
+	// programs is the population size per archetype (0 = default).
+	programs int
+	// seed is the first program seed of each archetype population.
+	seed int64
+	// jsonPath, when set, receives modelerr's machine-readable artifact.
+	jsonPath string
+}
+
+// parseArchetypes expands the -gen-archetype flag: empty keeps the default
+// (uniform generator for -gen, full catalogue for the experiments), "all"
+// expands to the catalogue, and a comma list is validated name by name.
+func parseArchetypes(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return workload.ArchetypeNames(), nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := gen.ArchetypeByName(name); err != nil {
+			return nil, err
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no archetype named in %q", s)
+	}
+	return out, nil
 }
 
 // parseExperiments expands and validates the -exp flag: a comma-separated
@@ -186,13 +258,13 @@ func parseExperiments(exp string) ([]string, error) {
 	return out, nil
 }
 
-func run(ctx context.Context, engine core.Engine, exp, workloadName string, cfg core.Config) error {
+func run(ctx context.Context, engine core.Engine, exp string, opts expOptions, cfg core.Config) error {
 	experiments, err := parseExperiments(exp)
 	if err != nil {
 		return err
 	}
 	for _, e := range experiments {
-		if err := runOne(ctx, engine, e, workloadName, cfg); err != nil {
+		if err := runOne(ctx, engine, e, opts, cfg); err != nil {
 			return fmt.Errorf("%s: %w", e, err)
 		}
 		fmt.Println()
@@ -241,14 +313,32 @@ func sumFires(fired map[faultinject.Site]int64) int64 {
 }
 
 // runConformance is the -gen mode: a differential sweep of the generator's
-// seed range through the full level × degree × strategy cross-product.
-func runConformance(ctx context.Context, seed int64, n, workers int, minimize bool, cfg core.Config) error {
-	fmt.Printf("conformance: checking %d generated programs (seeds %d..%d) across %d levels x %d degrees x %d strategies\n",
-		n, seed, seed+int64(n)-1, len(core.Levels()), len(core.Degrees()), len(core.Strategies()))
+// seed range through the full level × degree × strategy cross-product.  An
+// archetype list runs one sweep per archetype; nil sweeps the uniform
+// generator.
+func runConformance(ctx context.Context, archetypes []string, seed int64, n, workers int, minimize bool, cfg core.Config) error {
+	if len(archetypes) == 0 {
+		return runConformanceOne(ctx, "", seed, n, workers, minimize, cfg)
+	}
+	for _, a := range archetypes {
+		if err := runConformanceOne(ctx, a, seed, n, workers, minimize, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runConformanceOne(ctx context.Context, archetype string, seed int64, n, workers int, minimize bool, cfg core.Config) error {
+	population := "generated programs"
+	if archetype != "" {
+		population = fmt.Sprintf("%q archetype programs", archetype)
+	}
+	fmt.Printf("conformance: checking %d %s (seeds %d..%d) across %d levels x %d degrees x %d strategies\n",
+		n, population, seed, seed+int64(n)-1, len(core.Levels()), len(core.Degrees()), len(core.Strategies()))
 	// The progress callback is invoked concurrently from the sweep's workers.
 	var progressMu sync.Mutex
 	lastPct := -1
-	res, err := core.ConformanceSweep(ctx, seed, n, workers, cfg, func(done, failed int) {
+	res, err := core.ConformanceSweepArchetype(ctx, archetype, seed, n, workers, cfg, func(done, failed int) {
 		progressMu.Lock()
 		defer progressMu.Unlock()
 		pct := done * 100 / n
@@ -264,6 +354,10 @@ func runConformance(ctx context.Context, seed int64, n, workers int, minimize bo
 		fmt.Printf("conformance: all %d programs conform on every point of the cross-product\n", res.Seeds)
 		return nil
 	}
+	repro := ""
+	if archetype != "" {
+		repro = fmt.Sprintf(" -gen-archetype %s", archetype)
+	}
 	for _, f := range res.Failing {
 		fmt.Printf("\nseed %d (%s): %d divergence(s)\n", f.Seed, f.Name, len(f.Divergences))
 		for i, d := range f.Divergences {
@@ -273,7 +367,7 @@ func runConformance(ctx context.Context, seed int64, n, workers int, minimize bo
 			}
 			fmt.Printf("  %s\n", d)
 		}
-		fmt.Printf("  reproduce: uhmbench -gen 1 -seed %d\n", f.Seed)
+		fmt.Printf("  reproduce: uhmbench -gen 1 -seed %d%s\n", f.Seed, repro)
 	}
 	if minimize {
 		first := res.Failing[0]
@@ -298,7 +392,8 @@ func runConformance(ctx context.Context, seed int64, n, workers int, minimize bo
 	return fmt.Errorf("conformance: %d of %d generated programs diverged", len(res.Failing), res.Seeds)
 }
 
-func runOne(ctx context.Context, engine core.Engine, exp, workloadName string, cfg core.Config) error {
+func runOne(ctx context.Context, engine core.Engine, exp string, opts expOptions, cfg core.Config) error {
+	workloadName := opts.workload
 	switch exp {
 	case "table1":
 		fmt.Print(core.Table1Report())
@@ -362,6 +457,28 @@ func runOne(ctx context.Context, engine core.Engine, exp, workloadName string, c
 			return err
 		}
 		fmt.Print(core.RenderCompaction(rows))
+	case "archsweep":
+		rows, err := engine.ArchetypeSweep(ctx, opts.archetypes, opts.programs, opts.seed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderArchetypeSweep(rows))
+	case "modelerr":
+		v, err := engine.ModelValidation(ctx, opts.archetypes, opts.programs, opts.seed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderModelValidation(v))
+		if opts.jsonPath != "" {
+			doc, err := core.ModelValidationJSON(v, "uhmbench")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(opts.jsonPath, doc, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", opts.jsonPath, len(doc))
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"slices"
 	"testing"
+
+	"uhm/internal/workload"
 )
 
 func TestParseExperiments(t *testing.T) {
@@ -43,6 +45,31 @@ func TestKnownExperimentsDistinctAndParsable(t *testing.T) {
 		}
 		if !slices.Equal(got, []string{e}) {
 			t.Errorf("parseExperiments(%q) = %v", e, got)
+		}
+	}
+}
+
+func TestParseArchetypes(t *testing.T) {
+	if got, err := parseArchetypes(""); err != nil || got != nil {
+		t.Errorf("parseArchetypes(\"\") = %v, %v; want nil, nil", got, err)
+	}
+	all, err := parseArchetypes("all")
+	if err != nil {
+		t.Fatalf("parseArchetypes(all): %v", err)
+	}
+	if !slices.Equal(all, workload.ArchetypeNames()) {
+		t.Errorf("parseArchetypes(all) = %v, want the catalogue %v", all, workload.ArchetypeNames())
+	}
+	got, err := parseArchetypes("kernel, dispatch")
+	if err != nil {
+		t.Fatalf("parseArchetypes(list): %v", err)
+	}
+	if want := []string{"kernel", "dispatch"}; !slices.Equal(got, want) {
+		t.Errorf("parseArchetypes(list) = %v, want %v", got, want)
+	}
+	for _, bad := range []string{",", "bogus", "kernel,bogus"} {
+		if _, err := parseArchetypes(bad); err == nil {
+			t.Errorf("parseArchetypes(%q) succeeded, want error", bad)
 		}
 	}
 }

@@ -8,6 +8,11 @@
 //	uhmrun -file prog.ml -strategy conventional -level mem3 -degree pair
 //	uhmrun -workload loopsum -strategy compiled
 //	uhmrun -workload sieve -compare
+//	uhmrun -archetype dispatch -gen-seed 7 -compare
+//
+// -archetype runs a generated workload instead: the named generator archetype
+// (see -list-archetypes) produces the seeded, oracle-validated program
+// -gen-seed selects, and the run proceeds exactly as for a source file.
 package main
 
 import (
@@ -20,12 +25,16 @@ import (
 	"uhm/internal/core"
 	"uhm/internal/metrics"
 	"uhm/internal/service"
+	"uhm/internal/workload"
 )
 
 func main() {
 	workloadName := flag.String("workload", "", "built-in workload to run (see -list)")
 	file := flag.String("file", "", "MiniLang source file to run")
+	archetype := flag.String("archetype", "", "generator archetype to run a generated program from (see -list-archetypes)")
+	genSeed := flag.Int64("gen-seed", 1, "program seed for -archetype")
 	list := flag.Bool("list", false, "list the built-in workloads and exit")
+	listArchetypes := flag.Bool("list-archetypes", false, "list the generator archetypes and exit")
 	levelName := flag.String("level", "stack", "semantic level of the DIR: stack, mem2, mem3")
 	degreeName := flag.String("degree", "huffman", "encoding degree: packed, contour, huffman, pair")
 	strategyName := flag.String("strategy", "dtb", "organisation: conventional, dtb, cache, expanded, compiled")
@@ -38,13 +47,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workloadName, *file, *levelName, *degreeName, *strategyName, *compare); err != nil {
+	if *listArchetypes {
+		for _, a := range workload.Archetypes() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Description)
+		}
+		return
+	}
+	if err := run(*workloadName, *file, *archetype, *genSeed, *levelName, *degreeName, *strategyName, *compare); err != nil {
 		fmt.Fprintln(os.Stderr, "uhmrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workloadName, file, levelName, degreeName, strategyName string, compare bool) error {
+func run(workloadName, file, archetype string, genSeed int64, levelName, degreeName, strategyName string, compare bool) error {
 	level, err := parseLevel(levelName)
 	if err != nil {
 		return err
@@ -58,7 +73,7 @@ func run(workloadName, file, levelName, degreeName, strategyName string, compare
 	// the two paths cannot drift.
 	svc := service.New(service.Options{})
 	ctx := context.Background()
-	art, err := buildArtifact(svc, workloadName, file, level)
+	art, err := buildArtifact(svc, workloadName, file, archetype, genSeed, level)
 	if err != nil {
 		return err
 	}
@@ -178,10 +193,17 @@ func outputDiff(a, b []int64) []string {
 	return diffs
 }
 
-func buildArtifact(svc *service.Service, workloadName, file string, level core.Level) (*core.Artifact, error) {
+func buildArtifact(svc *service.Service, workloadName, file, archetype string, genSeed int64, level core.Level) (*core.Artifact, error) {
+	selected := 0
+	for _, s := range []string{workloadName, file, archetype} {
+		if s != "" {
+			selected++
+		}
+	}
+	if selected > 1 {
+		return nil, fmt.Errorf("specify only one of -workload, -file, -archetype")
+	}
 	switch {
-	case workloadName != "" && file != "":
-		return nil, fmt.Errorf("specify either -workload or -file, not both")
 	case workloadName != "":
 		return svc.ArtifactWorkload(workloadName, level)
 	case file != "":
@@ -190,8 +212,16 @@ func buildArtifact(svc *service.Service, workloadName, file string, level core.L
 			return nil, err
 		}
 		return svc.ArtifactSource(file, string(src), level)
+	case archetype != "":
+		p, err := workload.GenerateArchetype(archetype, genSeed)
+		if err != nil {
+			return nil, err
+		}
+		// Generated programs ride the same content-addressed source path a
+		// -file run uses, so the registry and server code paths are shared.
+		return svc.ArtifactSource(p.Name, p.Source, level)
 	default:
-		return nil, fmt.Errorf("specify -workload or -file (use -list to see workloads)")
+		return nil, fmt.Errorf("specify -workload, -file or -archetype (use -list / -list-archetypes)")
 	}
 }
 

@@ -79,13 +79,16 @@ func TestParseStrategy(t *testing.T) {
 
 func TestBuildArtifactValidation(t *testing.T) {
 	svc := service.New(service.Options{})
-	if _, err := buildArtifact(svc, "fib", "prog.ml", core.LevelStack); err == nil {
+	if _, err := buildArtifact(svc, "fib", "prog.ml", "", 1, core.LevelStack); err == nil {
 		t.Error("buildArtifact with both -workload and -file succeeded, want error")
 	}
-	if _, err := buildArtifact(svc, "", "", core.LevelStack); err == nil {
-		t.Error("buildArtifact with neither -workload nor -file succeeded, want error")
+	if _, err := buildArtifact(svc, "fib", "", "dispatch", 1, core.LevelStack); err == nil {
+		t.Error("buildArtifact with both -workload and -archetype succeeded, want error")
 	}
-	art, err := buildArtifact(svc, "fib", "", core.LevelMem2)
+	if _, err := buildArtifact(svc, "", "", "", 1, core.LevelStack); err == nil {
+		t.Error("buildArtifact with no source selector succeeded, want error")
+	}
+	art, err := buildArtifact(svc, "fib", "", "", 1, core.LevelMem2)
 	if err != nil {
 		t.Fatalf("buildArtifact(fib): %v", err)
 	}
@@ -95,6 +98,28 @@ func TestBuildArtifactValidation(t *testing.T) {
 	// The registry path is live: the build landed in the artifact cache.
 	if st := svc.Registry().Stats(); st.Builds != 1 {
 		t.Errorf("Builds = %d, want 1 (artifact built through the registry)", st.Builds)
+	}
+}
+
+func TestBuildArtifactArchetype(t *testing.T) {
+	svc := service.New(service.Options{})
+	art, err := buildArtifact(svc, "", "", "dispatch", 7, core.LevelStack)
+	if err != nil {
+		t.Fatalf("buildArtifact(dispatch, 7): %v", err)
+	}
+	if art.Name != "dispatch7" || art.Level != core.LevelStack {
+		t.Errorf("buildArtifact(dispatch, 7) = %q level %v", art.Name, art.Level)
+	}
+	// The same archetype+seed resolves to the same content-addressed artifact:
+	// the second build must be a registry hit, not a rebuild.
+	if _, err := buildArtifact(svc, "", "", "dispatch", 7, core.LevelStack); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Registry().Stats(); st.Builds != 1 || st.Hits != 1 {
+		t.Errorf("registry builds=%d hits=%d, want 1/1", st.Builds, st.Hits)
+	}
+	if _, err := buildArtifact(svc, "", "", "no-such-archetype", 1, core.LevelStack); err == nil {
+		t.Error("buildArtifact with unknown archetype succeeded, want error")
 	}
 }
 

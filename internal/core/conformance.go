@@ -318,15 +318,37 @@ func abbrev(v []int64) string {
 
 // SeedResult is the conformance outcome of one generated program.
 type SeedResult struct {
-	Seed        int64
+	Seed int64
+	// Archetype is the generator profile that produced the program; empty for
+	// the uniform generator.
+	Archetype   string
 	Name        string
 	Source      string
 	Divergences []Divergence
 }
 
+// generateFor dispatches between the uniform generator (archetype "") and a
+// named archetype profile.
+func generateFor(archetype string, seed int64) (*gen.Program, error) {
+	if archetype == "" {
+		return gen.Generate(seed)
+	}
+	a, err := gen.ArchetypeByName(archetype)
+	if err != nil {
+		return nil, err
+	}
+	return a.Generate(seed)
+}
+
 // CheckSeed generates the program for a seed and checks its conformance.
 func CheckSeed(seed int64, cfg Config) (*SeedResult, error) {
-	p, err := gen.Generate(seed)
+	return CheckArchetypeSeed("", seed, cfg)
+}
+
+// CheckArchetypeSeed generates the named archetype's program for a seed
+// (uniform generator when archetype is empty) and checks its conformance.
+func CheckArchetypeSeed(archetype string, seed int64, cfg Config) (*SeedResult, error) {
+	p, err := generateFor(archetype, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +356,7 @@ func CheckSeed(seed int64, cfg Config) (*SeedResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SeedResult{Seed: seed, Name: p.Name, Source: p.Source, Divergences: divs}, nil
+	return &SeedResult{Seed: seed, Archetype: archetype, Name: p.Name, Source: p.Source, Divergences: divs}, nil
 }
 
 // SweepResult summarises a conformance sweep over a seed range.
@@ -349,6 +371,14 @@ type SweepResult struct {
 // touches.  Failing seeds are returned in ascending order; infrastructure
 // errors abort the sweep.
 func ConformanceSweep(ctx context.Context, start int64, n, workers int, cfg Config,
+	progress func(done, failed int)) (*SweepResult, error) {
+	return ConformanceSweepArchetype(ctx, "", start, n, workers, cfg, progress)
+}
+
+// ConformanceSweepArchetype is ConformanceSweep over the named generator
+// archetype's programs (uniform generator when archetype is empty), so every
+// new program shape immediately feeds the same differential oracle.
+func ConformanceSweepArchetype(ctx context.Context, archetype string, start int64, n, workers int, cfg Config,
 	progress func(done, failed int)) (*SweepResult, error) {
 	if n <= 0 {
 		return &SweepResult{}, nil
@@ -377,7 +407,7 @@ func ConformanceSweep(ctx context.Context, start int64, n, workers int, cfg Conf
 		go func() {
 			defer wg.Done()
 			for seed := range seeds {
-				res, err := CheckSeed(seed, cfg)
+				res, err := CheckArchetypeSeed(archetype, seed, cfg)
 				mu.Lock()
 				done++
 				if err != nil && firstEr == nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"uhm/internal/workload"
+	"uhm/internal/workload/gen"
 )
 
 // TestConformanceSmoke is the fuzz-style CI gate: a bounded seed range of
@@ -21,9 +22,43 @@ func TestConformanceSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
+	reportFailing(t, "", res)
+}
+
+// TestConformanceSmokeArchetypes sends a seed budget from every generator
+// archetype through the same full cross-product — 3 levels × 4 degrees × 4
+// strategies plus the predecoded/Replayer and derived-equals-simulated
+// checks — so each locality profile earns the equivalence guarantee, not
+// just the uniform population.  The full per-archetype sweep is
+// "uhmbench -gen 500 -seed 1 -gen-archetype <name>".
+func TestConformanceSmokeArchetypes(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 3
+	}
+	for _, name := range gen.ArchetypeNames() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := ConformanceSweepArchetype(context.Background(), name, 1, n, 0, DefaultConfig(), nil)
+			if err != nil {
+				t.Fatalf("sweep: %v", err)
+			}
+			reportFailing(t, name, res)
+		})
+	}
+}
+
+// reportFailing turns a sweep's failing seeds into test errors with a
+// copy-pastable reproduction command.
+func reportFailing(t *testing.T, archetype string, res *SweepResult) {
+	t.Helper()
+	suffix := ""
+	if archetype != "" {
+		suffix = " -gen-archetype " + archetype
+	}
 	for _, f := range res.Failing {
-		t.Errorf("seed %d diverged (%d divergences); reproduce with: uhmbench -gen 1 -seed %d",
-			f.Seed, len(f.Divergences), f.Seed)
+		t.Errorf("seed %d diverged (%d divergences); reproduce with: uhmbench -gen 1 -seed %d%s",
+			f.Seed, len(f.Divergences), f.Seed, suffix)
 		for i, d := range f.Divergences {
 			if i >= 6 {
 				t.Errorf("  ... %d more", len(f.Divergences)-i)

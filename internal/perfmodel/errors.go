@@ -1,0 +1,112 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// metricNames is the model's metric axis in presentation order.
+var metricNames = []string{"T1", "T2", "T3", "T4", "F1", "F2", "F3"}
+
+// Metrics returns the names of the model's outputs in presentation order:
+// the per-instruction times T1-T4, then the figures of merit F1-F3.
+func Metrics() []string {
+	out := make([]string, len(metricNames))
+	copy(out, metricNames)
+	return out
+}
+
+// Metric returns the named output of the result.
+func (r Result) Metric(name string) (float64, bool) {
+	switch name {
+	case "T1":
+		return r.T1, true
+	case "T2":
+		return r.T2, true
+	case "T3":
+		return r.T3, true
+	case "T4":
+		return r.T4, true
+	case "F1":
+		return r.F1, true
+	case "F2":
+		return r.F2, true
+	case "F3":
+		return r.F3, true
+	}
+	return 0, false
+}
+
+// SignedError returns the model-vs-measurement error for one metric, signed
+// so that positive means the model over-predicts.  T metrics (cycle counts)
+// are compared relatively, in percent of the measured value; F metrics are
+// already percentages, so they are compared absolutely, in percentage points.
+func SignedError(metric string, predicted, measured Result) (float64, error) {
+	p, ok := predicted.Metric(metric)
+	if !ok {
+		return 0, fmt.Errorf("perfmodel: unknown metric %q", metric)
+	}
+	m, ok := measured.Metric(metric)
+	if !ok {
+		return 0, fmt.Errorf("perfmodel: unknown metric %q", metric)
+	}
+	switch metric[0] {
+	case 'T':
+		if m == 0 {
+			return 0, fmt.Errorf("perfmodel: measured %s is zero", metric)
+		}
+		return (p - m) / m * 100, nil
+	default:
+		return p - m, nil
+	}
+}
+
+// ErrorStats summarises a signed-error sample: the committed error bound's
+// per-metric row.
+type ErrorStats struct {
+	// N is the sample size.
+	N int `json:"n"`
+	// Min, P50, P95, Max and Mean summarise the signed errors.  P50 and P95
+	// use the nearest-rank method on the sorted sample, so every reported
+	// quantile is an actually observed value.
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	// MaxAbs is the largest error magnitude — the headline bound.
+	MaxAbs float64 `json:"max_abs"`
+}
+
+// ComputeErrorStats summarises a signed-error sample.  The input is not
+// modified; an empty sample yields the zero ErrorStats.
+func ComputeErrorStats(errors []float64) ErrorStats {
+	if len(errors) == 0 {
+		return ErrorStats{}
+	}
+	s := make([]float64, len(errors))
+	copy(s, errors)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	st := ErrorStats{
+		N:    len(s),
+		Min:  s[0],
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+	}
+	st.MaxAbs = math.Max(math.Abs(st.Min), math.Abs(st.Max))
+	return st
+}

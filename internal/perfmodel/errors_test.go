@@ -1,0 +1,67 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMetricsCoverResult(t *testing.T) {
+	r := Result{T1: 1, T2: 2, T3: 3, T4: 4, F1: 5, F2: 6, F3: 7}
+	want := map[string]float64{"T1": 1, "T2": 2, "T3": 3, "T4": 4, "F1": 5, "F2": 6, "F3": 7}
+	names := Metrics()
+	if len(names) != len(want) {
+		t.Fatalf("Metrics() = %v, want %d names", names, len(want))
+	}
+	for _, name := range names {
+		v, ok := r.Metric(name)
+		if !ok || v != want[name] {
+			t.Errorf("Metric(%q) = %v, %v; want %v", name, v, ok, want[name])
+		}
+	}
+	if _, ok := r.Metric("T9"); ok {
+		t.Error("Metric accepted an unknown name")
+	}
+}
+
+func TestSignedErrorConventions(t *testing.T) {
+	pred := Result{T1: 11, F1: 42}
+	meas := Result{T1: 10, F1: 40}
+	// T metrics: relative percent of the measured value.
+	if e, err := SignedError("T1", pred, meas); err != nil || math.Abs(e-10) > 1e-12 {
+		t.Errorf("T1 error = %v, %v; want +10%%", e, err)
+	}
+	// F metrics: percentage-point difference.
+	if e, err := SignedError("F1", pred, meas); err != nil || math.Abs(e-2) > 1e-12 {
+		t.Errorf("F1 error = %v, %v; want +2pp", e, err)
+	}
+	if _, err := SignedError("T1", pred, Result{}); err == nil {
+		t.Error("SignedError accepted a zero measured T metric")
+	}
+	if _, err := SignedError("bogus", pred, meas); err == nil {
+		t.Error("SignedError accepted an unknown metric")
+	}
+}
+
+func TestComputeErrorStats(t *testing.T) {
+	st := ComputeErrorStats([]float64{3, -1, 2, -4, 0})
+	if st.N != 5 || st.Min != -4 || st.Max != 3 || st.MaxAbs != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.P50 != 0 {
+		t.Errorf("p50 = %v, want 0 (nearest rank)", st.P50)
+	}
+	if st.P95 != 3 {
+		t.Errorf("p95 = %v, want 3", st.P95)
+	}
+	if math.Abs(st.Mean-0) > 1e-12 {
+		t.Errorf("mean = %v, want 0", st.Mean)
+	}
+	if z := ComputeErrorStats(nil); z != (ErrorStats{}) {
+		t.Errorf("empty sample: %+v", z)
+	}
+	// Single sample: every summary equals it.
+	one := ComputeErrorStats([]float64{-2.5})
+	if one.Min != -2.5 || one.P50 != -2.5 || one.P95 != -2.5 || one.Max != -2.5 || one.MaxAbs != 2.5 {
+		t.Errorf("single sample: %+v", one)
+	}
+}

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"fmt"
+
+	"uhm/internal/workload/gen"
+)
+
+// ArchetypeInfo describes one generator archetype for catalogue consumers
+// (CLI listings, experiment axes) without exposing the generator internals.
+type ArchetypeInfo struct {
+	// Name selects the archetype (gen.ArchetypeByName, uhmbench -gen-archetype).
+	Name string
+	// Description is a one-line summary of the locality profile.
+	Description string
+}
+
+// Archetypes returns the generator archetype catalogue in presentation order.
+// These are the controlled locality profiles the archetype x DTB-capacity
+// sweep and the analytic-model validation experiment iterate over.
+func Archetypes() []ArchetypeInfo {
+	src := gen.Archetypes()
+	out := make([]ArchetypeInfo, len(src))
+	for i, a := range src {
+		out[i] = ArchetypeInfo{Name: a.Name, Description: a.Description}
+	}
+	return out
+}
+
+// ArchetypeNames returns the archetype names in presentation order.
+func ArchetypeNames() []string {
+	return gen.ArchetypeNames()
+}
+
+// GenerateArchetype produces the named archetype's program for a seed,
+// validated against the HLR oracle like every generated workload.
+func GenerateArchetype(name string, seed int64) (*gen.Program, error) {
+	a, err := gen.ArchetypeByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return a.Generate(seed)
+}

@@ -1,0 +1,420 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"uhm/internal/hlr"
+)
+
+// Weights are the statement-grammar weights an Archetype uses in place of the
+// uniform generator's fixed distribution.  A zero weight removes the
+// production entirely; weights need not sum to any particular total.  Print
+// must stay positive: it is the one production that can always be emitted, so
+// it guarantees the retry loop inside stmt terminates even when every other
+// weighted production is unavailable in the current scope.
+type Weights struct {
+	Assign      int // scalar assignment
+	ArrayAssign int // array element assignment
+	Print       int // print statement
+	If          int // if / if-else
+	Loop        int // bounded while loop
+	Call        int // call statement
+	// CallExpr gates function-style calls inside expressions: zero disables
+	// them entirely, any positive value keeps the uniform grammar's odds.
+	CallExpr int
+}
+
+// Archetype is a named workload profile: a structural template plus the
+// weighted grammar that fills it in.  Each archetype exercises a distinct
+// locality pattern against the DTB and cache, extending the phase space of
+// the paper's Figure 2 study beyond uniform-random programs.
+type Archetype struct {
+	// Name selects the archetype (uhmbench -gen-archetype).
+	Name string
+	// Description is a one-line summary for catalogues and usage text.
+	Description string
+	// Config bounds generation, as for the uniform generator.
+	Config Config
+	// Weights replace the uniform statement distribution.
+	Weights Weights
+
+	structure func(*generator, *procCtx)
+}
+
+// archetypes is the fixed catalogue, in presentation order.
+var archetypes = []Archetype{
+	{
+		Name:        "recursion",
+		Description: "deep call-heavy web of mutually-recursive procedures",
+		Config: Config{
+			MaxProcs:       8,
+			MaxProcDepth:   1,
+			MaxStmtDepth:   3,
+			MaxExprDepth:   3,
+			MaxBlockStmts:  4,
+			StmtBudget:     70,
+			MaxLoopBound:   4,
+			MaxFuel:        5,
+			MaxArraySize:   6,
+			OracleMaxSteps: 2_000_000,
+			MaxAttempts:    32,
+		},
+		Weights:   Weights{Assign: 3, ArrayAssign: 0, Print: 1, If: 2, Loop: 1, Call: 5, CallExpr: 1},
+		structure: (*generator).buildRecursion,
+	},
+	{
+		Name:        "kernel",
+		Description: "flat loop-dominated numeric kernel with few procedures",
+		Config: Config{
+			MaxProcs:       1,
+			MaxProcDepth:   1,
+			MaxStmtDepth:   5,
+			MaxExprDepth:   4,
+			MaxBlockStmts:  5,
+			StmtBudget:     80,
+			MaxLoopBound:   8,
+			MaxFuel:        3,
+			MaxArraySize:   12,
+			OracleMaxSteps: 2_000_000,
+			MaxAttempts:    32,
+		},
+		Weights:   Weights{Assign: 3, ArrayAssign: 4, Print: 1, If: 2, Loop: 5, Call: 1, CallExpr: 0},
+		structure: (*generator).buildKernel,
+	},
+	{
+		Name:        "phased",
+		Description: "working set shifts mid-run: disjoint procedure populations per phase",
+		Config: Config{
+			MaxProcs:       9,
+			MaxProcDepth:   1,
+			MaxStmtDepth:   3,
+			MaxExprDepth:   3,
+			MaxBlockStmts:  4,
+			StmtBudget:     90,
+			MaxLoopBound:   5,
+			MaxFuel:        4,
+			MaxArraySize:   9,
+			OracleMaxSteps: 2_000_000,
+			MaxAttempts:    32,
+		},
+		Weights:   Weights{Assign: 2, ArrayAssign: 3, Print: 1, If: 2, Loop: 1, Call: 4, CallExpr: 0},
+		structure: (*generator).buildPhased,
+	},
+	{
+		Name:        "dispatch",
+		Description: "state-machine hub procedure fanning out over many small handlers",
+		Config: Config{
+			MaxProcs:       11,
+			MaxProcDepth:   1,
+			MaxStmtDepth:   3,
+			MaxExprDepth:   3,
+			MaxBlockStmts:  4,
+			StmtBudget:     80,
+			MaxLoopBound:   6,
+			MaxFuel:        10,
+			MaxArraySize:   9,
+			OracleMaxSteps: 2_000_000,
+			MaxAttempts:    32,
+		},
+		Weights:   Weights{Assign: 3, ArrayAssign: 2, Print: 1, If: 2, Loop: 1, Call: 0, CallExpr: 0},
+		structure: (*generator).buildDispatch,
+	},
+}
+
+// Archetypes returns the catalogue of workload archetypes in presentation
+// order.  The slice is a copy; callers may reorder it freely.
+func Archetypes() []Archetype {
+	out := make([]Archetype, len(archetypes))
+	copy(out, archetypes)
+	return out
+}
+
+// ArchetypeNames returns the archetype names in presentation order.
+func ArchetypeNames() []string {
+	names := make([]string, len(archetypes))
+	for i, a := range archetypes {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ArchetypeByName resolves an archetype by name.
+func ArchetypeByName(name string) (Archetype, error) {
+	for _, a := range archetypes {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	known := ArchetypeNames()
+	sort.Strings(known)
+	return Archetype{}, fmt.Errorf("gen: unknown archetype %q (known: %v)", name, known)
+}
+
+// Generate produces the archetype's program for a seed: deterministic for a
+// given (archetype, seed) pair, and validated against the hlr oracle exactly
+// like the uniform generator's output.  Distinct archetypes use distinct name
+// prefixes so the same seed yields distinct content-addressed artifacts.
+func (a Archetype) Generate(seed int64) (*Program, error) {
+	if a.structure == nil {
+		return nil, fmt.Errorf("gen: archetype %q has no structural template", a.Name)
+	}
+	if a.Weights.Print < 1 {
+		return nil, fmt.Errorf("gen: archetype %q: Weights.Print must be >= 1", a.Name)
+	}
+	name := fmt.Sprintf("%s%d", a.Name, seed)
+	w := a.Weights
+	return a.Config.generate(seed, name, a.Name, func(g *generator) *hlr.Program {
+		g.w = &w
+		main := &procCtx{name: name, isMain: true}
+		a.structure(g, main)
+		return &hlr.Program{Name: name, Block: g.blockOf(main)}
+	})
+}
+
+// buildRecursion emits a flat web of sibling procedures directly under main.
+// Because siblings are mutually visible, the call-heavy weights produce dense
+// mutual recursion; the fuel discipline still bounds total activations.  The
+// instruction working set is spread across many procedure bodies revisited in
+// data-dependent order — the DTB-hostile end of the locality spectrum.
+func (g *generator) buildRecursion(main *procCtx) {
+	for i, n := 0, 2+g.intn(2); i < n; i++ {
+		main.scalars = append(main.scalars, g.freshName("g"))
+	}
+	main.loops = append(main.loops, g.freshName("li"))
+	nprocs := 5 + g.intn(3)
+	for i := 0; i < nprocs; i++ {
+		p := &procCtx{name: g.freshName("p"), parent: main, depth: 1}
+		p.params = append(p.params, g.freshName("fuel"))
+		if g.intn(2) == 0 {
+			p.params = append(p.params, g.freshName("t"))
+		}
+		p.scalars = append(p.scalars, p.params[1:]...)
+		p.scalars = append(p.scalars, g.freshName("v"))
+		main.procs = append(main.procs, p)
+	}
+	g.perBody = max(8, g.cfg.StmtBudget/(nprocs+1))
+	g.bodies(main, &scope{proc: main})
+}
+
+// buildKernel emits a nearly-flat numeric kernel: several arrays and loop
+// counters in main, loop- and array-heavy weights, and at most one helper
+// procedure.  The instruction working set is a handful of tight loop bodies
+// re-executed many times — the DTB-friendly end of the locality spectrum.
+func (g *generator) buildKernel(main *procCtx) {
+	for i, n := 0, 3+g.intn(2); i < n; i++ {
+		main.scalars = append(main.scalars, g.freshName("g"))
+	}
+	for i, n := 0, 2+g.intn(2); i < n; i++ {
+		main.loops = append(main.loops, g.freshName("li"))
+	}
+	for i, n := 0, 2+g.intn(2); i < n; i++ {
+		main.arrays = append(main.arrays, arrayDecl{name: g.freshName("arr"), size: 4 + int64(g.intn(int(g.cfg.MaxArraySize-3)))})
+	}
+	if g.intn(3) == 0 {
+		p := &procCtx{name: g.freshName("p"), parent: main, depth: 1}
+		p.params = append(p.params, g.freshName("fuel"), g.freshName("t"))
+		p.scalars = append(p.scalars, p.params[1:]...)
+		p.loops = append(p.loops, g.freshName("li"))
+		main.procs = append(main.procs, p)
+	}
+	g.perBody = max(8, g.cfg.StmtBudget/(len(main.procs)+1))
+	sc := &scope{proc: main}
+	for _, child := range main.procs {
+		g.bodies(child, &scope{parent: sc, proc: child})
+	}
+	// The kernel skeleton is guaranteed, not probabilistic: at least two
+	// top-level bounded loops (the weighted grammar adds nesting and filler
+	// inside and between them).
+	g.budget = g.perBody
+	var stmts []hlr.Stmt
+	nloops := 2 + g.intn(len(main.loops)-1)
+	for i := 0; i < nloops; i++ {
+		if s, ok := g.boundedLoop(sc, 0); ok {
+			stmts = append(stmts, s)
+		}
+		if g.budget > 0 && g.intn(2) == 0 {
+			stmts = append(stmts, g.stmt(sc, 0))
+		}
+	}
+	main.body = &hlr.CompoundStmt{Stmts: g.epilogue(main, stmts)}
+}
+
+// buildPhased emits a program whose main body is a sequence of phases.  Each
+// phase owns a disjoint set of procedures and its own array; phase bodies are
+// generated under a visibility view restricted to that phase, so successive
+// phases touch disjoint instruction and data working sets.  A translation
+// buffer warmed by one phase is cold for the next — the churn pattern the
+// sweep is designed to expose.
+func (g *generator) buildPhased(main *procCtx) {
+	for i, n := 0, 2+g.intn(2); i < n; i++ {
+		main.scalars = append(main.scalars, g.freshName("g"))
+	}
+	nphases := 2 + g.intn(2)
+	type phase struct {
+		procs []*procCtx
+		arr   arrayDecl
+		loop  string
+	}
+	phases := make([]phase, nphases)
+	for ph := range phases {
+		lv := g.freshName("li")
+		main.loops = append(main.loops, lv)
+		arr := arrayDecl{name: g.freshName("arr"), size: 4 + int64(g.intn(int(g.cfg.MaxArraySize-3)))}
+		main.arrays = append(main.arrays, arr)
+		np := 2 + g.intn(2)
+		procs := make([]*procCtx, np)
+		for i := range procs {
+			p := &procCtx{name: g.freshName("p"), parent: main, depth: 1}
+			p.params = append(p.params, g.freshName("fuel"))
+			if g.intn(2) == 0 {
+				p.params = append(p.params, g.freshName("t"))
+			}
+			p.scalars = append(p.scalars, p.params[1:]...)
+			p.scalars = append(p.scalars, g.freshName("v"))
+			main.procs = append(main.procs, p)
+			procs[i] = p
+		}
+		phases[ph] = phase{procs: procs, arr: arr, loop: lv}
+	}
+
+	perPhase := max(8, g.cfg.StmtBudget/(nphases*2))
+	// view builds the phase-restricted visibility root: main's shared scalars,
+	// but only this phase's loop counter, array and procedures.
+	view := func(p phase) *procCtx {
+		return &procCtx{
+			name:    main.name,
+			isMain:  true,
+			scalars: main.scalars,
+			loops:   []string{p.loop},
+			arrays:  []arrayDecl{p.arr},
+			procs:   p.procs,
+		}
+	}
+	// Phase procedure bodies: generated under the restricted view, so calls
+	// stay within the phase (mutual recursion included) and array traffic
+	// stays on the phase's array.
+	for _, p := range phases {
+		v := view(p)
+		for _, proc := range p.procs {
+			g.budget = max(6, perPhase/len(p.procs))
+			sc := &scope{parent: &scope{proc: v}, proc: proc}
+			stmts := []hlr.Stmt{g.guardStmt(proc)}
+			stmts = append(stmts, g.stmtList(sc, 0)...)
+			if g.intn(2) == 0 {
+				stmts = append(stmts, &hlr.ReturnStmt{Value: g.expr(sc, 0)})
+			}
+			proc.body = &hlr.CompoundStmt{Stmts: stmts}
+		}
+	}
+	// Main body: one bounded loop per phase, in order, each generated under
+	// its phase's view — the working-set shift is the phase boundary.
+	var stmts []hlr.Stmt
+	for _, p := range phases {
+		sc := &scope{proc: view(p)}
+		g.budget = perPhase
+		if s, ok := g.boundedLoop(sc, 0); ok {
+			stmts = append(stmts, s)
+		}
+		if call, ok := g.callTo(sc, 0); ok {
+			stmts = append(stmts, &hlr.CallStmt{Name: call.Name, Args: call.Args})
+		}
+	}
+	main.body = &hlr.CompoundStmt{Stmts: g.epilogue(main, stmts)}
+}
+
+// buildDispatch emits state-machine style code: one hub procedure whose body
+// is an explicit if-chain on (state mod n) selecting among n small handler
+// procedures, then a self-recursive call advancing the state.  Control keeps
+// returning to the hot hub while fanning out over many cool handlers — the
+// locality pattern of interpreters and protocol state machines.
+func (g *generator) buildDispatch(main *procCtx) {
+	for i, n := 0, 2+g.intn(2); i < n; i++ {
+		main.scalars = append(main.scalars, g.freshName("g"))
+	}
+	main.loops = append(main.loops, g.freshName("li"))
+	if g.intn(2) == 0 {
+		main.arrays = append(main.arrays, arrayDecl{name: g.freshName("arr"), size: 4 + int64(g.intn(int(g.cfg.MaxArraySize-3)))})
+	}
+	nhandlers := 6 + g.intn(4)
+	handlers := make([]*procCtx, nhandlers)
+	for i := range handlers {
+		h := &procCtx{name: g.freshName("h"), parent: main, depth: 1}
+		h.params = append(h.params, g.freshName("fuel"), g.freshName("t"))
+		h.scalars = append(h.scalars, h.params[1:]...)
+		main.procs = append(main.procs, h)
+		handlers[i] = h
+	}
+	hub := &procCtx{name: g.freshName("hub"), parent: main, depth: 1}
+	hub.params = append(hub.params, g.freshName("fuel"), g.freshName("st"))
+	main.procs = append(main.procs, hub)
+
+	// Handler bodies: a guard plus a couple of weighted statements over the
+	// shared globals; handlers never call (Call weight is zero), so each is a
+	// small straight-line leaf.
+	mainSc := &scope{proc: main}
+	for _, h := range handlers {
+		g.budget = 2 + g.intn(3)
+		sc := &scope{parent: mainSc, proc: h}
+		stmts := []hlr.Stmt{g.guardStmt(h)}
+		stmts = append(stmts, g.stmtList(sc, 0)...)
+		if g.intn(2) == 0 {
+			stmts = append(stmts, &hlr.ReturnStmt{Value: g.expr(sc, 0)})
+		}
+		h.body = &hlr.CompoundStmt{Stmts: stmts}
+	}
+
+	// Hub body: guard, explicit dispatch chain on (st mod n), self-recursion
+	// with the state advanced by a fixed stride.  st starts >= 0 and only
+	// grows, so the truncated mod stays in [0, n).
+	st := hub.params[1]
+	hubSc := &scope{parent: mainSc, proc: hub}
+	fuelDec := func() hlr.Expr { return bin(hlr.OpSub, ref(hub.params[0]), lit(1)) }
+	var dispatch hlr.Stmt
+	for i := nhandlers - 1; i >= 0; i-- {
+		call := &hlr.CallStmt{
+			Name: handlers[i].name,
+			Args: []hlr.Expr{fuelDec(), g.expr(hubSc, 1)},
+		}
+		cond := bin(hlr.OpEq, bin(hlr.OpMod, ref(st), lit(int64(nhandlers))), lit(int64(i)))
+		s := &hlr.IfStmt{Cond: cond, Then: call}
+		if dispatch != nil {
+			s.Else = dispatch
+		}
+		dispatch = s
+	}
+	stride := int64(1 + g.intn(nhandlers))
+	hub.body = &hlr.CompoundStmt{Stmts: []hlr.Stmt{
+		g.guardStmt(hub),
+		dispatch,
+		&hlr.CallStmt{
+			Name: hub.name,
+			Args: []hlr.Expr{fuelDec(), bin(hlr.OpAdd, ref(st), lit(stride))},
+		},
+	}}
+
+	// Main body: a bounded loop pumping the hub with fresh fuel and a varying
+	// start state, plus a few weighted statements, then the epilogue.
+	g.budget = max(8, g.cfg.StmtBudget/4)
+	lv := main.loops[0]
+	bound := 2 + int64(g.intn(int(g.cfg.MaxLoopBound)))
+	pump := &hlr.CompoundStmt{Stmts: []hlr.Stmt{
+		&hlr.AssignStmt{Target: lv, Value: lit(0)},
+		&hlr.WhileStmt{
+			Cond: bin(hlr.OpLt, ref(lv), lit(bound)),
+			Body: &hlr.CompoundStmt{Stmts: []hlr.Stmt{
+				&hlr.CallStmt{
+					Name: hub.name,
+					Args: []hlr.Expr{
+						lit(1 + int64(g.intn(int(g.cfg.MaxFuel)))),
+						bin(hlr.OpMul, ref(lv), lit(1+int64(g.intn(3)))),
+					},
+				},
+				&hlr.AssignStmt{Target: lv, Value: bin(hlr.OpAdd, ref(lv), lit(1))},
+			}},
+		},
+	}}
+	stmts := []hlr.Stmt{pump}
+	stmts = append(stmts, g.stmtList(mainSc, 0)...)
+	main.body = &hlr.CompoundStmt{Stmts: g.epilogue(main, stmts)}
+}

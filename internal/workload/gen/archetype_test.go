@@ -1,0 +1,361 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"uhm/internal/compile"
+	"uhm/internal/hlr"
+)
+
+// TestArchetypeCatalogue checks the catalogue contract: at least the four
+// profiles the experiments depend on, unique resolvable names, and an error
+// for unknown names.
+func TestArchetypeCatalogue(t *testing.T) {
+	names := ArchetypeNames()
+	if len(names) < 4 {
+		t.Fatalf("expected >= 4 archetypes, got %v", names)
+	}
+	for _, want := range []string{"recursion", "kernel", "phased", "dispatch"} {
+		if !contains(names, want) {
+			t.Errorf("catalogue missing %q: %v", want, names)
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range Archetypes() {
+		if seen[a.Name] {
+			t.Errorf("duplicate archetype name %q", a.Name)
+		}
+		seen[a.Name] = true
+		got, err := ArchetypeByName(a.Name)
+		if err != nil {
+			t.Errorf("ArchetypeByName(%q): %v", a.Name, err)
+		}
+		if got.Name != a.Name || got.Description == "" {
+			t.Errorf("ArchetypeByName(%q) = %+v", a.Name, got)
+		}
+	}
+	if _, err := ArchetypeByName("no-such-profile"); err == nil {
+		t.Error("ArchetypeByName accepted an unknown name")
+	}
+}
+
+// TestArchetypeDeterministic checks a (archetype, seed) pair fully determines
+// the program, and that distinct archetypes never collide on a name.
+func TestArchetypeDeterministic(t *testing.T) {
+	names := map[string]string{}
+	for _, a := range Archetypes() {
+		for seed := int64(1); seed <= 5; seed++ {
+			p1, err := a.Generate(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", a.Name, seed, err)
+			}
+			p2, err := a.Generate(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d (second): %v", a.Name, seed, err)
+			}
+			if p1.Source != p2.Source {
+				t.Fatalf("%s seed %d: two generations differ", a.Name, seed)
+			}
+			if p1.Archetype != a.Name {
+				t.Errorf("%s seed %d: Archetype field = %q", a.Name, seed, p1.Archetype)
+			}
+			if prev, dup := names[p1.Name]; dup {
+				t.Errorf("program name %q produced by both %s and %s", p1.Name, prev, a.Name)
+			}
+			names[p1.Name] = a.Name
+		}
+	}
+}
+
+// TestArchetypeProgramsValid checks every archetype program parses, compiles
+// at every level, stays within the oracle budget and prints output — the same
+// validity contract as the uniform generator.
+func TestArchetypeProgramsValid(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, a := range Archetypes() {
+		for seed := int64(1); seed <= seeds; seed++ {
+			p, err := a.Generate(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", a.Name, seed, err)
+			}
+			if len(p.Output) == 0 {
+				t.Errorf("%s seed %d: empty output", a.Name, seed)
+			}
+			if p.OracleSteps > a.Config.OracleMaxSteps {
+				t.Errorf("%s seed %d: %d oracle steps exceed budget %d", a.Name, seed, p.OracleSteps, a.Config.OracleMaxSteps)
+			}
+			prog, err := hlr.Parse(p.Source)
+			if err != nil {
+				t.Fatalf("%s seed %d: reparse: %v", a.Name, seed, err)
+			}
+			for _, level := range compile.Levels() {
+				if _, err := compile.Compile(prog, level); err != nil {
+					t.Errorf("%s seed %d: compile at %v: %v", a.Name, seed, level, err)
+				}
+			}
+		}
+	}
+}
+
+// countProcs counts procedure declarations anywhere in the program.
+func countProcs(b *hlr.Block) int {
+	n := len(b.Procs)
+	for _, p := range b.Procs {
+		n += countProcs(p.Body)
+	}
+	return n
+}
+
+// TestArchetypeShapes checks each profile actually has the structure its name
+// promises, for every seed — not just on average.
+func TestArchetypeShapes(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		for _, a := range Archetypes() {
+			p, err := a.Generate(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", a.Name, seed, err)
+			}
+			prog, err := hlr.Parse(p.Source)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", a.Name, seed, err)
+			}
+			procs := countProcs(prog.Block)
+			calls := strings.Count(p.Source, "call ")
+			whiles := strings.Count(p.Source, "while ")
+			switch a.Name {
+			case "recursion":
+				if procs < 5 {
+					t.Errorf("recursion seed %d: only %d procedures", seed, procs)
+				}
+				if calls < 3 {
+					t.Errorf("recursion seed %d: only %d call statements", seed, calls)
+				}
+			case "kernel":
+				if procs > 1 {
+					t.Errorf("kernel seed %d: %d procedures, want <= 1", seed, procs)
+				}
+				if whiles < 2 {
+					t.Errorf("kernel seed %d: only %d loops", seed, whiles)
+				}
+				if !strings.Contains(p.Source, "[") {
+					t.Errorf("kernel seed %d: no array traffic", seed)
+				}
+			case "phased":
+				if procs < 4 {
+					t.Errorf("phased seed %d: only %d procedures", seed, procs)
+				}
+				// One top-level loop per phase: at least two phases.
+				if whiles < 2 {
+					t.Errorf("phased seed %d: only %d loops", seed, whiles)
+				}
+				if len(prog.Block.Vars) == 0 {
+					t.Errorf("phased seed %d: no declarations", seed)
+				}
+			case "dispatch":
+				if procs < 7 {
+					t.Errorf("dispatch seed %d: only %d procedures (hub + handlers)", seed, procs)
+				}
+				// The hub's dispatch chain tests (st mod n = i).
+				if !strings.Contains(p.Source, " mod ") {
+					t.Errorf("dispatch seed %d: no state dispatch", seed)
+				}
+				// Hub self-recursion plus the main pump: the hub is called
+				// from at least two sites.
+				if calls < 3 {
+					t.Errorf("dispatch seed %d: only %d call statements", seed, calls)
+				}
+			}
+		}
+	}
+}
+
+// TestArchetypePhasedDisjointPhases checks the phased profile's defining
+// property: procedures of one phase never call procedures of another, so the
+// instruction working set really does shift at phase boundaries.
+func TestArchetypePhasedDisjointPhases(t *testing.T) {
+	a, err := ArchetypeByName("phased")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		p, err := a.Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := hlr.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Recover each procedure's phase from the declaration order: the
+		// generator declares each phase's procedures consecutively and arrays
+		// one per phase, so the phase of proc i is found by matching call
+		// graphs against declaration groups.  The weaker but structural check:
+		// every call inside a procedure targets a procedure, and the callee
+		// set of each procedure stays within one phase.  Phases are separated
+		// by the array declarations interleaved between their proc groups, so
+		// here we verify via the call graph: build proc -> callees and assert
+		// the graph decomposes into components that never span a declared
+		// "arr" boundary group.
+		type procInfo struct {
+			name    string
+			callees map[string]bool
+		}
+		var procs []procInfo
+		for _, pd := range prog.Block.Procs {
+			info := procInfo{name: pd.Name, callees: map[string]bool{}}
+			var walkStmt func(hlr.Stmt)
+			walkExpr := func(hlr.Expr) {}
+			walkStmt = func(s hlr.Stmt) {
+				switch x := s.(type) {
+				case *hlr.CompoundStmt:
+					for _, inner := range x.Stmts {
+						walkStmt(inner)
+					}
+				case *hlr.CallStmt:
+					info.callees[x.Name] = true
+				case *hlr.IfStmt:
+					walkStmt(x.Then)
+					if x.Else != nil {
+						walkStmt(x.Else)
+					}
+				case *hlr.WhileStmt:
+					walkStmt(x.Body)
+				}
+			}
+			_ = walkExpr
+			walkStmt(pd.Body.Body)
+			procs = append(procs, info)
+		}
+		// Phase groups are consecutive runs of procedure declarations; the
+		// generator emits 2-3 procs per phase.  Use union-find over call
+		// edges and assert every component is a consecutive declaration run
+		// of length <= 3 (one phase's population).
+		index := map[string]int{}
+		for i, pi := range procs {
+			index[pi.name] = i
+		}
+		parent := make([]int, len(procs))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		union := func(a, b int) { parent[find(a)] = find(b) }
+		for i, pi := range procs {
+			for callee := range pi.callees {
+				if j, ok := index[callee]; ok {
+					union(i, j)
+				}
+			}
+		}
+		comp := map[int][]int{}
+		for i := range procs {
+			r := find(i)
+			comp[r] = append(comp[r], i)
+		}
+		for _, members := range comp {
+			lo, hi := members[0], members[0]
+			for _, m := range members {
+				if m < lo {
+					lo = m
+				}
+				if m > hi {
+					hi = m
+				}
+			}
+			if hi-lo+1 > 3 {
+				t.Errorf("seed %d: call-graph component spans declarations %d..%d — phases are not disjoint", seed, lo, hi)
+			}
+		}
+	}
+}
+
+// TestArchetypeLoopCounterDiscipline extends the termination-discipline check
+// to every archetype: loop counters are assigned only in init/step shapes.
+func TestArchetypeLoopCounterDiscipline(t *testing.T) {
+	for _, a := range Archetypes() {
+		for seed := int64(1); seed <= 20; seed++ {
+			p, err := a.Generate(seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", a.Name, seed, err)
+			}
+			prog, err := hlr.Parse(p.Source)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", a.Name, seed, err)
+			}
+			var walkStmt func(s hlr.Stmt)
+			walkStmt = func(s hlr.Stmt) {
+				switch x := s.(type) {
+				case *hlr.CompoundStmt:
+					for _, inner := range x.Stmts {
+						walkStmt(inner)
+					}
+				case *hlr.AssignStmt:
+					if !strings.HasPrefix(x.Target, "li") {
+						return
+					}
+					switch v := x.Value.(type) {
+					case *hlr.NumberLit:
+					case *hlr.BinaryExpr:
+						l, lok := v.Left.(*hlr.VarRef)
+						_, rok := v.Right.(*hlr.NumberLit)
+						if v.Op != hlr.OpAdd || !lok || l.Name != x.Target || !rok {
+							t.Errorf("%s seed %d: loop counter %s assigned outside the loop discipline: %s",
+								a.Name, seed, x.Target, hlr.FormatStmt(s))
+						}
+					default:
+						t.Errorf("%s seed %d: loop counter %s assigned %T", a.Name, seed, x.Target, v)
+					}
+				case *hlr.IfStmt:
+					walkStmt(x.Then)
+					if x.Else != nil {
+						walkStmt(x.Else)
+					}
+				case *hlr.WhileStmt:
+					walkStmt(x.Body)
+				}
+			}
+			var walkBlock func(b *hlr.Block)
+			walkBlock = func(b *hlr.Block) {
+				for _, pd := range b.Procs {
+					walkBlock(pd.Body)
+				}
+				walkStmt(b.Body)
+			}
+			walkBlock(prog.Block)
+		}
+	}
+}
+
+// TestDefaultGeneratorUnchangedByWeights pins that installing no weights
+// leaves the uniform generator's draw stream intact: the weighted-grammar
+// refactor must not perturb a single pinned seed.
+func TestDefaultGeneratorUnchangedByWeights(t *testing.T) {
+	// Golden fingerprints would over-pin; the real guard is the genregress
+	// pinned-seed tests plus this structural check that Generate leaves the
+	// weights hook nil (the archetype path is the only writer).
+	p, err := Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DefaultConfig().Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != q.Source {
+		t.Fatal("Generate and DefaultConfig().Generate disagree")
+	}
+	if p.Archetype != "" {
+		t.Fatalf("uniform generator stamped archetype %q", p.Archetype)
+	}
+}

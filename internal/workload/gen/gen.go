@@ -55,7 +55,11 @@ func DefaultConfig() Config {
 type Program struct {
 	// Name is the program's MiniLang name (derived from the seed).
 	Name string
-	// Seed reproduces the program via Generate(seed).
+	// Archetype names the profile that produced the program; empty for the
+	// uniform generator.
+	Archetype string
+	// Seed reproduces the program via Generate(seed) (or, when Archetype is
+	// set, via ArchetypeByName(Archetype).Generate(seed)).
 	Seed int64
 	// Source is the MiniLang source text.
 	Source string
@@ -70,11 +74,10 @@ func Generate(seed int64) (*Program, error) {
 	return DefaultConfig().Generate(seed)
 }
 
-// Generate produces the program for a seed: deterministic for a given
-// (Config, seed) pair.  Zero or out-of-range fields fall back to
-// DefaultConfig values, so a partially filled Config cannot panic the
-// generator's bounded random draws.
-func (cfg Config) Generate(seed int64) (*Program, error) {
+// normalized returns the configuration with zero or out-of-range fields
+// replaced by DefaultConfig values, so a partially filled Config cannot panic
+// the generator's bounded random draws.
+func (cfg Config) normalized() Config {
 	def := DefaultConfig()
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = def.MaxAttempts
@@ -109,11 +112,30 @@ func (cfg Config) Generate(seed int64) (*Program, error) {
 	if cfg.OracleMaxSteps < 1 {
 		cfg.OracleMaxSteps = def.OracleMaxSteps
 	}
+	return cfg
+}
+
+// Generate produces the program for a seed: deterministic for a given
+// (Config, seed) pair.  Zero or out-of-range fields fall back to
+// DefaultConfig values.
+func (cfg Config) Generate(seed int64) (*Program, error) {
+	name := fmt.Sprintf("gen%d", seed)
+	return cfg.generate(seed, name, "", func(g *generator) *hlr.Program {
+		return g.program(name)
+	})
+}
+
+// generate is the shared candidate-validate-retry loop: build draws one
+// candidate AST from the generator's seeded stream, and the candidate is kept
+// only if it parses, runs cleanly on the hlr oracle within the validation
+// budget and prints at least one value.
+func (cfg Config) generate(seed int64, name, archetype string, build func(*generator) *hlr.Program) (*Program, error) {
+	cfg = cfg.normalized()
 	rng := rand.New(rand.NewSource(seed))
 	var lastErr error
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 		g := &generator{cfg: cfg, rng: rng}
-		ast := g.program(fmt.Sprintf("gen%d", seed))
+		ast := build(g)
 		src := hlr.Format(ast)
 		prog, err := hlr.Parse(src)
 		if err != nil {
@@ -130,7 +152,8 @@ func (cfg Config) Generate(seed int64) (*Program, error) {
 			continue
 		}
 		return &Program{
-			Name:        fmt.Sprintf("gen%d", seed),
+			Name:        name,
+			Archetype:   archetype,
 			Seed:        seed,
 			Source:      src,
 			Output:      res.Output,
@@ -180,6 +203,10 @@ type generator struct {
 	// activeLoops lists the counters currently driving enclosing loops.
 	loopDepth   int
 	activeLoops []string
+	// w, when non-nil, replaces the uniform statement distribution with an
+	// archetype's weighted one.  The default generator leaves it nil, so its
+	// random-draw sequence — and therefore every pinned seed — is unchanged.
+	w *Weights
 }
 
 func (g *generator) freshName(prefix string) string {
@@ -299,26 +326,38 @@ func (g *generator) bodies(p *procCtx, sc *scope) {
 	var stmts []hlr.Stmt
 	if !p.isMain {
 		// The termination guard: every procedure body opens with it.
-		stmts = append(stmts, &hlr.IfStmt{
-			Cond: bin(hlr.OpLe, ref(p.params[0]), lit(0)),
-			Then: &hlr.ReturnStmt{Value: lit(int64(g.intn(7)) - 3)},
-		})
+		stmts = append(stmts, g.guardStmt(p))
 	}
 	stmts = append(stmts, g.stmtList(sc, 0)...)
 	if p.isMain {
-		// Epilogue: print every global scalar and a probe of each array, so
-		// any state divergence across the stack becomes an output divergence.
-		for _, s := range p.scalars {
-			stmts = append(stmts, &hlr.PrintStmt{Value: ref(s)})
-		}
-		for _, a := range p.arrays {
-			stmts = append(stmts, &hlr.PrintStmt{Value: &hlr.VarRef{Name: a.name, Index: lit(int64(g.intn(int(a.size))))}})
-			stmts = append(stmts, &hlr.PrintStmt{Value: &hlr.VarRef{Name: a.name, Index: lit(a.size - 1)}})
-		}
+		stmts = g.epilogue(p, stmts)
 	} else if g.intn(2) == 0 {
 		stmts = append(stmts, &hlr.ReturnStmt{Value: g.expr(sc, 0)})
 	}
 	p.body = &hlr.CompoundStmt{Stmts: stmts}
+}
+
+// epilogue appends the main-body observability prints: every global scalar
+// and a probe of each array, so any state divergence across the stack becomes
+// an output divergence.
+func (g *generator) epilogue(p *procCtx, stmts []hlr.Stmt) []hlr.Stmt {
+	for _, s := range p.scalars {
+		stmts = append(stmts, &hlr.PrintStmt{Value: ref(s)})
+	}
+	for _, a := range p.arrays {
+		stmts = append(stmts, &hlr.PrintStmt{Value: &hlr.VarRef{Name: a.name, Index: lit(int64(g.intn(int(a.size))))}})
+		stmts = append(stmts, &hlr.PrintStmt{Value: &hlr.VarRef{Name: a.name, Index: lit(a.size - 1)}})
+	}
+	return stmts
+}
+
+// guardStmt is the termination guard every generated procedure body opens
+// with: if the fuel parameter is exhausted, return immediately.
+func (g *generator) guardStmt(p *procCtx) hlr.Stmt {
+	return &hlr.IfStmt{
+		Cond: bin(hlr.OpLe, ref(p.params[0]), lit(0)),
+		Then: &hlr.ReturnStmt{Value: lit(int64(g.intn(7)) - 3)},
+	}
 }
 
 // stmtList generates a bounded statement list at the given nesting depth.
@@ -331,17 +370,71 @@ func (g *generator) stmtList(sc *scope, depth int) []hlr.Stmt {
 	return out
 }
 
+// stmtKind is a production of the statement grammar; the uniform and weighted
+// distributions both resolve to one of these before emission.
+type stmtKind int
+
+const (
+	kindAssign stmtKind = iota
+	kindArrayAssign
+	kindPrint
+	kindIf
+	kindLoop
+	kindCall
+)
+
+// pickStmtKind draws the next statement production: uniformly when no weights
+// are installed (preserving the historical distribution draw-for-draw), by
+// weighted roulette otherwise.
+func (g *generator) pickStmtKind() stmtKind {
+	if g.w == nil {
+		switch g.intn(10) {
+		case 0, 1, 2:
+			return kindAssign
+		case 3:
+			return kindArrayAssign
+		case 4:
+			return kindPrint
+		case 5, 6:
+			return kindIf
+		case 7, 8:
+			return kindLoop
+		default:
+			return kindCall
+		}
+	}
+	w := g.w
+	total := w.Assign + w.ArrayAssign + w.Print + w.If + w.Loop + w.Call
+	r := g.intn(total)
+	if r -= w.Assign; r < 0 {
+		return kindAssign
+	}
+	if r -= w.ArrayAssign; r < 0 {
+		return kindArrayAssign
+	}
+	if r -= w.Print; r < 0 {
+		return kindPrint
+	}
+	if r -= w.If; r < 0 {
+		return kindIf
+	}
+	if r -= w.Loop; r < 0 {
+		return kindLoop
+	}
+	return kindCall
+}
+
 // stmt generates one statement.
 func (g *generator) stmt(sc *scope, depth int) hlr.Stmt {
 	g.budget--
 	deep := depth >= g.cfg.MaxStmtDepth || g.budget <= 0
 	for {
-		switch g.intn(10) {
-		case 0, 1, 2: // scalar assignment
+		switch g.pickStmtKind() {
+		case kindAssign: // scalar assignment
 			if target, ok := g.assignableScalar(sc); ok {
 				return &hlr.AssignStmt{Target: target, Value: g.expr(sc, 0)}
 			}
-		case 3: // array element assignment
+		case kindArrayAssign: // array element assignment
 			if arr, ok := g.visibleArray(sc); ok {
 				return &hlr.AssignStmt{
 					Target: arr.name,
@@ -349,9 +442,9 @@ func (g *generator) stmt(sc *scope, depth int) hlr.Stmt {
 					Value:  g.expr(sc, 0),
 				}
 			}
-		case 4: // print
+		case kindPrint: // print
 			return &hlr.PrintStmt{Value: g.expr(sc, 0)}
-		case 5, 6: // if / if-else
+		case kindIf: // if / if-else
 			if deep {
 				continue
 			}
@@ -363,14 +456,14 @@ func (g *generator) stmt(sc *scope, depth int) hlr.Stmt {
 				s.Else = &hlr.CompoundStmt{Stmts: g.stmtList(sc, depth+1)}
 			}
 			return s
-		case 7, 8: // bounded while
+		case kindLoop: // bounded while
 			if deep || g.loopDepth >= 3 {
 				continue
 			}
 			if s, ok := g.boundedLoop(sc, depth); ok {
 				return s
 			}
-		case 9: // call statement
+		case kindCall: // call statement
 			if call, ok := g.callTo(sc, 0); ok {
 				return &hlr.CallStmt{Name: call.Name, Args: call.Args}
 			}
@@ -558,6 +651,9 @@ func (g *generator) expr(sc *scope, depth int) hlr.Expr {
 		}
 		return g.leaf(sc)
 	default: // function-style call
+		if g.w != nil && g.w.CallExpr == 0 {
+			return g.leaf(sc)
+		}
 		if call, ok := g.callTo(sc, depth); ok {
 			return call
 		}

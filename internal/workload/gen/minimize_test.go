@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -125,6 +127,141 @@ end.`
 	}
 	if len(min) > 120 {
 		t.Errorf("expected a tiny reproducer, got %d bytes:\n%s", len(min), min)
+	}
+}
+
+// compoundsOf collects every begin/end list reachable from a block: the main
+// body, procedure bodies, and the bodies nested under ifs and whiles.
+func compoundsOf(blk *uhr.Block) []*uhr.CompoundStmt {
+	var out []*uhr.CompoundStmt
+	var fromStmt func(s uhr.Stmt)
+	fromStmt = func(s uhr.Stmt) {
+		switch x := s.(type) {
+		case *uhr.CompoundStmt:
+			out = append(out, x)
+			for _, inner := range x.Stmts {
+				fromStmt(inner)
+			}
+		case *uhr.IfStmt:
+			fromStmt(x.Then)
+			fromStmt(x.Else)
+		case *uhr.WhileStmt:
+			fromStmt(x.Body)
+		}
+	}
+	for _, pd := range blk.Procs {
+		out = append(out, compoundsOf(pd.Body)...)
+	}
+	fromStmt(blk.Body)
+	return out
+}
+
+// TestMinimizeProperty is the property test over the generator populations:
+// for seeded programs from the uniform generator and every archetype, a
+// divergence-shaped mutation (a sentinel print spliced into a random
+// begin/end list, standing in for the wrong-value output a real divergence
+// produces) must survive minimization — the minimized program still parses,
+// still runs cleanly on the oracle, still emits the sentinel, and is no
+// larger than the mutant it came from.
+func TestMinimizeProperty(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	populations := append([]string{""}, ArchetypeNames()...)
+	for _, archetype := range populations {
+		for _, seed := range seeds {
+			name := "uniform"
+			if archetype != "" {
+				name = archetype
+			}
+			t.Run(fmt.Sprintf("%s/%d", name, seed), func(t *testing.T) {
+				t.Parallel()
+				var p *Program
+				var err error
+				if archetype == "" {
+					p, err = Generate(seed)
+				} else {
+					var a Archetype
+					a, err = ArchetypeByName(archetype)
+					if err == nil {
+						p, err = a.Generate(seed)
+					}
+				}
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+
+				// Splice the sentinel print at a seeded position.  The value is
+				// far outside what generated programs print, so "output contains
+				// the sentinel" is an honest stand-in for a divergence signature.
+				const sentinel = 88_000_001
+				for _, v := range p.Output {
+					if v == sentinel {
+						t.Fatalf("seed %d: program already prints the sentinel", seed)
+					}
+				}
+				prog, err := uhr.Parse(p.Source)
+				if err != nil {
+					t.Fatalf("reparse: %v", err)
+				}
+				rng := rand.New(rand.NewSource(seed * 7919))
+				comps := compoundsOf(prog.Block)
+				c := comps[rng.Intn(len(comps))]
+				at := rng.Intn(len(c.Stmts) + 1)
+				stmt := &uhr.PrintStmt{Value: &uhr.NumberLit{Value: sentinel}}
+				c.Stmts = append(c.Stmts[:at:at], append([]uhr.Stmt{stmt}, c.Stmts[at:]...)...)
+				mutated := uhr.Format(prog)
+
+				fails := failsWhen(t, func(_ string, output []int64) bool {
+					for _, v := range output {
+						if v == sentinel {
+							return true
+						}
+					}
+					return false
+				})
+				if !fails(mutated) {
+					// The splice point can be dead code (inside an untaken branch
+					// or an unreached procedure); that mutant carries no failure,
+					// so there is nothing for the minimizer to preserve.
+					t.Skip("mutation landed in dead code")
+				}
+
+				min, err := Minimize(mutated, fails)
+				if err != nil {
+					t.Fatalf("Minimize: %v", err)
+				}
+				if !fails(min) {
+					t.Fatalf("minimized program no longer reproduces the divergence:\n%s", min)
+				}
+				minProg, err := uhr.Parse(min)
+				if err != nil {
+					t.Fatalf("minimized program does not parse: %v\n%s", err, min)
+				}
+				res, err := uhr.Evaluate(minProg, uhr.EvalOptions{MaxSteps: 2_000_000})
+				if err != nil {
+					t.Fatalf("minimized program fails the oracle: %v\n%s", err, min)
+				}
+				found := false
+				for _, v := range res.Output {
+					if v == sentinel {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("minimized program lost the sentinel output:\n%s", min)
+				}
+				if len(min) > len(mutated) {
+					t.Errorf("minimized program grew: %d bytes vs %d", len(min), len(mutated))
+				}
+				// The witness is one print statement: a working minimizer strips
+				// the bulk of the generated program around it.
+				if len(min) > len(mutated)/2 {
+					t.Errorf("weak minimization: %d of %d bytes:\n%s", len(min), len(mutated), min)
+				}
+			})
+		}
 	}
 }
 

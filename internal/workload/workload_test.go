@@ -193,3 +193,35 @@ func BenchmarkSyntheticTrace(b *testing.B) {
 		}
 	}
 }
+
+// TestArchetypeCatalogue checks the workload-level archetype catalogue stays
+// in lockstep with the generator's and that generation round-trips through it.
+func TestArchetypeCatalogue(t *testing.T) {
+	infos := Archetypes()
+	if len(infos) < 4 {
+		t.Fatalf("expected >= 4 archetypes, got %d", len(infos))
+	}
+	names := ArchetypeNames()
+	if len(names) != len(infos) {
+		t.Fatalf("ArchetypeNames (%d) and Archetypes (%d) disagree", len(names), len(infos))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("catalogue order mismatch at %d: %q vs %q", i, info.Name, names[i])
+		}
+		if info.Description == "" {
+			t.Errorf("archetype %q has no description", info.Name)
+		}
+		p, err := GenerateArchetype(info.Name, 1)
+		if err != nil {
+			t.Errorf("GenerateArchetype(%q, 1): %v", info.Name, err)
+			continue
+		}
+		if p.Archetype != info.Name || len(p.Output) == 0 {
+			t.Errorf("GenerateArchetype(%q, 1) = %q with %d outputs", info.Name, p.Archetype, len(p.Output))
+		}
+	}
+	if _, err := GenerateArchetype("no-such-profile", 1); err == nil {
+		t.Error("GenerateArchetype accepted an unknown archetype")
+	}
+}
