@@ -576,6 +576,65 @@ func BenchmarkServeConcurrent(b *testing.B) {
 	}
 }
 
+// BenchmarkServeBatch measures the same warm mixed workload as
+// BenchmarkServeConcurrent but admitted through the batch path, 16 runs per
+// slot acquisition.  ns/op is per RUN in both benchmarks, so the difference
+// between them is exactly the amortised per-request overhead — the number
+// the batching half of the fleet design exists to shrink.
+func BenchmarkServeBatch(b *testing.B) {
+	cfg := benchConfig()
+	svc := service.New(service.Options{})
+	ctx := context.Background()
+	workloads := []string{"loopsum", "fib", "sieve"}
+	strategies := sim.Strategies()
+	for _, w := range workloads {
+		for _, s := range strategies {
+			if _, err := svc.RunWorkload(ctx, w, core.LevelStack, s, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	before := svc.Stats()
+	const batchSize = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for {
+			// Gather up to one batch worth of iterations, then run them all
+			// under a single admission — the batch amortisation unit.
+			n := 0
+			for n < batchSize && pb.Next() {
+				n++
+			}
+			if n == 0 {
+				return
+			}
+			base := i
+			err := svc.Batch(ctx, func(ctx context.Context, br *service.BatchRunner) error {
+				for k := 0; k < n; k++ {
+					w := workloads[(base+k)%len(workloads)]
+					s := strategies[(base+k)/len(workloads)%len(strategies)]
+					if _, err := br.RunWorkload(ctx, w, core.LevelStack, s, cfg); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			i += n
+		}
+	})
+	b.StopTimer()
+	after := svc.Stats()
+	if after.Registry.Builds != before.Registry.Builds {
+		b.Fatalf("steady state rebuilt artifacts: %d -> %d builds",
+			before.Registry.Builds, after.Registry.Builds)
+	}
+}
+
 // BenchmarkRunSharedPredecode measures a full simulated DTB run when the
 // predecoded program is built once and reused, the shape of every sweep in
 // the experiment engine.

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"uhm/internal/service"
+)
+
+// benchServer builds a warm in-process server: the fib artifact is built,
+// its replayer pooled, and the response-buffer pool filled, so the
+// benchmarks below measure the steady-state handler path.
+func benchServer(b *testing.B) *server {
+	b.Helper()
+	s := newServer(service.New(service.Options{}))
+	warm := []byte(`{"workload":"fib","strategy":"dtb"}`)
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(warm))
+		s.mux.ServeHTTP(nullResponseWriter{h: make(http.Header)}, req)
+	}
+	return s
+}
+
+// BenchmarkHTTPServeRun is the warm single-request HTTP baseline: one
+// decode, one admission, one pooled run, one pooled response encode per op.
+func BenchmarkHTTPServeRun(b *testing.B) {
+	s := benchServer(b)
+	body := []byte(`{"workload":"fib","strategy":"dtb"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", bytes.NewReader(body))
+		s.mux.ServeHTTP(nullResponseWriter{h: make(http.Header)}, req)
+	}
+}
+
+// BenchmarkHTTPServeBatch measures the same warm run through /batch/run at
+// batch size 16; ns/op is per RUN (b.N counts runs, not envelopes), so this
+// number against BenchmarkHTTPServeRun is the measured HTTP-layer
+// amortisation of batching.
+func BenchmarkHTTPServeBatch(b *testing.B) {
+	s := benchServer(b)
+	const batchSize = 16
+	var sb strings.Builder
+	sb.WriteString(`{"items":[`)
+	for i := 0; i < batchSize; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"workload":"fib","strategy":"dtb"}`)
+	}
+	sb.WriteString(`]}`)
+	body := []byte(sb.String())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		req := httptest.NewRequest(http.MethodPost, "/batch/run", bytes.NewReader(body))
+		s.mux.ServeHTTP(nullResponseWriter{h: make(http.Header)}, req)
+	}
+}

@@ -23,6 +23,18 @@
 //	curl -s localhost:8080/v1/run -d '{"workload":"sieve","strategy":"dtb"}'
 //	curl -s localhost:8080/v1/stats
 //
+// Batch endpoints (POST /batch/run, /batch/compare) carry many runs in one
+// envelope: one decode, one admission slot, one response write, with
+// per-item statuses so one bad program fails itself, not its siblings.
+//
+// Fleet mode: with -router and -backends, this process stops simulating and
+// starts placing — each request's content-addressed program key is
+// consistent-hashed across the backend fleet (internal/router), so every
+// distinct program is built on exactly one backend.  The local service
+// remains as the fallback when all backends are down:
+//
+//	uhmd -addr :9000 -router -backends localhost:9001,localhost:9002
+//
 // Overload is answered, not queued forever: a request that cannot get a
 // worker slot within -queue-timeout receives a structured 503 with a
 // Retry-After header.  Every response carries an X-Request-ID (echoed from
@@ -48,7 +60,10 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"uhm/internal/faultinject"
+	"uhm/internal/router"
 	"uhm/internal/service"
 	"uhm/internal/store"
 )
@@ -66,6 +81,15 @@ type options struct {
 	faultSeed      int64
 	storeDir       string
 	warmStart      int
+
+	// Fleet mode: -router turns this uhmd into the consistent-hash front end
+	// for the -backends fleet instead of a single-node server.  The local
+	// service still exists in router mode — it is the fallback that serves
+	// single-node when every backend is down.
+	router          bool
+	backends        string
+	probeInterval   time.Duration
+	backendInflight int
 }
 
 // registerFlags binds the uhmd flags to opts on the given flag set, so tests
@@ -82,6 +106,10 @@ func registerFlags(fs *flag.FlagSet, opts *options) {
 	fs.Int64Var(&opts.faultSeed, "fault-seed", 1, "seed for the -faults plan's PRNG streams")
 	fs.StringVar(&opts.storeDir, "store-dir", "", "persistent artifact-store directory; built artifacts are written through to it and misses read through it (empty = memory-only)")
 	fs.IntVar(&opts.warmStart, "warm-start", 0, "preload the hottest N artifacts from -store-dir before serving (-1 = all, 0 = none)")
+	fs.BoolVar(&opts.router, "router", false, "serve as the fleet front end: consistent-hash requests across -backends instead of simulating locally")
+	fs.StringVar(&opts.backends, "backends", "", "comma-separated uhmd backend addresses (host:port), required with -router")
+	fs.DurationVar(&opts.probeInterval, "probe-interval", 0, "router health-probe period (0 = 250ms default)")
+	fs.IntVar(&opts.backendInflight, "backend-inflight", 0, "router per-backend in-flight request cap (0 = 64 default)")
 }
 
 // validate rejects flag combinations run could only fail on later.
@@ -92,7 +120,25 @@ func (o *options) validate() error {
 	if o.warmStart < -1 {
 		return fmt.Errorf("-warm-start must be -1, 0 or positive (got %d)", o.warmStart)
 	}
+	if o.router && len(o.backendList()) == 0 {
+		return fmt.Errorf("-router requires -backends")
+	}
+	if !o.router && o.backends != "" {
+		return fmt.Errorf("-backends requires -router")
+	}
 	return nil
+}
+
+// backendList splits -backends, dropping empty segments so trailing commas
+// are harmless.
+func (o *options) backendList() []string {
+	var out []string
+	for _, b := range strings.Split(o.backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -157,9 +203,28 @@ func run(opts options) error {
 	handler := newServer(svc)
 	handler.requestTimeout = opts.requestTimeout
 
+	// In router mode the process fronts the fleet: requests consistent-hash
+	// across -backends, and the local single-node handler is the fallback
+	// that keeps serving when every backend is down.
+	var rootHandler http.Handler = handler
+	if opts.router {
+		rt := router.New(router.Options{
+			Backends:      opts.backendList(),
+			ProbeInterval: opts.probeInterval,
+			MaxInflight:   opts.backendInflight,
+			Fallback:      handler,
+			Logf:          log.Printf,
+		})
+		rt.Start()
+		defer rt.Close()
+		rootHandler = rt
+		log.Printf("uhmd: router mode: fanning out across %d backends (%s)",
+			len(opts.backendList()), opts.backends)
+	}
+
 	srv := &http.Server{
 		Addr:              opts.addr,
-		Handler:           handler,
+		Handler:           rootHandler,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 		ReadHeaderTimeout: 10 * time.Second,
 	}

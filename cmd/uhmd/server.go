@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	cryptorand "crypto/rand"
 	"encoding/hex"
@@ -10,6 +11,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"uhm/internal/core"
@@ -21,6 +23,13 @@ import (
 // maxRequestBytes bounds a request body; submitted programs are source text,
 // so a megabyte is generous.
 const maxRequestBytes = 1 << 20
+
+// maxBatchRequestBytes bounds a batch envelope (many programs per body), and
+// maxBatchItems bounds how many runs one admission slot may carry.
+const (
+	maxBatchRequestBytes = 8 << 20
+	maxBatchItems        = 256
+)
 
 // server wires the HTTP API to one shared service.Service.  Every handler
 // propagates the request context into the service and the engine: client
@@ -52,6 +61,8 @@ func newServer(svc *service.Service) *server {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /batch/run", s.handleBatchRun)
+	mux.HandleFunc("POST /batch/compare", s.handleBatchCompare)
 	mux.HandleFunc("POST /v1/conformance", s.handleConformance)
 	mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
 	s.mux = mux
@@ -139,12 +150,45 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(sw, r)
 }
 
+// jsonBuf pairs a response buffer with a json.Encoder bound to it, so the
+// warm path reuses both instead of allocating an encoder (and growing a fresh
+// buffer) per response.  Encoding into the buffer first also yields an exact
+// Content-Length, sparing the chunked-transfer framing on every response.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	jb.enc.SetIndent("", "  ")
+	return jb
+}}
+
+// jsonBufMaxRecycle caps the buffer capacity worth keeping: a huge batch
+// response should not pin its peak allocation in the pool forever.
+const jsonBufMaxRecycle = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		// The wire types are plain data; encoding them cannot fail.  Answer
+		// something structured anyway rather than an empty body.
+		jsonBufPool.Put(jb)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "response encoding failed: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(jb.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(jb.buf.Bytes())
+	if jb.buf.Cap() <= jsonBufMaxRecycle {
+		jsonBufPool.Put(jb)
+	}
 }
 
 func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
@@ -159,10 +203,14 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 // rejected so a misspelled parameter fails loudly instead of silently
 // selecting a default.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	return decodeBodyLimit(w, r, v, maxRequestBytes)
+}
+
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
 	if ferr := faultinject.Fire(faultinject.SiteDecode); ferr != nil {
 		return fmt.Errorf("malformed request body: %w", ferr)
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("malformed request body: %w", err)
@@ -308,6 +356,138 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		resp.Reports = append(resp.Reports, reportToJSON(p.name, p.level, rep))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBatch parses and bounds a batch envelope: empty and oversized
+// batches are whole-request errors (400), everything past that is per-item.
+func (s *server) decodeBatch(w http.ResponseWriter, r *http.Request) (*batchRequest, error) {
+	var req batchRequest
+	if err := decodeBodyLimit(w, r, &req, maxBatchRequestBytes); err != nil {
+		return nil, err
+	}
+	if len(req.Items) == 0 {
+		return nil, errors.New("batch requires at least one item")
+	}
+	if len(req.Items) > maxBatchItems {
+		return nil, fmt.Errorf("batch carries %d items, above the server bound %d",
+			len(req.Items), maxBatchItems)
+	}
+	return &req, nil
+}
+
+// handleBatchRun is /v1/run amortised: the envelope is decoded once, admitted
+// once (one request slot for the whole batch), and answered in one response
+// write.  Items fail individually with the status a standalone request would
+// have received; only admission failure (overload, cancellation) fails the
+// envelope itself.
+func (s *server) handleBatchRun(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeBatch(w, r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	items := make([]batchRunItem, len(req.Items))
+	err = s.svc.Batch(r.Context(), func(ctx context.Context, b *service.BatchRunner) error {
+		for i := range req.Items {
+			items[i] = s.runBatchItem(ctx, r, b, &req.Items[i])
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, r, statusFor(r, err), err)
+		return
+	}
+	resp := batchRunResponse{Items: items}
+	for i := range items {
+		if items[i].Status != http.StatusOK {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatchItem runs one batch item under the already-held batch slot and
+// folds the outcome into its per-item wire form.
+func (s *server) runBatchItem(ctx context.Context, r *http.Request, b *service.BatchRunner, req *runRequest) batchRunItem {
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		return batchRunItem{Status: http.StatusBadRequest, Error: err.Error()}
+	}
+	p, err := validateRun(req)
+	if err != nil {
+		return batchRunItem{Status: http.StatusBadRequest, Error: err.Error()}
+	}
+	var rep *core.Report
+	if p.workload != "" {
+		rep, err = b.RunWorkload(ctx, p.workload, p.level, strategy, p.cfg)
+	} else {
+		rep, err = b.RunSource(ctx, p.name, p.source, p.level, strategy, p.cfg)
+	}
+	if err != nil {
+		return batchRunItem{Status: statusFor(r, err), Error: err.Error()}
+	}
+	rj := reportToJSON(p.name, p.level, rep)
+	return batchRunItem{Status: http.StatusOK, Report: &rj}
+}
+
+// handleBatchCompare is /v1/compare amortised the same way.
+func (s *server) handleBatchCompare(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeBatch(w, r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	items := make([]batchCompareItem, len(req.Items))
+	err = s.svc.Batch(r.Context(), func(ctx context.Context, b *service.BatchRunner) error {
+		for i := range req.Items {
+			items[i] = s.compareBatchItem(ctx, r, b, &req.Items[i])
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, r, statusFor(r, err), err)
+		return
+	}
+	resp := batchCompareResponse{Items: items}
+	for i := range items {
+		if items[i].Status != http.StatusOK {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// compareBatchItem compares one batch item under the already-held batch slot.
+func (s *server) compareBatchItem(ctx context.Context, r *http.Request, b *service.BatchRunner, req *runRequest) batchCompareItem {
+	if req.Strategy != "" {
+		return batchCompareItem{Status: http.StatusBadRequest,
+			Error: "compare runs every strategy; drop the strategy field"}
+	}
+	p, err := validateRun(req)
+	if err != nil {
+		return batchCompareItem{Status: http.StatusBadRequest, Error: err.Error()}
+	}
+	var reports []*core.Report
+	var cmpErr error
+	if p.workload != "" {
+		reports, cmpErr = b.CompareWorkload(ctx, p.workload, p.level, p.cfg)
+	} else {
+		reports, cmpErr = b.CompareSource(ctx, p.name, p.source, p.level, p.cfg)
+	}
+	if cmpErr != nil && len(reports) == 0 {
+		return batchCompareItem{Status: statusFor(r, cmpErr), Error: cmpErr.Error()}
+	}
+	item := batchCompareItem{Status: http.StatusOK, Agree: cmpErr == nil}
+	if len(reports) > 0 {
+		item.Output = reports[0].Output
+	}
+	if cmpErr != nil {
+		item.Error = cmpErr.Error()
+	}
+	for _, rep := range reports {
+		item.Reports = append(item.Reports, reportToJSON(p.name, p.level, rep))
+	}
+	return item
 }
 
 func (s *server) handleConformance(w http.ResponseWriter, r *http.Request) {

@@ -93,6 +93,47 @@ type compareResponse struct {
 	Reports []reportJSON `json:"reports"`
 }
 
+// batchRequest carries many runs in one envelope: one decode, one admission
+// slot, one response write for the whole batch.  Items are ordinary
+// runRequests; for /batch/compare the per-item strategy must be empty, as on
+// /v1/compare.
+type batchRequest struct {
+	Items []runRequest `json:"items"`
+}
+
+// batchRunItem is one item's outcome in a /batch/run response.  Status is the
+// HTTP status the item would have received as a standalone /v1/run request;
+// exactly one of Report (200) or Error (anything else) is set.  One bad item
+// fails itself, never its siblings or the envelope.
+type batchRunItem struct {
+	Status int         `json:"status"`
+	Report *reportJSON `json:"report,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// batchRunResponse answers /batch/run: per-item outcomes in request order,
+// plus the failed count so clients need not rescan.
+type batchRunResponse struct {
+	Items  []batchRunItem `json:"items"`
+	Failed int            `json:"failed"`
+}
+
+// batchCompareItem is one item's outcome in a /batch/compare response: a
+// standalone compareResponse tagged with the item's HTTP status.
+type batchCompareItem struct {
+	Status  int          `json:"status"`
+	Output  []int64      `json:"output,omitempty"`
+	Agree   bool         `json:"agree"`
+	Error   string       `json:"error,omitempty"`
+	Reports []reportJSON `json:"reports,omitempty"`
+}
+
+// batchCompareResponse answers /batch/compare.
+type batchCompareResponse struct {
+	Items  []batchCompareItem `json:"items"`
+	Failed int                `json:"failed"`
+}
+
 // conformanceRequest checks one program against the full differential
 // cross-product: either submitted Source, or a Seed for the built-in
 // generator (the pinned regression seeds, say).

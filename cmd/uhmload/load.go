@@ -1,0 +1,413 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uhm/internal/metrics"
+	"uhm/internal/workload"
+)
+
+// config carries the parsed uhmload flags.
+type config struct {
+	target      string
+	duration    time.Duration
+	concurrency int
+	rate        float64
+	batch       int
+	mix         string
+	programs    int
+	seed        int64
+	strategy    string
+	output      string
+}
+
+func registerFlags(fs *flag.FlagSet, cfg *config) {
+	fs.StringVar(&cfg.target, "target", "", "base URL of the uhmd (or uhmd -router) under load, e.g. http://localhost:9000")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured load window")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers, or the open-loop in-flight cap")
+	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
+	fs.IntVar(&cfg.batch, "batch", 1, "runs per request; >1 drives /batch/run instead of /v1/run")
+	fs.StringVar(&cfg.mix, "mix", "", "archetype mix as name=weight pairs, e.g. kernel=2,dispatch=1 (empty = all archetypes, equal weight)")
+	fs.IntVar(&cfg.programs, "programs", 32, "distinct generated programs cycled through the workload")
+	fs.Int64Var(&cfg.seed, "seed", 1, "generator seed (same seed + mix + programs = same program set)")
+	fs.StringVar(&cfg.strategy, "strategy", "dtb", "simulation strategy requested for every run")
+	fs.StringVar(&cfg.output, "o", "", "write the JSON report here instead of stdout")
+}
+
+func (c *config) validate() error {
+	if c.target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	if c.batch < 1 {
+		return fmt.Errorf("-batch must be >= 1 (got %d)", c.batch)
+	}
+	if c.concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1 (got %d)", c.concurrency)
+	}
+	if c.programs < 1 {
+		return fmt.Errorf("-programs must be >= 1 (got %d)", c.programs)
+	}
+	if c.rate < 0 {
+		return fmt.Errorf("-rate must be >= 0 (got %g)", c.rate)
+	}
+	if _, err := parseMix(c.mix); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseMix expands "kernel=2,dispatch=1" into a weighted archetype name
+// list (the cycle order programs are generated in).  Empty selects every
+// archetype at weight 1.
+func parseMix(spec string) ([]string, error) {
+	known := workload.ArchetypeNames()
+	if spec == "" {
+		return known, nil
+	}
+	isKnown := make(map[string]bool, len(known))
+	for _, n := range known {
+		isKnown[n] = true
+	}
+	var mix []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("-mix: bad weight in %q", part)
+			}
+			weight = w
+		}
+		if !isKnown[name] {
+			return nil, fmt.Errorf("-mix: unknown archetype %q (have %s)", name, strings.Join(known, ", "))
+		}
+		for i := 0; i < weight; i++ {
+			mix = append(mix, name)
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-mix: no archetypes selected")
+	}
+	return mix, nil
+}
+
+// loadReport is the uhmload JSON output.
+type loadReport struct {
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	DurationSec float64 `json:"duration_sec"`
+	Concurrency int     `json:"concurrency"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	BatchSize   int     `json:"batch_size"`
+	Mix         string  `json:"mix"`
+	Seed        int64   `json:"seed"`
+	Strategy    string  `json:"strategy"`
+
+	UniquePrograms int `json:"unique_programs"`
+
+	Requests int64 `json:"requests"`
+	Runs     int64 `json:"runs"`
+	Errors   struct {
+		Total    int64            `json:"total"`
+		ByStatus map[string]int64 `json:"by_status,omitempty"`
+		Shed     int64            `json:"shed,omitempty"` // open-loop arrivals dropped at the in-flight cap
+	} `json:"errors"`
+
+	Latency metrics.LatencySummary `json:"latency"`
+
+	ThroughputReqPerSec  float64 `json:"throughput_req_per_sec"`
+	ThroughputRunsPerSec float64 `json:"throughput_runs_per_sec"`
+
+	Fleet struct {
+		StatsBefore int64 `json:"builds_before"`
+		StatsAfter  int64 `json:"builds_after"`
+		BuildsDelta int64 `json:"builds_delta"`
+		Scraped     bool  `json:"scraped"`
+	} `json:"fleet"`
+}
+
+// loadProgram is one pre-marshaled request body (single) or batch item.
+type loadProgram struct {
+	item []byte // {"source":...,"name":...,"strategy":...}
+}
+
+// buildPrograms generates the distinct program set, cycling the mix, and
+// pre-marshals every request body so the hot loop does zero encoding work.
+func buildPrograms(cfg *config) ([]loadProgram, error) {
+	mix, err := parseMix(cfg.mix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]loadProgram, cfg.programs)
+	for i := range out {
+		arch := mix[i%len(mix)]
+		prog, err := workload.GenerateArchetype(arch, cfg.seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("generating %s program %d: %w", arch, i, err)
+		}
+		item, err := json.Marshal(struct {
+			Source   string `json:"source"`
+			Name     string `json:"name"`
+			Strategy string `json:"strategy,omitempty"`
+		}{Source: prog.Source, Name: prog.Name, Strategy: cfg.strategy})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = loadProgram{item: item}
+	}
+	return out, nil
+}
+
+// buildBodies pre-assembles the wire bodies the loop will send: one per
+// program for singles, or one per batch-window of the program cycle.
+func buildBodies(progs []loadProgram, batch int) [][]byte {
+	if batch <= 1 {
+		out := make([][]byte, len(progs))
+		for i, p := range progs {
+			out[i] = p.item
+		}
+		return out
+	}
+	// Batch windows cover the program cycle so every program appears with
+	// equal frequency regardless of batch size.
+	n := len(progs)
+	var out [][]byte
+	for start := 0; start < n; start += 1 {
+		var buf bytes.Buffer
+		buf.WriteString(`{"items":[`)
+		for k := 0; k < batch; k++ {
+			if k > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(progs[(start+k)%n].item)
+		}
+		buf.WriteString(`]}`)
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+// scrapeBuilds reads the build counter from /v1/stats, understanding both
+// the single-node envelope ({"stats":{"Registry":{"Builds":N}}}) and the
+// router's fleet aggregate ({"fleet":{"builds":N}}).
+func scrapeBuilds(client *http.Client, target string) (int64, bool) {
+	resp, err := client.Get(strings.TrimRight(target, "/") + "/v1/stats")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var probe struct {
+		Fleet *struct {
+			Builds int64 `json:"builds"`
+		} `json:"fleet"`
+		Stats *struct {
+			Registry struct {
+				Builds int64
+			}
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return 0, false
+	}
+	if probe.Fleet != nil {
+		return probe.Fleet.Builds, true
+	}
+	if probe.Stats != nil {
+		return probe.Stats.Registry.Builds, true
+	}
+	return 0, false
+}
+
+// runLoad drives the configured load window and assembles the report.
+func runLoad(cfg *config) (*loadReport, error) {
+	progs, err := buildPrograms(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bodies := buildBodies(progs, cfg.batch)
+	path := "/v1/run"
+	if cfg.batch > 1 {
+		path = "/batch/run"
+	}
+	url := strings.TrimRight(cfg.target, "/") + path
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: cfg.concurrency,
+	}}
+
+	buildsBefore, scrapedBefore := scrapeBuilds(client, cfg.target)
+
+	rec := &metrics.LatencyRecorder{}
+	var requests, runs, errTotal, shed atomic.Int64
+	var statusMu sync.Mutex
+	byStatus := map[string]int64{}
+
+	countStatus := func(status int) {
+		statusMu.Lock()
+		byStatus[strconv.Itoa(status)]++
+		statusMu.Unlock()
+	}
+
+	// sendOne fires one request and accounts for it.  Batch responses are
+	// opened to count per-item failures; the request itself is an error
+	// only on a non-200 envelope or transport failure.
+	sendOne := func(next int64) {
+		body := bodies[int(next)%len(bodies)]
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		elapsed := time.Since(start)
+		requests.Add(1)
+		if err != nil {
+			errTotal.Add(1)
+			countStatus(0)
+			return
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		rec.Record(elapsed)
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			errTotal.Add(1)
+			countStatus(resp.StatusCode)
+			return
+		}
+		if cfg.batch > 1 {
+			var br struct {
+				Items  []json.RawMessage `json:"items"`
+				Failed int64             `json:"failed"`
+			}
+			if err := json.Unmarshal(data, &br); err != nil {
+				errTotal.Add(1)
+				countStatus(resp.StatusCode)
+				return
+			}
+			runs.Add(int64(len(br.Items)) - br.Failed)
+			errTotal.Add(br.Failed)
+		} else {
+			runs.Add(1)
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var counter atomic.Int64
+
+	if cfg.rate <= 0 {
+		// Closed loop: -concurrency workers, back-to-back requests.
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					sendOne(counter.Add(1))
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		// Open loop: fixed arrival rate, -concurrency as the in-flight cap;
+		// arrivals beyond the cap are shed (and counted), never queued —
+		// queueing arrivals would quietly turn the open loop closed.
+		interval := time.Duration(float64(time.Second) / cfg.rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		sem := make(chan struct{}, cfg.concurrency)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		var wg sync.WaitGroup
+		for time.Now().Before(deadline) {
+			<-ticker.C
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(n int64) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					sendOne(n)
+				}(counter.Add(1))
+			default:
+				shed.Add(1)
+			}
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	buildsAfter, scrapedAfter := scrapeBuilds(client, cfg.target)
+
+	rep := &loadReport{
+		Target:      cfg.target,
+		Mode:        map[bool]string{true: "open", false: "closed"}[cfg.rate > 0],
+		DurationSec: elapsed.Seconds(),
+		Concurrency: cfg.concurrency,
+		RatePerSec:  cfg.rate,
+		BatchSize:   cfg.batch,
+		Mix:         cfg.mix,
+		Seed:        cfg.seed,
+		Strategy:    cfg.strategy,
+
+		UniquePrograms: cfg.programs,
+		Requests:       requests.Load(),
+		Runs:           runs.Load(),
+		Latency:        rec.Summary(),
+	}
+	rep.Errors.Total = errTotal.Load()
+	rep.Errors.Shed = shed.Load()
+	statusMu.Lock()
+	if len(byStatus) > 0 {
+		// Keep only non-200 statuses in the error map.
+		m := map[string]int64{}
+		var keys []string
+		for k := range byStatus {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if k != "200" {
+				m[k] = byStatus[k]
+			}
+		}
+		if len(m) > 0 {
+			rep.Errors.ByStatus = m
+		}
+	}
+	statusMu.Unlock()
+	if elapsed > 0 {
+		rep.ThroughputReqPerSec = float64(rep.Requests) / elapsed.Seconds()
+		rep.ThroughputRunsPerSec = float64(rep.Runs) / elapsed.Seconds()
+	}
+	rep.Fleet.Scraped = scrapedBefore && scrapedAfter
+	if rep.Fleet.Scraped {
+		rep.Fleet.StatsBefore = buildsBefore
+		rep.Fleet.StatsAfter = buildsAfter
+		rep.Fleet.BuildsDelta = buildsAfter - buildsBefore
+	}
+	return rep, nil
+}
+
+func writeReport(w io.Writer, rep *loadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubTarget speaks just enough uhmd to absorb load: it counts distinct
+// sources as builds and answers runs and batches.
+type stubTarget struct {
+	mu      sync.Mutex
+	sources map[string]bool
+	runs    int64
+}
+
+func newStubTarget(t *testing.T) (*stubTarget, *httptest.Server) {
+	t.Helper()
+	st := &stubTarget{sources: map[string]bool{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		builds := len(st.sources)
+		st.mu.Unlock()
+		fmt.Fprintf(w, `{"workers":2,"stats":{"Registry":{"Builds":%d}}}`, builds)
+	})
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ Source string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, `{"error":"malformed"}`, http.StatusBadRequest)
+			return
+		}
+		st.serve(req.Source)
+		fmt.Fprint(w, `{"report":{"program":"x"}}`)
+	})
+	mux.HandleFunc("POST /batch/run", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Items []struct{ Source string } `json:"items"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, `{"error":"malformed"}`, http.StatusBadRequest)
+			return
+		}
+		items := make([]json.RawMessage, len(req.Items))
+		for i, it := range req.Items {
+			st.serve(it.Source)
+			items[i] = json.RawMessage(`{"status":200,"report":{"program":"x"}}`)
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"items": items, "failed": 0})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return st, ts
+}
+
+func (st *stubTarget) serve(source string) {
+	st.mu.Lock()
+	st.sources[source] = true
+	st.runs++
+	st.mu.Unlock()
+}
+
+func (st *stubTarget) distinct() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sources)
+}
+
+// TestClosedLoopReport: a short closed-loop run produces a coherent report
+// — every request measured, zero errors, builds delta == distinct programs.
+func TestClosedLoopReport(t *testing.T) {
+	st, ts := newStubTarget(t)
+	cfg := &config{
+		target: ts.URL, duration: 300 * time.Millisecond,
+		concurrency: 4, batch: 1, programs: 6, seed: 7, strategy: "dtb",
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+	if rep.Requests == 0 || rep.Runs != rep.Requests {
+		t.Fatalf("requests=%d runs=%d", rep.Requests, rep.Runs)
+	}
+	if rep.Errors.Total != 0 {
+		t.Fatalf("errors: %+v", rep.Errors)
+	}
+	if int64(rep.Latency.Count) != rep.Requests {
+		t.Fatalf("latency samples %d != requests %d", rep.Latency.Count, rep.Requests)
+	}
+	if rep.Latency.P50Ms <= 0 || rep.Latency.P99Ms < rep.Latency.P50Ms {
+		t.Fatalf("degenerate latency summary: %+v", rep.Latency)
+	}
+	if !rep.Fleet.Scraped || rep.Fleet.BuildsDelta != int64(cfg.programs) {
+		t.Fatalf("fleet scrape: %+v, want delta %d", rep.Fleet, cfg.programs)
+	}
+	if st.distinct() != cfg.programs {
+		t.Fatalf("target saw %d distinct programs, want %d", st.distinct(), cfg.programs)
+	}
+	if rep.ThroughputReqPerSec <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+// TestBatchLoop: -batch N drives /batch/run, counting N runs per request
+// and still covering every program.
+func TestBatchLoop(t *testing.T) {
+	st, ts := newStubTarget(t)
+	cfg := &config{
+		target: ts.URL, duration: 300 * time.Millisecond,
+		concurrency: 2, batch: 4, programs: 8, seed: 3, strategy: "dtb",
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != rep.Requests*int64(cfg.batch) {
+		t.Fatalf("runs=%d, want requests(%d) x batch(%d)", rep.Runs, rep.Requests, cfg.batch)
+	}
+	if st.distinct() != cfg.programs {
+		t.Fatalf("target saw %d distinct programs, want %d", st.distinct(), cfg.programs)
+	}
+	if rep.Fleet.BuildsDelta != int64(cfg.programs) {
+		t.Fatalf("builds delta %d, want %d", rep.Fleet.BuildsDelta, cfg.programs)
+	}
+}
+
+// TestOpenLoop: -rate fires on a clock; completed requests are measured
+// and the report tags the mode.
+func TestOpenLoop(t *testing.T) {
+	_, ts := newStubTarget(t)
+	cfg := &config{
+		target: ts.URL, duration: 400 * time.Millisecond,
+		concurrency: 8, rate: 100, batch: 1, programs: 4, seed: 1, strategy: "dtb",
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("open loop sent nothing")
+	}
+	// ~100/s over 0.4s: bounded well under the closed-loop natural rate.
+	if rep.Requests > 80 {
+		t.Fatalf("open loop sent %d requests at rate 100 over 400ms — clock not honoured", rep.Requests)
+	}
+	if rep.Errors.Total != 0 {
+		t.Fatalf("errors: %+v", rep.Errors)
+	}
+}
+
+// TestErrorAccounting: non-200 answers are counted by status, not hidden.
+func TestErrorAccounting(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	cfg := &config{
+		target: ts.URL, duration: 150 * time.Millisecond,
+		concurrency: 2, batch: 1, programs: 2, seed: 1, strategy: "dtb",
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors.Total != rep.Requests || rep.Requests == 0 {
+		t.Fatalf("errors=%d requests=%d", rep.Errors.Total, rep.Requests)
+	}
+	if rep.Errors.ByStatus["503"] != rep.Requests {
+		t.Fatalf("by_status: %+v", rep.Errors.ByStatus)
+	}
+	if rep.Runs != 0 {
+		t.Fatalf("runs=%d against an all-503 target", rep.Runs)
+	}
+}
+
+// TestMixParsing: mix specs validate and weight correctly.
+func TestMixParsing(t *testing.T) {
+	mix, err := parseMix("kernel=2,dispatch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[0] != "kernel" || mix[1] != "kernel" || mix[2] != "dispatch" {
+		t.Fatalf("mix = %v", mix)
+	}
+	if _, err := parseMix("kernel=0"); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := parseMix("no-such-archetype"); err == nil {
+		t.Fatal("unknown archetype accepted")
+	}
+	all, err := parseMix("")
+	if err != nil || len(all) < 4 {
+		t.Fatalf("default mix = %v (%v)", all, err)
+	}
+}
+
+// TestProgramsDeterministic: same seed/mix/count produce byte-identical
+// request bodies — load runs are reproducible.
+func TestProgramsDeterministic(t *testing.T) {
+	cfg := &config{programs: 6, seed: 11, strategy: "dtb", mix: "kernel=1,recursion=1"}
+	a, err := buildPrograms(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildPrograms(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if string(a[i].item) != string(b[i].item) {
+			t.Fatalf("program %d differs across identical configs", i)
+		}
+	}
+	// Distinct seeds produce distinct programs.
+	seen := map[string]bool{}
+	for _, p := range a {
+		seen[string(p.item)] = true
+	}
+	if len(seen) != len(a) {
+		t.Fatalf("%d distinct bodies from %d programs", len(seen), len(a))
+	}
+}
+
+// TestReportShape: the emitted JSON round-trips with the fields CI's jq
+// assertions read.
+func TestReportShape(t *testing.T) {
+	_, ts := newStubTarget(t)
+	cfg := &config{
+		target: ts.URL, duration: 100 * time.Millisecond,
+		concurrency: 1, batch: 1, programs: 2, seed: 1, strategy: "dtb",
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := writeReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"latency", "errors", "fleet", "unique_programs", "throughput_req_per_sec"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("report missing %q: %s", key, buf.String())
+		}
+	}
+	lat := m["latency"].(map[string]any)
+	for _, q := range []string{"p50_ms", "p99_ms", "p999_ms"} {
+		if _, ok := lat[q]; !ok {
+			t.Fatalf("latency summary missing %q", q)
+		}
+	}
+	fleet := m["fleet"].(map[string]any)
+	if _, ok := fleet["builds_delta"]; !ok {
+		t.Fatal("fleet missing builds_delta")
+	}
+}

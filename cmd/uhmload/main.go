@@ -1,0 +1,60 @@
+// Command uhmload is the fleet load harness: a synthetic open- or closed-
+// loop driver that generates archetype workload programs, replays them
+// against a uhmd (single node or router front end) over /v1/run or
+// /batch/run, and reports measured latency quantiles, throughput, error
+// counts and the fleet-wide build delta as JSON.
+//
+// Usage:
+//
+//	uhmload -target http://localhost:9000 -duration 10s -concurrency 8
+//	uhmload -target http://localhost:9000 -batch 16 -mix kernel=2,dispatch=1
+//	uhmload -target http://localhost:9000 -rate 200 -duration 30s -o bench.json
+//
+// Closed loop (-rate 0, the default) keeps -concurrency requests in flight
+// back to back, measuring the system at its natural throughput.  Open loop
+// (-rate N) fires N requests per second regardless of completions — the
+// arrival process the latency literature means when it says "p99 under
+// load" — and -concurrency becomes the in-flight cap beyond which arrivals
+// are counted as shed rather than queued.
+//
+// The build delta is scraped from /v1/stats before and after the run; both
+// the single-node shape and the router's fleet aggregate are understood.
+// Against a consistent-hash router, builds_delta == unique_programs is the
+// fleet-wide single-build invariant CI gates on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var cfg config
+	fs := flag.NewFlagSet("uhmload", flag.ExitOnError)
+	registerFlags(fs, &cfg)
+	fs.Parse(os.Args[1:])
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "uhmload:", err)
+		os.Exit(2)
+	}
+	rep, err := runLoad(&cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uhmload:", err)
+		os.Exit(1)
+	}
+	out := os.Stdout
+	if cfg.output != "" {
+		f, err := os.Create(cfg.output)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uhmload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := writeReport(out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "uhmload:", err)
+		os.Exit(1)
+	}
+}

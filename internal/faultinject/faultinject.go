@@ -63,6 +63,19 @@ const (
 	// corrupt container would: the registry drops the entry and rebuilds
 	// from source, and write-through replaces the bad file.
 	SiteStoreVerify Site = "store/verify"
+	// SiteRouterProxy fails one proxy attempt to a chosen backend, as a
+	// connection refusal would: the router must eject the backend on the
+	// spot and retry the request on the next ring owner (or the fallback),
+	// never answering the client with a raw transport error.
+	SiteRouterProxy Site = "router/proxy"
+	// SiteRouterHealth fails one health probe, driving the eject/readmit
+	// state machine without needing a backend to actually die.  A delay
+	// rule here is a slow backend: the probe times out.
+	SiteRouterHealth Site = "router/health"
+	// SiteRouterFallback refuses the single-node local fallback, the last
+	// rung of the routing ladder: the request must still answer as a
+	// structured 503, not hang or leak.
+	SiteRouterFallback Site = "router/fallback"
 )
 
 // Sites lists every canonical site, in a fixed order (RandomPlan draws from
@@ -76,6 +89,10 @@ func Sites() []Site {
 		// The disk-tier sites are appended, not interleaved, so plans drawn
 		// for pre-existing seeds keep their rules for the original sites.
 		SiteStoreWrite, SiteStoreRead, SiteStoreVerify,
+		// The router sites are appended after the disk tier for the same
+		// reason: RandomPlan draws per site in this order, so earlier sites'
+		// rules are byte-identical for pre-existing seeds.
+		SiteRouterProxy, SiteRouterHealth, SiteRouterFallback,
 	}
 }
 

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates request latencies from concurrent recorders and
+// answers quantile snapshots.  It keeps every sample (a load run records at
+// most a few hundred thousand), so quantiles are exact nearest-rank values,
+// not sketch estimates — the committed BENCH artifacts should not depend on
+// sketch error bounds.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample.  Safe for concurrent use.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns how many samples have been recorded.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// LatencySummary is one snapshot of the recorded distribution.  Durations are
+// reported in milliseconds (float), the unit the BENCH artifacts use.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summary computes the nearest-rank quantiles of everything recorded so far.
+// An empty recorder returns the zero summary.
+func (r *LatencyRecorder) Summary() LatencySummary {
+	r.mu.Lock()
+	sorted := make([]time.Duration, len(r.samples))
+	copy(sorted, r.samples)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencySummary{
+		Count:  len(sorted),
+		MeanMs: ms(total) / float64(len(sorted)),
+		P50Ms:  ms(nearestRank(sorted, 0.50)),
+		P90Ms:  ms(nearestRank(sorted, 0.90)),
+		P99Ms:  ms(nearestRank(sorted, 0.99)),
+		P999Ms: ms(nearestRank(sorted, 0.999)),
+		MaxMs:  ms(sorted[len(sorted)-1]),
+	}
+}
+
+// nearestRank returns the q-quantile of a sorted sample set by the
+// nearest-rank definition: the smallest value whose rank is at least
+// ceil(q*n).  q outside (0,1] clamps to the extremes.
+func nearestRank(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

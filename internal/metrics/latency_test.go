@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencySummaryEmpty(t *testing.T) {
+	var r LatencyRecorder
+	if s := r.Summary(); s != (LatencySummary{}) {
+		t.Fatalf("empty recorder summary = %+v, want zero", s)
+	}
+}
+
+// TestLatencyNearestRank pins the quantile definition on a known population:
+// 1..100ms, where the nearest-rank p50 is exactly the 50th value.
+func TestLatencyNearestRank(t *testing.T) {
+	var r LatencyRecorder
+	// Insert in reverse to prove Summary sorts.
+	for i := 100; i >= 1; i-- {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50Ms != 50 || s.P90Ms != 90 || s.P99Ms != 99 || s.P999Ms != 100 || s.MaxMs != 100 {
+		t.Fatalf("quantiles = %+v, want p50=50 p90=90 p99=99 p999=100 max=100", s)
+	}
+	if s.MeanMs != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.MeanMs)
+	}
+}
+
+// TestLatencySingleSample: every quantile of a one-sample distribution is that
+// sample.
+func TestLatencySingleSample(t *testing.T) {
+	var r LatencyRecorder
+	r.Record(7 * time.Millisecond)
+	s := r.Summary()
+	if s.P50Ms != 7 || s.P99Ms != 7 || s.P999Ms != 7 || s.MaxMs != 7 {
+		t.Fatalf("one-sample quantiles = %+v, want all 7ms", s)
+	}
+}
+
+// TestLatencyConcurrentRecord: concurrent recorders lose nothing (run under
+// -race in CI).
+func TestLatencyConcurrentRecord(t *testing.T) {
+	var r LatencyRecorder
+	var wg sync.WaitGroup
+	const workers, per = 8, 250
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != workers*per {
+		t.Fatalf("recorded %d samples, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,264 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"uhm/internal/faultinject"
+)
+
+// chaosPost sends one run request and classifies the outcome: ok (200),
+// structured error (non-200 with an error body or a batch-item error), or a
+// protocol violation (the only thing the chaos drills treat as failure).
+func chaosPost(t *testing.T, url string, i int) (ok bool, status int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(runBody(i)))
+	if err != nil {
+		t.Errorf("request %d: transport error through router: %v", i, err)
+		return false, 0
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	if resp.StatusCode == http.StatusOK {
+		return true, resp.StatusCode
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+		t.Errorf("request %d: unstructured %d response: %s", i, resp.StatusCode, body)
+	}
+	return false, resp.StatusCode
+}
+
+// TestRouterChaosProxyFaults drills the proxy fault site under concurrency:
+// injected transport failures eject backends mid-request, probes readmit
+// them, and with a local fallback configured no request ever fails.
+func TestRouterChaosProxyFaults(t *testing.T) {
+	b1, b2 := newStubBackend(t), newStubBackend(t)
+	local := newStubBackend(t)
+	rt, ts := newTestRouter(t, Options{
+		ProbeInterval: 20 * time.Millisecond,
+		Fallback:      local.ts.Config.Handler,
+	}, b1, b2)
+	rt.Start()
+	defer rt.Close()
+
+	plan := faultinject.NewPlan(42, faultinject.Rule{
+		Site: faultinject.SiteRouterProxy, Probability: 0.4, Mode: faultinject.ModeError,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	const n = 120
+	var wg sync.WaitGroup
+	var okCount sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				if ok, status := chaosPost(t, ts.URL, i); !ok {
+					t.Errorf("request %d failed (%d) despite retry+fallback", i, status)
+				} else {
+					okCount.Store(i, true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fires := plan.Fires()[faultinject.SiteRouterProxy]; fires == 0 {
+		t.Fatal("proxy fault site never fired")
+	}
+	if rt.retries.Load() == 0 {
+		t.Fatal("no retries recorded under injected proxy faults")
+	}
+}
+
+// TestRouterChaosSlowBackend drills injected proxy delay: slow forwards
+// must not fail requests or trip ejection (delay is not death).
+func TestRouterChaosSlowBackend(t *testing.T) {
+	b1, b2 := newStubBackend(t), newStubBackend(t)
+	rt, ts := newTestRouter(t, Options{}, b1, b2)
+
+	plan := faultinject.NewPlan(7, faultinject.Rule{
+		Site: faultinject.SiteRouterProxy, Probability: 0.5,
+		Mode: faultinject.ModeDelay, Delay: 10 * time.Millisecond,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < 40; i += 4 {
+				if ok, status := chaosPost(t, ts.URL, i); !ok {
+					t.Errorf("request %d failed (%d) under delay injection", i, status)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if plan.Fires()[faultinject.SiteRouterProxy] == 0 {
+		t.Fatal("delay site never fired")
+	}
+	healthy, unhealthy, _, _ := rt.health.view()
+	if len(unhealthy) != 0 || len(healthy) != 2 {
+		t.Fatalf("slow backends were ejected: healthy=%v unhealthy=%v", healthy, unhealthy)
+	}
+}
+
+// TestRouterChaosHealthFaults drills the probe fault site: when every probe
+// is failing, the whole fleet ejects and the fallback carries the traffic
+// with zero failures; when the faults stop, probes readmit the fleet.
+func TestRouterChaosHealthFaults(t *testing.T) {
+	b1, b2 := newStubBackend(t), newStubBackend(t)
+	local := newStubBackend(t)
+	rt, ts := newTestRouter(t, Options{Fallback: local.ts.Config.Handler}, b1, b2)
+
+	plan := faultinject.NewPlan(3, faultinject.Rule{
+		Site: faultinject.SiteRouterHealth, Probability: 1, Mode: faultinject.ModeError,
+	})
+	restore := faultinject.Activate(plan)
+	rt.probeOnce()
+	if healthy, _, _, _ := rt.health.view(); len(healthy) != 0 {
+		restore()
+		t.Fatalf("backends still healthy under total probe failure: %v", healthy)
+	}
+	for i := 0; i < 10; i++ {
+		if ok, status := chaosPost(t, ts.URL, i); !ok {
+			t.Errorf("request %d failed (%d) with fleet ejected and fallback up", i, status)
+		}
+	}
+	if rt.fallbacks.Load() == 0 {
+		restore()
+		t.Fatal("fallback never engaged with the fleet ejected")
+	}
+	restore()
+
+	// Faults gone: probes readmit once backoffs elapse.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rt.probeOnce()
+		if healthy, _, _, readmissions := rt.health.view(); len(healthy) == 2 && readmissions >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet not readmitted after probe faults cleared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if plan.Fires()[faultinject.SiteRouterHealth] == 0 {
+		t.Fatal("health fault site never fired")
+	}
+}
+
+// TestRouterChaosFallbackFault drills the last line of defence: with the
+// fleet dead and the fallback path itself faulted, the client still gets a
+// structured 503 — never a hang or a broken response.
+func TestRouterChaosFallbackFault(t *testing.T) {
+	b1 := newStubBackend(t)
+	local := newStubBackend(t)
+	rt, ts := newTestRouter(t, Options{Fallback: local.ts.Config.Handler}, b1)
+	b1.setAbort(true)
+	b1.setHealthy(false)
+	rt.probeOnce()
+
+	plan := faultinject.NewPlan(9, faultinject.Rule{
+		Site: faultinject.SiteRouterFallback, Probability: 1, Mode: faultinject.ModeError,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	for i := 0; i < 5; i++ {
+		ok, status := chaosPost(t, ts.URL, i)
+		if ok || status != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: ok=%v status=%d, want structured 503", i, ok, status)
+		}
+	}
+	if plan.Fires()[faultinject.SiteRouterFallback] == 0 {
+		t.Fatal("fallback fault site never fired")
+	}
+	if served := len(local.programs()); served != 0 {
+		t.Fatalf("faulted fallback still served %d programs", served)
+	}
+}
+
+// TestRouterChaosBatchProxyFaults drills the batch splitter under injected
+// proxy faults: sub-batches re-route or fall back, and every item of every
+// batch comes back answered.
+func TestRouterChaosBatchProxyFaults(t *testing.T) {
+	b1, b2 := newStubBackend(t), newStubBackend(t)
+	local := newStubBackend(t)
+	rt, ts := newTestRouter(t, Options{
+		ProbeInterval: 20 * time.Millisecond,
+		Fallback:      local.ts.Config.Handler,
+	}, b1, b2)
+	rt.Start()
+	defer rt.Close()
+
+	plan := faultinject.NewPlan(11, faultinject.Rule{
+		Site: faultinject.SiteRouterProxy, Probability: 0.3, Mode: faultinject.ModeError,
+	})
+	restore := faultinject.Activate(plan)
+	defer restore()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				var items []string
+				for i := 0; i < 10; i++ {
+					items = append(items, strings.TrimSpace(runBody(g*100+round*10+i)))
+				}
+				body := `{"items":[` + strings.Join(items, ",") + `]}`
+				resp, err := http.Post(ts.URL+"/batch/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("batch transport error: %v", err)
+					continue
+				}
+				data := readAll(t, resp)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("batch envelope status %d: %s", resp.StatusCode, data)
+					continue
+				}
+				var br struct {
+					Items []struct {
+						Status int    `json:"status"`
+						Error  string `json:"error"`
+					} `json:"items"`
+				}
+				if err := json.Unmarshal([]byte(data), &br); err != nil {
+					t.Errorf("malformed batch response: %v", err)
+					continue
+				}
+				if len(br.Items) != 10 {
+					t.Errorf("batch dropped items: %d of 10", len(br.Items))
+					continue
+				}
+				for i, it := range br.Items {
+					// Every item is answered: 200, or a structured error.
+					if it.Status == 0 || (it.Status != http.StatusOK && it.Error == "") {
+						t.Errorf("item %d unanswered: %+v", i, it)
+					}
+					if it.Status != http.StatusOK && it.Status != http.StatusServiceUnavailable {
+						t.Errorf("item %d: unexpected status %d (%s)", i, it.Status, it.Error)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if plan.Fires()[faultinject.SiteRouterProxy] == 0 {
+		t.Fatal("proxy fault site never fired during batch chaos")
+	}
+}

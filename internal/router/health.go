@@ -1,0 +1,125 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	// defaultProbeInterval paces the health loop; defaultProbeTimeout
+	// bounds each /healthz round trip.
+	defaultProbeInterval = 250 * time.Millisecond
+	defaultProbeTimeout  = time.Second
+	// Eject backoff: first readmission probe after initialBackoff, doubling
+	// to maxBackoff while the backend stays dead.  A backend that flaps is
+	// probed less and less often instead of hammering a corpse.
+	initialBackoff = 250 * time.Millisecond
+	maxBackoff     = 8 * time.Second
+)
+
+type backendHealth struct {
+	healthy   bool
+	backoff   time.Duration
+	nextProbe time.Time
+}
+
+// healthSet tracks per-backend liveness.  Ejection happens two ways — a
+// failed periodic probe, or a transport failure observed while proxying
+// (immediate, no waiting for the next probe) — and readmission happens
+// exactly one way: a successful probe.  A backend therefore never receives
+// traffic again until it has answered /healthz at least once.
+type healthSet struct {
+	mu    sync.Mutex
+	state map[string]*backendHealth
+
+	ejections    int64
+	readmissions int64
+}
+
+func newHealthSet(backends []string) *healthSet {
+	h := &healthSet{state: make(map[string]*backendHealth, len(backends))}
+	for _, b := range backends {
+		// Start healthy: the router is useful before the first probe round,
+		// and a dead backend costs one ejecting transport failure.
+		h.state[b] = &backendHealth{healthy: true}
+	}
+	return h
+}
+
+func (h *healthSet) isHealthy(backend string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[backend]
+	return ok && st.healthy
+}
+
+// eject marks a backend down and schedules its readmission probe with
+// exponential backoff.  Reports whether this call transitioned it.
+func (h *healthSet) eject(backend string, now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[backend]
+	if !ok {
+		return false
+	}
+	if st.backoff == 0 {
+		st.backoff = initialBackoff
+	} else if st.backoff < maxBackoff {
+		st.backoff = min(st.backoff*2, maxBackoff)
+	}
+	st.nextProbe = now.Add(st.backoff)
+	if !st.healthy {
+		return false
+	}
+	st.healthy = false
+	h.ejections++
+	return true
+}
+
+// readmit marks a backend up after a successful probe and resets its
+// backoff.  Reports whether this call transitioned it.
+func (h *healthSet) readmit(backend string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[backend]
+	if !ok {
+		return false
+	}
+	st.backoff = 0
+	st.nextProbe = time.Time{}
+	if st.healthy {
+		return false
+	}
+	st.healthy = true
+	h.readmissions++
+	return true
+}
+
+// due returns the backends whose next probe time has arrived: every healthy
+// backend each round (liveness), and unhealthy backends once their backoff
+// has elapsed (readmission).
+func (h *healthSet) due(now time.Time) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for b, st := range h.state {
+		if st.healthy || !now.Before(st.nextProbe) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// view snapshots membership for /v1/stats.
+func (h *healthSet) view() (healthy, unhealthy []string, ejections, readmissions int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for b, st := range h.state {
+		if st.healthy {
+			healthy = append(healthy, b)
+		} else {
+			unhealthy = append(unhealthy, b)
+		}
+	}
+	return healthy, unhealthy, h.ejections, h.readmissions
+}

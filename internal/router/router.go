@@ -1,0 +1,431 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uhm/internal/core"
+	"uhm/internal/faultinject"
+	"uhm/internal/service"
+	"uhm/internal/workload"
+)
+
+// maxRequestBytes bounds any request body the router will buffer.  It
+// matches the uhmd batch bound: the router must be able to hold the largest
+// request a backend would accept, because buffering is what makes retries
+// byte-identical.
+const maxRequestBytes = 8 << 20
+
+// errBackendSaturated distinguishes a per-backend in-flight cap rejection
+// from a transport failure: saturation sheds the request with 503 and does
+// NOT eject the backend or retry elsewhere (retrying would defeat placement
+// and melt the next backend too).
+var errBackendSaturated = errors.New("backend at in-flight cap")
+
+// Options configure a Router.
+type Options struct {
+	// Backends are the uhmd base addresses ("host:port" or full URLs).
+	Backends []string
+	// Vnodes is the virtual-node count per backend (DefaultVnodes if 0).
+	Vnodes int
+	// ProbeInterval paces the health loop; ProbeTimeout bounds each probe.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// MaxInflight caps concurrent proxied requests per backend; beyond it
+	// the router sheds with 503 + Retry-After.  0 selects 64.
+	MaxInflight int
+	// Fallback, when set, serves requests locally when no backend is
+	// healthy (single-node degradation instead of an outage).
+	Fallback http.Handler
+	// Client overrides the proxy HTTP client (tests; nil selects a default
+	// with sane connection pooling).
+	Client *http.Client
+	// Logf receives membership transitions and fallback events (nil
+	// discards them).
+	Logf func(format string, args ...any)
+}
+
+// Router is the fleet front end: an http.Handler that speaks the same API
+// as a single uhmd and places every request on the backend that owns its
+// program key.
+type Router struct {
+	ring     *Ring
+	health   *healthSet
+	client   *http.Client
+	fallback http.Handler
+	inflight map[string]chan struct{}
+	probeTO  time.Duration
+	interval time.Duration
+	logf     func(string, ...any)
+	mux      *http.ServeMux
+
+	proxied   atomic.Int64
+	retries   atomic.Int64
+	fallbacks atomic.Int64
+	rejected  atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
+	done     chan struct{}
+}
+
+// New builds a Router over the backend set.  Call Start to begin health
+// probing and Close to stop it.
+func New(opts Options) *Router {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = defaultProbeInterval
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = defaultProbeTimeout
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 64
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.MaxInflight,
+		}}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		ring:     NewRing(opts.Backends, opts.Vnodes),
+		health:   newHealthSet(opts.Backends),
+		client:   opts.Client,
+		fallback: opts.Fallback,
+		inflight: make(map[string]chan struct{}, len(opts.Backends)),
+		probeTO:  opts.ProbeTimeout,
+		interval: opts.ProbeInterval,
+		logf:     opts.Logf,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, b := range rt.ring.Backends() {
+		rt.inflight[b] = make(chan struct{}, opts.MaxInflight)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/workloads", rt.handleAny)
+	mux.HandleFunc("POST /v1/run", rt.handleKeyed)
+	mux.HandleFunc("POST /v1/compare", rt.handleKeyed)
+	mux.HandleFunc("POST /v1/conformance", rt.handleSpread)
+	mux.HandleFunc("POST /v1/experiments", rt.handleSpread)
+	mux.HandleFunc("POST /batch/run", rt.handleBatch)
+	mux.HandleFunc("POST /batch/compare", rt.handleBatch)
+	rt.mux = mux
+	return rt
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Start launches the health probe loop (with one immediate round, so a
+// backend that is down at boot is ejected before it eats live traffic).
+func (rt *Router) Start() {
+	if !rt.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(rt.done)
+		rt.probeOnce()
+		t := time.NewTicker(rt.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				rt.probeOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop.  In-flight proxied requests are unaffected.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	if rt.started.Load() {
+		<-rt.done
+	}
+}
+
+// probeOnce probes every due backend concurrently and applies the verdicts.
+func (rt *Router) probeOnce() {
+	due := rt.health.due(time.Now())
+	var wg sync.WaitGroup
+	for _, b := range due {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			if rt.probe(b) {
+				if rt.health.readmit(b) {
+					rt.logf("router: backend %s readmitted", b)
+				}
+			} else if rt.health.eject(b, time.Now()) {
+				rt.logf("router: backend %s ejected (probe failed)", b)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(backend string) bool {
+	if err := faultinject.Fire(faultinject.SiteRouterHealth); err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backendURL(backend, "/healthz"), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func backendURL(backend, path string) string {
+	if len(backend) >= 7 && (backend[:7] == "http://" || (len(backend) >= 8 && backend[:8] == "https://")) {
+		return backend + path
+	}
+	return "http://" + backend + path
+}
+
+// keyProbe is the lenient decode the router applies to run/compare bodies:
+// just enough to place the request.  Full validation stays on the backend.
+type keyProbe struct {
+	Workload string `json:"workload"`
+	Source   string `json:"source"`
+	Level    string `json:"level"`
+}
+
+// placementHash resolves a body to its ring position.  ok is false when the
+// body does not determine a key (unknown workload, bad level, malformed
+// JSON); such requests still need a backend — to produce the right error —
+// so the caller falls back to body-hash spreading.
+func placementHash(body []byte) (uint64, bool) {
+	var p keyProbe
+	if err := json.Unmarshal(body, &p); err != nil {
+		return 0, false
+	}
+	src := p.Source
+	if p.Workload != "" {
+		ws, err := workload.Source(p.Workload)
+		if err != nil {
+			return 0, false
+		}
+		src = ws
+	}
+	if src == "" {
+		return 0, false
+	}
+	level := core.LevelStack
+	if p.Level != "" {
+		l, err := core.ParseLevel(p.Level)
+		if err != nil {
+			return 0, false
+		}
+		level = l
+	}
+	return KeyHash(service.KeyOf(src, level)), true
+}
+
+func bodyHash(body []byte) uint64 {
+	h := hash64(string(body))
+	return h
+}
+
+// handleKeyed places /v1/run and /v1/compare by program key.
+func (rt *Router) handleKeyed(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	h, keyed := placementHash(body)
+	if !keyed {
+		h = bodyHash(body)
+	}
+	rt.forward(w, r, body, rt.ring.OwnersFromHash(h))
+}
+
+// handleSpread places un-keyed POSTs (conformance, experiments) by body
+// hash: deterministic, evenly spread, no placement guarantee needed.
+func (rt *Router) handleSpread(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	rt.forward(w, r, body, rt.ring.OwnersFromHash(bodyHash(body)))
+}
+
+// handleAny serves read-only GETs from any healthy backend.
+func (rt *Router) handleAny(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, nil, rt.ring.Backends())
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		return nil, false
+	}
+	return body, true
+}
+
+// forward tries each owner in ring order, skipping unhealthy backends,
+// ejecting (and retrying on the next owner) on transport failure, and
+// falling back to local service when the whole list is exhausted.  A
+// backend that answered — any status — ends the walk: HTTP-level errors
+// (422, 503, ...) are real answers owned by the placement, not routing
+// failures.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, owners []string) {
+	for _, b := range owners {
+		if !rt.health.isHealthy(b) {
+			continue
+		}
+		resp, err := rt.try(r, b, body)
+		if err == errBackendSaturated {
+			rt.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeRouterError(w, http.StatusServiceUnavailable, fmt.Errorf("backend %s %w", b, err))
+			return
+		}
+		if err != nil {
+			if rt.health.eject(b, time.Now()) {
+				rt.logf("router: backend %s ejected (%v)", b, err)
+			}
+			rt.retries.Add(1)
+			continue
+		}
+		rt.proxied.Add(1)
+		copyResponse(w, resp)
+		return
+	}
+	rt.serveFallback(w, r, body)
+}
+
+// bufferedResponse is a fully-read backend answer, safe to replay to the
+// client after the connection that produced it is gone.
+type bufferedResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// try proxies one buffered request to one backend under its in-flight cap.
+// Any error return other than errBackendSaturated means the backend did not
+// answer and is presumed dead.
+func (rt *Router) try(r *http.Request, backend string, body []byte) (*bufferedResponse, error) {
+	sem := rt.inflight[backend]
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	default:
+		return nil, errBackendSaturated
+	}
+	if err := faultinject.Fire(faultinject.SiteRouterProxy); err != nil {
+		return nil, fmt.Errorf("injected proxy fault: %w", err)
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, backendURL(backend, r.URL.Path), rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// The backend died mid-response; the buffered request makes the
+		// retry on the next owner safe.
+		return nil, err
+	}
+	return &bufferedResponse{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        data,
+	}, nil
+}
+
+func copyResponse(w http.ResponseWriter, resp *bufferedResponse) {
+	if resp.contentType != "" {
+		w.Header().Set("Content-Type", resp.contentType)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// serveFallback degrades to the local single-node handler when no backend
+// is reachable; with no fallback configured the outage is answered 503.
+func (rt *Router) serveFallback(w http.ResponseWriter, r *http.Request, body []byte) {
+	if err := faultinject.Fire(faultinject.SiteRouterFallback); err != nil {
+		writeRouterError(w, http.StatusServiceUnavailable, fmt.Errorf("injected fallback fault: %w", err))
+		return
+	}
+	if rt.fallback == nil {
+		w.Header().Set("Retry-After", "1")
+		writeRouterError(w, http.StatusServiceUnavailable, errors.New("no healthy backends"))
+		return
+	}
+	rt.fallbacks.Add(1)
+	rt.logf("router: no healthy backends, serving %s locally", r.URL.Path)
+	r2 := r.Clone(r.Context())
+	if body != nil {
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+	}
+	rt.fallback.ServeHTTP(w, r2)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy, unhealthy, _, _ := rt.health.view()
+	writeRouterJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"healthy":   len(healthy),
+		"unhealthy": len(unhealthy),
+	})
+}
+
+func writeRouterJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+func writeRouterError(w http.ResponseWriter, status int, err error) {
+	writeRouterJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+
+	"uhm/internal/core"
+	"uhm/internal/sim"
+)
+
+// Batch admits fn under a single request slot and hands it a BatchRunner
+// whose run and compare methods skip per-item admission: the whole batch
+// costs one slot acquisition and one release, however many items it carries.
+// This is the batching half of the fleet amortisation story — the per-request
+// overhead (admission channel ops, and at the HTTP layer one decode and one
+// response envelope) is paid once per batch instead of once per run.
+//
+// The slot is released by defer, so it cannot leak even if fn panics; the
+// per-item run paths keep their own panic isolation (runPooled recovers into
+// a typed *PanicError and quarantines the artifact), so one poisoned item
+// fails itself without failing its siblings or the batch envelope.
+//
+// A batch occupies its one slot for its whole duration, exactly like a
+// single long request: the -workers bound still caps total simulation
+// concurrency, and admission still sheds with a typed *OverloadError when no
+// slot frees within the queue timeout.
+func (s *Service) Batch(ctx context.Context, fn func(ctx context.Context, b *BatchRunner) error) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	return fn(ctx, &BatchRunner{s: s})
+}
+
+// BatchRunner is the slotless face of the service, valid only inside the
+// Batch callback that created it: its methods run under the slot Batch
+// already holds.  Using one outside its callback would bypass admission.
+type BatchRunner struct {
+	s *Service
+}
+
+// RunSource builds (or finds) the artifact for the source text and runs it
+// under the batch's slot.
+func (b *BatchRunner) RunSource(ctx context.Context, name, src string, level core.Level, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	art, err := b.s.registry.Source(name, src, level)
+	if err != nil {
+		return nil, err
+	}
+	return b.s.runPooled(art, strategy, cfg)
+}
+
+// RunWorkload builds (or finds) a built-in workload's artifact and runs it
+// under the batch's slot.
+func (b *BatchRunner) RunWorkload(ctx context.Context, name string, level core.Level, strategy sim.Strategy, cfg sim.Config) (*sim.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	art, err := b.s.registry.Workload(name, level)
+	if err != nil {
+		return nil, err
+	}
+	return b.s.runPooled(art, strategy, cfg)
+}
+
+// CompareSource runs every organisation on the source program under the
+// batch's slot and verifies the equivalence invariant.
+func (b *BatchRunner) CompareSource(ctx context.Context, name, src string, level core.Level, cfg sim.Config) ([]*sim.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	art, err := b.s.registry.Source(name, src, level)
+	if err != nil {
+		return nil, err
+	}
+	return b.s.comparePooled(ctx, art, cfg)
+}
+
+// CompareWorkload runs every organisation on a built-in workload under the
+// batch's slot and verifies the equivalence invariant.
+func (b *BatchRunner) CompareWorkload(ctx context.Context, name string, level core.Level, cfg sim.Config) ([]*sim.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	art, err := b.s.registry.Workload(name, level)
+	if err != nil {
+		return nil, err
+	}
+	return b.s.comparePooled(ctx, art, cfg)
+}

@@ -9,6 +9,10 @@
 // Repeated runs of the same benchmark (from -count or multiple packages) are
 // aggregated: the mean and minimum ns/op are both reported, since the minimum
 // is the more stable signal on noisy shared runners.
+//
+// With -uhmload FILE, the JSON report a `uhmload -o FILE` run wrote is
+// embedded verbatim under the "uhmload" key, so a PR's microbenchmarks and
+// its measured fleet load numbers land in one artifact.
 package main
 
 import (
@@ -41,16 +45,18 @@ type Result struct {
 
 // Summary is the emitted JSON document.
 type Summary struct {
-	Label      string   `json:"label,omitempty"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	Benchmarks []Result `json:"benchmarks"`
+	Label      string          `json:"label,omitempty"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	Benchmarks []Result        `json:"benchmarks"`
+	Uhmload    json.RawMessage `json:"uhmload,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	pr := flag.String("pr", "", "label recorded in the summary (e.g. PR3)")
+	loadFile := flag.String("uhmload", "", "uhmload JSON report to embed under the \"uhmload\" key")
 	flag.Parse()
 
 	summary, err := parse(bufio.NewScanner(os.Stdin))
@@ -59,6 +65,18 @@ func main() {
 		os.Exit(1)
 	}
 	summary.Label = *pr
+	if *loadFile != "" {
+		raw, err := os.ReadFile(*loadFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *loadFile)
+			os.Exit(1)
+		}
+		summary.Uhmload = json.RawMessage(raw)
+	}
 	data, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,41 @@ func TestParseAggregates(t *testing.T) {
 	}
 	if write.MinNsPerOp != 97.5 {
 		t.Errorf("WriteBits min = %v, want 97.5", write.MinNsPerOp)
+	}
+}
+
+// TestUhmloadEmbed: a load report attached to the summary survives
+// marshaling verbatim under the "uhmload" key, and an unset report leaves
+// the key out entirely.
+func TestUhmloadEmbed(t *testing.T) {
+	s, err := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Uhmload = json.RawMessage(`{"mode":"closed","requests":100,"fleet":{"builds_delta":12}}`)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	load, ok := m["uhmload"].(map[string]any)
+	if !ok {
+		t.Fatalf("uhmload key missing or wrong shape: %s", data)
+	}
+	if load["mode"] != "closed" {
+		t.Fatalf("embedded report mangled: %v", load)
+	}
+
+	s.Uhmload = nil
+	data, err = json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "uhmload") {
+		t.Fatalf("empty report still emitted a key: %s", data)
 	}
 }
 
